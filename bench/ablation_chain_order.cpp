@@ -1,0 +1,36 @@
+// Ablation: the paper notes that "different orderings will lead to faults
+// affecting the scan chain in different locations, and thus potentially
+// increasing or decreasing the fault coverage", and leaves the ordering
+// flexibility to the designer.  We measure it: the same circuit scanned with
+// different chain counts (which permutes run placement) and report how the
+// classification and final coverage move.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/pipeline.h"
+
+int main(int argc, char** argv) {
+  using namespace fsct;
+  auto circuits = benchtool::select_circuits(argc, argv);
+  if (argc <= 1) circuits = {suite_entry("s5378")};
+  for (const SuiteEntry& e : circuits) {
+    std::printf("Ablation: chain configuration on %s\n", e.name.c_str());
+    std::printf("%-8s %-8s | %-8s %-8s | %-8s %-8s %-8s\n", "chains",
+                "maxlen", "easy", "hard", "s2det", "s3det", "undet");
+    for (int chains : {1, 2, 4, 8}) {
+      if (chains > e.ffs) break;
+      Netlist nl = build_suite_circuit(e);
+      TpiOptions topt;
+      topt.num_chains = chains;
+      const ScanDesign d = run_tpi(nl, topt);
+      const Levelizer lv(nl);
+      const ScanModeModel model(lv, d);
+      const auto faults = collapsed_fault_list(nl);
+      const PipelineResult r = run_fsct_pipeline(model, faults);
+      std::printf("%-8d %-8zu | %-8zu %-8zu | %-8zu %-8zu %-8zu\n", chains,
+                  model.max_chain_length(), r.easy, r.hard, r.s2_detected,
+                  r.s3_detected, r.s3_undetected);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation: test-set size versus coverage — the paper's Figure-5 punchline
+// that the step-2 set can be truncated cheaply, plus lossless reverse-order
+// compaction on top.
+//
+// Default circuit: s9234 (pass suite names to change).
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/compaction.h"
+#include "core/pipeline.h"
+
+int main(int argc, char** argv) {
+  using namespace fsct;
+  auto circuits = benchtool::select_circuits(argc, argv);
+  if (argc <= 1) circuits = {suite_entry("s9234")};
+  for (const SuiteEntry& e : circuits) {
+    const benchtool::Prepared p = benchtool::prepare(e);
+    const PipelineResult r = run_fsct_pipeline(*p.model, p.faults);
+    std::vector<Fault> hard;
+    for (std::size_t i = 0; i < p.faults.size(); ++i) {
+      if (r.info[i].category == ChainFaultCategory::Hard) {
+        hard.push_back(p.faults[i]);
+      }
+    }
+    std::printf("Compaction ablation on %s: %zu vectors cover %zu faults\n",
+                e.name.c_str(), r.vectors.size(), r.s2_detected);
+    const auto det = per_vector_detections(*p.model, r.vectors, hard);
+    const auto curve = truncation_curve(det, hard.size());
+    std::printf("%-12s %-12s %-10s\n", "kept", "detected", "coverage");
+    for (int pct : {10, 25, 50, 75, 100}) {
+      const std::size_t k =
+          std::max<std::size_t>(1, curve.size() * static_cast<std::size_t>(pct) / 100);
+      if (k <= curve.size() && !curve.empty()) {
+        std::printf("%-3d%% (%4zu) %-12zu %.1f%%\n", pct, k, curve[k - 1],
+                    curve.back() ? 100.0 * static_cast<double>(curve[k - 1]) /
+                                       static_cast<double>(curve.back())
+                                 : 0.0);
+      }
+    }
+    const CompactionResult c = compact_vectors(*p.model, r.vectors, hard);
+    std::printf("lossless compaction: %zu -> %zu vectors (%.1f%%), coverage "
+                "kept at %zu faults\n\n",
+                r.vectors.size(), c.kept.size(),
+                r.vectors.empty() ? 0.0
+                                  : 100.0 * static_cast<double>(c.kept.size()) /
+                                        static_cast<double>(r.vectors.size()),
+                c.covered_kept);
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Ablation: the LARGE_DIST / MED_DIST / DIST grouping parameters trade the
+// number of sequential-ATPG circuit models against per-model ctrl/obs.  The
+// paper fixes them at max(0.6/0.25/0.15 * maxsize, 50/25/20); here we sweep a
+// scale factor and report #circuit models vs undetected faults.
+//
+// Default circuit: s13207 (mid-size, several chains).
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/pipeline.h"
+
+int main(int argc, char** argv) {
+  using namespace fsct;
+  auto circuits = benchtool::select_circuits(argc, argv);
+  if (argc <= 1) circuits = {suite_entry("s13207")};
+  for (const SuiteEntry& e : circuits) {
+    const benchtool::Prepared p = benchtool::prepare(e);
+    const std::size_t maxsize = p.model->max_chain_length();
+    std::printf("Ablation: distance parameters on %s (maxsize=%zu)\n",
+                e.name.c_str(), maxsize);
+    std::printf("%-8s %-6s %-5s %-5s | %-8s %-8s | %-6s %-6s | %-8s\n",
+                "scale", "LARGE", "MED", "DIST", "circG", "circF", "det",
+                "undet", "CPU(s)");
+    const double scales[] = {0.25, 0.5, 1.0, 2.0, 4.0};
+    for (double s : scales) {
+      PipelineOptions opt;
+      opt.auto_dist = false;
+      opt.dist.large_dist =
+          std::max(1, static_cast<int>(0.6 * s * static_cast<double>(maxsize)));
+      opt.dist.med_dist =
+          std::max(1, static_cast<int>(0.25 * s * static_cast<double>(maxsize)));
+      opt.dist.dist =
+          std::max(1, static_cast<int>(0.15 * s * static_cast<double>(maxsize)));
+      const PipelineResult r = run_fsct_pipeline(*p.model, p.faults, opt);
+      std::printf("%-8.2f %-6d %-5d %-5d | %-8zu %-8zu | %-6zu %-6zu | %-8.2f\n",
+                  s, opt.dist.large_dist, opt.dist.med_dist, opt.dist.dist,
+                  r.s3_circuits_group, r.s3_circuits_final, r.s3_detected,
+                  r.s3_undetected, r.s3_seconds);
+    }
+  }
+  return 0;
+}

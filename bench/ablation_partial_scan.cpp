@@ -1,0 +1,39 @@
+// Ablation: partial functional scan.  The paper notes that in a partial-scan
+// environment step 2 falls back to random test sets; here we sweep the
+// scanned fraction and report how much of the fault population still touches
+// the (smaller) chain and how well the flow resolves it.
+//
+// Default circuit: s5378.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/pipeline.h"
+
+int main(int argc, char** argv) {
+  using namespace fsct;
+  auto circuits = benchtool::select_circuits(argc, argv);
+  if (argc <= 1) circuits = {suite_entry("s5378")};
+  for (const SuiteEntry& e : circuits) {
+    std::printf("Partial-scan ablation on %s (%d FFs)\n", e.name.c_str(),
+                e.ffs);
+    std::printf("%-8s %-8s | %-8s %-8s | %-8s %-8s %-8s\n", "scanned",
+                "maxlen", "easy", "hard", "det", "undetectable", "open");
+    for (int permille : {250, 500, 750, 1000}) {
+      Netlist nl = build_suite_circuit(e);
+      TpiOptions topt;
+      topt.num_chains = e.chains;
+      topt.scan_permille = permille;
+      const ScanDesign d = run_tpi(nl, topt);
+      const Levelizer lv(nl);
+      const ScanModeModel model(lv, d);
+      const auto faults = collapsed_fault_list(nl);
+      const PipelineResult r = run_fsct_pipeline(model, faults);
+      std::printf("%-7.1f%% %-8zu | %-8zu %-8zu | %-8zu %-8zu %-8zu\n",
+                  permille / 10.0, model.max_chain_length(), r.easy, r.hard,
+                  r.easy + r.s2_detected + r.s3_detected,
+                  r.s2_undetectable + r.s3_undetectable, r.s3_undetected);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

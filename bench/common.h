@@ -1,0 +1,73 @@
+// Shared plumbing for the table/figure reproduction binaries: builds each
+// suite circuit, applies TPI with the paper's chain counts, and offers a
+// simple circuit filter:
+//   <bench> [circuit ...]        run only the named circuits
+//   <bench> --max-gates N        skip circuits above N gates
+// With no arguments every suite circuit runs (paper configuration).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_circuits/suite.h"
+#include "fault/fault.h"
+#include "netlist/levelize.h"
+#include "scan/scan_mode_model.h"
+#include "scan/tpi.h"
+
+namespace fsct::benchtool {
+
+inline std::vector<SuiteEntry> select_circuits(int argc, char** argv) {
+  std::vector<std::string> names;
+  int max_gates = 1 << 30;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-gates") == 0 && i + 1 < argc) {
+      max_gates = std::atoi(argv[++i]);
+    } else if (argv[i][0] != '-') {
+      names.emplace_back(argv[i]);
+    }
+  }
+  std::vector<SuiteEntry> out;
+  for (const SuiteEntry& e : paper_suite()) {
+    if (!names.empty()) {
+      bool want = false;
+      for (const std::string& n : names) want |= (n == e.name);
+      if (!want) continue;
+    }
+    if (e.gates > max_gates) continue;
+    out.push_back(e);
+  }
+  return out;
+}
+
+/// One fully prepared circuit: netlist + TPI scan design + scan-mode model.
+struct Prepared {
+  SuiteEntry entry;
+  Netlist nl;
+  std::size_t base_gates = 0;  ///< mapped gates before DFT insertion
+  ScanDesign design;
+  TpiStats tpi_stats;
+  std::unique_ptr<Levelizer> lv;
+  std::unique_ptr<ScanModeModel> model;
+  std::vector<Fault> faults;
+};
+
+inline Prepared prepare(const SuiteEntry& e) {
+  Prepared p;
+  p.entry = e;
+  p.nl = build_suite_circuit(e);
+  p.base_gates = p.nl.num_gates();
+  TpiOptions topt;
+  topt.num_chains = e.chains;
+  p.design = run_tpi(p.nl, topt, &p.tpi_stats);
+  p.lv = std::make_unique<Levelizer>(p.nl);
+  p.model = std::make_unique<ScanModeModel>(*p.lv, p.design);
+  p.faults = collapsed_fault_list(p.nl);
+  return p;
+}
+
+}  // namespace fsct::benchtool

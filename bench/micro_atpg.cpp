@@ -1,0 +1,117 @@
+// Microbenchmarks for the ATPG stack: PODEM on the combinational scan-mode
+// model, classification throughput, and reduced-model construction — the
+// pieces whose cost shapes Tables 2 and 3.
+#include <benchmark/benchmark.h>
+
+#include "atpg/podem.h"
+#include "atpg/unroll.h"
+#include "bench_circuits/generator.h"
+#include "core/classify.h"
+#include "core/reduced_atpg.h"
+#include "netlist/levelize.h"
+#include "scan/tpi.h"
+
+namespace {
+
+using namespace fsct;
+
+struct World {
+  Netlist nl;
+  ScanDesign design;
+  std::unique_ptr<Levelizer> lv;
+  std::unique_ptr<ScanModeModel> model;
+  std::vector<Fault> faults;
+};
+
+World& world() {
+  static World w = [] {
+    World x;
+    RandomCircuitSpec spec;
+    spec.num_gates = 1500;
+    spec.num_ffs = 80;
+    spec.num_pis = 16;
+    spec.num_pos = 12;
+    spec.seed = 55;
+    x.nl = make_random_sequential(spec);
+    x.design = run_tpi(x.nl);
+    x.lv = std::make_unique<Levelizer>(x.nl);
+    x.model = std::make_unique<ScanModeModel>(*x.lv, x.design);
+    x.faults = collapsed_fault_list(x.nl);
+    return x;
+  }();
+  return w;
+}
+
+void BM_Classify(benchmark::State& state) {
+  World& w = world();
+  ChainFaultClassifier cls(*w.model);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto info = cls.classify(w.faults[i++ % w.faults.size()]);
+    benchmark::DoNotOptimize(&info);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Classify);
+
+void BM_CombPodem(benchmark::State& state) {
+  World& w = world();
+  UnrollSpec spec;
+  spec.base = &w.nl;
+  spec.frames = 1;
+  spec.fixed_pis = w.design.pi_constraints;
+  spec.controllable_state.assign(w.nl.dffs().size(), 1);
+  spec.observable_ff.assign(w.nl.dffs().size(), 1);
+  static const UnrolledModel um = unroll(spec);
+  static const Levelizer ulv(um.nl);
+  Podem podem(ulv, um.controllable, um.observe, AtpgOptions{200});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto r = podem.generate(um.map_fault(w.faults[i++ % w.faults.size()]));
+    benchmark::DoNotOptimize(&r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CombPodem);
+
+void BM_ReducedModelBuild(benchmark::State& state) {
+  World& w = world();
+  ChainFaultClassifier cls(*w.model);
+  // Find one hard fault to build models for.
+  Fault target = w.faults.front();
+  ChainFaultInfo info;
+  for (const Fault& f : w.faults) {
+    info = cls.classify(f);
+    if (info.category == ChainFaultCategory::Hard) {
+      target = f;
+      break;
+    }
+  }
+  ReducedCircuitBuilder builder(*w.model);
+  AtpgGroup g;
+  g.kind = 1;
+  g.fault_indices = {0};
+  g.window = make_fault_window(0, info).chains;
+  if (g.window.empty()) g.window = {{0, 0, 0}};
+  for (auto _ : state) {
+    auto rm = builder.build(g, std::span(&target, 1));
+    benchmark::DoNotOptimize(&rm);
+  }
+}
+BENCHMARK(BM_ReducedModelBuild);
+
+void BM_TpiWholeCircuit(benchmark::State& state) {
+  for (auto _ : state) {
+    RandomCircuitSpec spec;
+    spec.num_gates = 1500;
+    spec.num_ffs = 80;
+    spec.num_pis = 16;
+    spec.seed = 55;
+    Netlist nl = make_random_sequential(spec);
+    auto d = run_tpi(nl);
+    benchmark::DoNotOptimize(&d);
+  }
+}
+BENCHMARK(BM_TpiWholeCircuit);
+
+}  // namespace

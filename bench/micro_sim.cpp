@@ -1,0 +1,115 @@
+// Microbenchmarks for the simulation engines: scalar vs 64-way packed logic
+// simulation, and serial vs parallel-fault sequential fault simulation (the
+// ablation behind using parallel-fault simulation in step 2).
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bench_circuits/generator.h"
+#include "fault/seq_fault_sim.h"
+#include "netlist/levelize.h"
+#include "sim/seq_sim.h"
+
+namespace {
+
+using namespace fsct;
+
+Netlist& circuit() {
+  static Netlist nl = [] {
+    RandomCircuitSpec spec;
+    spec.num_gates = 2000;
+    spec.num_ffs = 100;
+    spec.num_pis = 20;
+    spec.num_pos = 20;
+    spec.seed = 99;
+    return make_random_sequential(spec);
+  }();
+  return nl;
+}
+
+void BM_ScalarCombSim(benchmark::State& state) {
+  const Netlist& nl = circuit();
+  const Levelizer lv(nl);
+  CombSim sim(lv);
+  std::vector<Val> v(nl.size(), Val::X);
+  std::mt19937_64 rng(1);
+  for (NodeId s : nl.inputs()) v[s] = (rng() & 1) ? Val::One : Val::Zero;
+  for (NodeId s : nl.dffs()) v[s] = (rng() & 1) ? Val::One : Val::Zero;
+  for (auto _ : state) {
+    sim.run(v);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(nl.num_gates()));
+}
+BENCHMARK(BM_ScalarCombSim);
+
+void BM_PackedCombSim64Patterns(benchmark::State& state) {
+  const Netlist& nl = circuit();
+  const Levelizer lv(nl);
+  PackedCombSim sim(lv);
+  std::vector<PackedVal> v(nl.size());
+  std::mt19937_64 rng(2);
+  for (NodeId s : nl.inputs()) v[s] = {rng(), 0};
+  for (NodeId s : nl.dffs()) v[s] = {rng(), 0};
+  for (NodeId s : nl.inputs()) v[s].one = ~v[s].zero;
+  for (NodeId s : nl.dffs()) v[s].one = ~v[s].zero;
+  for (auto _ : state) {
+    sim.run(v);
+    benchmark::DoNotOptimize(v.data());
+  }
+  // 64 patterns per run.
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64 *
+                          static_cast<int64_t>(nl.num_gates()));
+}
+BENCHMARK(BM_PackedCombSim64Patterns);
+
+void BM_SerialSeqFaultSim(benchmark::State& state) {
+  const Netlist& nl = circuit();
+  const Levelizer lv(nl);
+  SeqFaultSim sim(lv, nl.outputs());
+  const auto all = collapsed_fault_list(nl);
+  const std::vector<Fault> faults(all.begin(),
+                                  all.begin() + std::min<std::size_t>(
+                                                    all.size(), 32));
+  TestSequence seq;
+  std::mt19937_64 rng(3);
+  for (int t = 0; t < 10; ++t) {
+    std::vector<Val> v(nl.inputs().size());
+    for (auto& x : v) x = (rng() & 1) ? Val::One : Val::Zero;
+    seq.push_back(std::move(v));
+  }
+  for (auto _ : state) {
+    auto r = sim.run_serial(seq, faults);
+    benchmark::DoNotOptimize(r.detect_cycle.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(faults.size()));
+}
+BENCHMARK(BM_SerialSeqFaultSim);
+
+void BM_ParallelSeqFaultSim(benchmark::State& state) {
+  const Netlist& nl = circuit();
+  const Levelizer lv(nl);
+  SeqFaultSim sim(lv, nl.outputs());
+  const auto all = collapsed_fault_list(nl);
+  const std::vector<Fault> faults(all.begin(),
+                                  all.begin() + std::min<std::size_t>(
+                                                    all.size(), 32));
+  TestSequence seq;
+  std::mt19937_64 rng(3);
+  for (int t = 0; t < 10; ++t) {
+    std::vector<Val> v(nl.inputs().size());
+    for (auto& x : v) x = (rng() & 1) ? Val::One : Val::Zero;
+    seq.push_back(std::move(v));
+  }
+  for (auto _ : state) {
+    auto r = sim.run(seq, faults);
+    benchmark::DoNotOptimize(r.detect_cycle.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(faults.size()));
+}
+BENCHMARK(BM_ParallelSeqFaultSim);
+
+}  // namespace

@@ -1,0 +1,44 @@
+// Overhead explorer: compares conventional full MUX-scan against TPI
+// functional scan across generated circuits of increasing size — the
+// trade-off Figure 1 of the paper motivates (fewer muxes and no dedicated
+// scan wiring, at the cost of a few test points and pinned PIs).
+//
+//   ./build/examples/overhead_explorer
+#include <cstdio>
+
+#include "bench_circuits/generator.h"
+#include "scan/mux_scan.h"
+#include "scan/tpi.h"
+
+int main() {
+  using namespace fsct;
+  std::printf("%-8s %-6s | %-10s | %-28s\n", "gates", "FFs", "mux-scan",
+              "TPI functional scan");
+  std::printf("%-8s %-6s | %-10s | %-10s %-6s %-8s\n", "", "", "muxes",
+              "func/mux", "TPs", "pinnedPI");
+
+  for (int scale = 1; scale <= 8; scale *= 2) {
+    RandomCircuitSpec spec;
+    spec.num_gates = 200 * scale;
+    spec.num_ffs = 16 * scale;
+    spec.num_pis = 8 + 2 * scale;
+    spec.num_pos = 8;
+    spec.seed = 1234 + static_cast<std::uint64_t>(scale);
+
+    Netlist mux_nl = make_random_sequential(spec);
+    const ScanDesign md = insert_mux_scan(mux_nl);
+
+    Netlist tpi_nl = make_random_sequential(spec);
+    TpiStats stats;
+    run_tpi(tpi_nl, {}, &stats);
+
+    std::printf("%-8d %-6d | %-10d | %4d/%-5d %-6d %-8d\n", spec.num_gates,
+                spec.num_ffs, md.scan_muxes, stats.functional_segments,
+                stats.mux_segments, stats.test_points, stats.assigned_pis);
+  }
+  std::printf(
+      "\nreading: every functional link replaces one scan mux and its\n"
+      "dedicated wiring; test points are single gates, each often shared\n"
+      "between several paths, so TPI wins whenever func >> TPs.\n");
+  return 0;
+}

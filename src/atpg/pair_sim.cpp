@@ -1,0 +1,158 @@
+#include "atpg/pair_sim.h"
+
+#include <stdexcept>
+
+namespace fsct {
+
+PairSim::PairSim(const Levelizer& lv) : lv_(lv) {
+  const Netlist& nl = lv.netlist();
+  values_.assign(nl.size(), {});
+  out_override_.assign(nl.size(), Val::X);
+  pin_sites_.assign(nl.size(), {});
+  has_pin_sites_.assign(nl.size(), 0);
+  effect_flag_.assign(nl.size(), 0);
+  in_effect_list_.assign(nl.size(), 0);
+  buckets_.resize(static_cast<std::size_t>(lv.max_level()) + 1);
+  queued_.assign(nl.size(), 0);
+}
+
+void PairSim::init(std::span<const FaultSite> sites) {
+  const Netlist& nl = lv_.netlist();
+  values_.assign(nl.size(), PairVal{});
+  out_override_.assign(nl.size(), Val::X);
+  for (NodeId id = 0; id < nl.size(); ++id) {
+    if (has_pin_sites_[id]) {
+      pin_sites_[id].clear();
+      has_pin_sites_[id] = 0;
+    }
+  }
+  effect_flag_.assign(nl.size(), 0);
+  in_effect_list_.assign(nl.size(), 0);
+  effect_list_.clear();
+  effect_count_ = 0;
+
+  for (const FaultSite& s : sites) {
+    if (s.pin == -1) {
+      out_override_[s.node] = s.value;
+    } else {
+      pin_sites_[s.node].push_back(s);
+      has_pin_sites_[s.node] = 1;
+    }
+  }
+
+  // Full settle: sources, then topo order.
+  for (NodeId id = 0; id < nl.size(); ++id) {
+    const GateType t = nl.type(id);
+    if (t == GateType::Const0 || t == GateType::Const1) {
+      const Val v = (t == GateType::Const1) ? Val::One : Val::Zero;
+      PairVal pv{v, v};
+      if (out_override_[id] != Val::X) pv.f = out_override_[id];
+      note_change(id, pv);
+    } else if (t == GateType::Input) {
+      PairVal pv{Val::X, Val::X};
+      if (out_override_[id] != Val::X) pv.f = out_override_[id];
+      note_change(id, pv);
+    } else if (t == GateType::Dff) {
+      throw std::logic_error("PairSim requires a pure combinational netlist");
+    }
+  }
+  for (NodeId id : lv_.topo_order()) {
+    note_change(id, eval_node(id));
+  }
+}
+
+PairVal PairSim::eval_node(NodeId id) const {
+  const Netlist& nl = lv_.netlist();
+  const auto fins = nl.fanins(id);
+  Val gin[64], fin[64];
+  if (fins.size() > 64) throw std::runtime_error("gate arity > 64");
+  for (std::size_t p = 0; p < fins.size(); ++p) {
+    gin[p] = values_[fins[p]].g;
+    fin[p] = values_[fins[p]].f;
+  }
+  if (has_pin_sites_[id]) {
+    for (const FaultSite& s : pin_sites_[id]) {
+      fin[s.pin] = s.value;
+    }
+  }
+  PairVal pv;
+  pv.g = eval_gate(nl.type(id), gin, fins.size());
+  pv.f = eval_gate(nl.type(id), fin, fins.size());
+  if (out_override_[id] != Val::X) pv.f = out_override_[id];
+  return pv;
+}
+
+void PairSim::note_change(NodeId id, PairVal nv) {
+  if (values_[id] == nv && effect_flag_[id] == (has_effect(nv) ? 1 : 0)) {
+    values_[id] = nv;
+    return;
+  }
+  values_[id] = nv;
+  const bool eff = has_effect(nv);
+  if (eff && !effect_flag_[id]) {
+    effect_flag_[id] = 1;
+    ++effect_count_;
+    if (!in_effect_list_[id]) {
+      in_effect_list_[id] = 1;
+      effect_list_.push_back(id);
+    }
+  } else if (!eff && effect_flag_[id]) {
+    effect_flag_[id] = 0;
+    --effect_count_;
+    // lazy removal from effect_list_ (compacted in effect_nets())
+  }
+}
+
+void PairSim::set_source(NodeId src, Val v) {
+  const Netlist& nl = lv_.netlist();
+  if (is_combinational(nl.type(src)) || nl.type(src) == GateType::Dff) {
+    throw std::invalid_argument("set_source on non-source node");
+  }
+  PairVal pv{v, v};
+  if (out_override_[src] != Val::X) pv.f = out_override_[src];
+  if (values_[src] == pv) return;
+  note_change(src, pv);
+  propagate_from(src);
+}
+
+void PairSim::propagate_from(NodeId src) {
+  const Netlist& nl = lv_.netlist();
+  for (NodeId s : lv_.fanouts(src)) {
+    if (is_combinational(nl.type(s)) && !queued_[s]) {
+      queued_[s] = 1;
+      buckets_[static_cast<std::size_t>(lv_.level(s))].push_back(s);
+    }
+  }
+  for (auto& bucket : buckets_) {
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const NodeId id = bucket[i];
+      queued_[id] = 0;
+      const PairVal nv = eval_node(id);
+      if (nv == values_[id]) continue;
+      note_change(id, nv);
+      for (NodeId s : lv_.fanouts(id)) {
+        if (is_combinational(nl.type(s)) && !queued_[s]) {
+          queued_[s] = 1;
+          buckets_[static_cast<std::size_t>(lv_.level(s))].push_back(s);
+        }
+      }
+    }
+    bucket.clear();
+  }
+}
+
+const std::vector<NodeId>& PairSim::effect_nets() {
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < effect_list_.size(); ++r) {
+    const NodeId id = effect_list_[r];
+    if (effect_flag_[id]) {
+      effect_list_[w++] = id;
+    } else {
+      in_effect_list_[id] = 0;
+    }
+  }
+  effect_list_.resize(w);
+  return effect_list_;
+}
+
+}  // namespace fsct

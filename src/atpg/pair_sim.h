@@ -1,0 +1,85 @@
+// Good/faulty pair simulation for ATPG (the 5-valued D-calculus: a net whose
+// pair is (1,0) carries D, (0,1) carries D').
+//
+// PairSim works on a *pure combinational* netlist (sources are Input/Const
+// nodes only — sequential circuits are first unrolled, see unroll.h).  The
+// fault is a set of FaultSite overrides applied to the faulty component only;
+// multiple sites model the same stuck-at fault replicated across time frames.
+//
+// set_source() performs event-driven forward update, so PODEM's
+// assign/unassign cycle costs only the affected cone.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/levelize.h"
+#include "sim/value.h"
+
+namespace fsct {
+
+/// Good/faulty value pair of one net.
+struct PairVal {
+  Val g = Val::X;  ///< fault-free machine
+  Val f = Val::X;  ///< faulty machine
+  friend bool operator==(const PairVal&, const PairVal&) = default;
+};
+
+/// True when the net carries a definite fault effect (D or D').
+inline bool has_effect(PairVal v) {
+  return v.g != Val::X && v.f != Val::X && v.g != v.f;
+}
+
+/// One stuck-at override in the faulty machine.  pin == -1 forces the node's
+/// output; pin >= 0 forces what the node sees on that fanin pin.
+struct FaultSite {
+  NodeId node = kNullNode;
+  int pin = -1;
+  Val value = Val::X;
+};
+
+/// Event-driven good/faulty pair simulator.
+class PairSim {
+ public:
+  explicit PairSim(const Levelizer& lv);
+
+  /// Resets all nets to X, installs the fault sites, and settles the circuit
+  /// (constants propagate).  Must be called before set_source.
+  void init(std::span<const FaultSite> sites);
+
+  /// Assigns the good value of a source node (Val::X un-assigns) and
+  /// propagates.  The faulty component follows the good one except where a
+  /// site overrides it.
+  void set_source(NodeId src, Val v);
+
+  /// Current pair value of a net.
+  PairVal value(NodeId n) const { return values_[n]; }
+
+  /// True if any net currently carries D/D'.
+  bool any_effect() const { return effect_count_ > 0; }
+
+  /// Nets currently carrying D/D' (compacted on call).
+  const std::vector<NodeId>& effect_nets();
+
+  const Levelizer& levelizer() const { return lv_; }
+
+ private:
+  PairVal eval_node(NodeId id) const;
+  void propagate_from(NodeId src);
+  void note_change(NodeId id, PairVal nv);
+
+  const Levelizer& lv_;
+  std::vector<PairVal> values_;
+  std::vector<Val> out_override_;          // faulty output forces (X = none)
+  std::vector<std::vector<FaultSite>> pin_sites_;  // per node, sparse
+  std::vector<char> has_pin_sites_;
+  std::vector<char> effect_flag_;
+  std::vector<char> in_effect_list_;
+  std::vector<NodeId> effect_list_;  // may contain stale entries; compacted
+  std::size_t effect_count_ = 0;
+  // scratch for propagation
+  std::vector<std::vector<NodeId>> buckets_;
+  std::vector<char> queued_;
+};
+
+}  // namespace fsct

@@ -1,0 +1,32 @@
+// SCOAP-style testability measures used to guide PODEM's backtrace.
+//
+// CC0/CC1 are the classic combinational controllability costs (Goldstein's
+// rules, saturating arithmetic).  DFF outputs and uncontrollable sources are
+// given infinite cost so backtrace steers toward assignable primary inputs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/levelize.h"
+
+namespace fsct {
+
+/// Saturating cost type; kInfCost means "cannot be controlled".
+using Cost = std::uint32_t;
+inline constexpr Cost kInfCost = 0x3fffffff;
+
+/// Combinational controllability of every net.
+struct Scoap {
+  std::vector<Cost> cc0;  ///< cost of setting the net to 0
+  std::vector<Cost> cc1;  ///< cost of setting the net to 1
+
+  Cost cc(NodeId n, bool one) const { return one ? cc1[n] : cc0[n]; }
+};
+
+/// Computes CC0/CC1.  `controllable` flags the source nodes (PIs / pseudo-PIs)
+/// that ATPG may assign; all other sources get kInfCost for both values
+/// except constants, which are free for their own value.
+Scoap compute_scoap(const Levelizer& lv, const std::vector<char>& controllable);
+
+}  // namespace fsct

@@ -1,0 +1,114 @@
+#include "bench_circuits/generator.h"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace fsct {
+
+Netlist make_random_sequential(const RandomCircuitSpec& spec) {
+  if (spec.num_pis < 1 || spec.num_gates < 1 || spec.num_ffs < 0 ||
+      spec.num_pos < 1) {
+    throw std::invalid_argument("make_random_sequential: bad spec");
+  }
+  std::mt19937_64 rng(spec.seed);
+  Netlist nl(spec.name);
+
+  std::vector<NodeId> pool;
+  for (int i = 0; i < spec.num_pis; ++i) {
+    pool.push_back(nl.add_input("pi" + std::to_string(i)));
+  }
+  std::vector<NodeId> ffs;
+  for (int i = 0; i < spec.num_ffs; ++i) {
+    const NodeId q = nl.add_dff_floating("ff" + std::to_string(i));
+    ffs.push_back(q);
+    pool.push_back(q);
+  }
+
+  auto pick_input = [&](std::vector<NodeId>& used) -> NodeId {
+    for (int tries = 0; tries < 16; ++tries) {
+      std::size_t idx;
+      if (static_cast<int>(rng() % 100) < spec.control_pct) {
+        idx = rng() % static_cast<std::size_t>(spec.num_pis);
+      } else if (static_cast<int>(rng() % 100) < spec.locality_pct &&
+                 pool.size() > 8) {
+        const std::size_t window = std::min<std::size_t>(64, pool.size());
+        idx = pool.size() - 1 - (rng() % window);
+      } else {
+        idx = rng() % pool.size();
+      }
+      const NodeId n = pool[idx];
+      if (std::find(used.begin(), used.end(), n) == used.end()) return n;
+    }
+    return pool[rng() % pool.size()];
+  };
+
+  // Mapped-style gate mix (percent).
+  struct Mix {
+    GateType t;
+    int pct;
+  };
+  static constexpr Mix kMix[] = {
+      {GateType::Nand, 30}, {GateType::Nor, 22}, {GateType::Not, 12},
+      {GateType::And, 12},  {GateType::Or, 10},  {GateType::Buf, 4},
+      {GateType::Xor, 6},   {GateType::Xnor, 4},
+  };
+
+  std::vector<NodeId> gates;
+  for (int i = 0; i < spec.num_gates; ++i) {
+    int r = static_cast<int>(rng() % 100);
+    GateType t = GateType::Nand;
+    for (const Mix& m : kMix) {
+      if (r < m.pct) {
+        t = m.t;
+        break;
+      }
+      r -= m.pct;
+    }
+    std::size_t fanin = 1;
+    if (t != GateType::Not && t != GateType::Buf) {
+      fanin = (rng() % 100 < 70) ? 2 : 3;
+    }
+    std::vector<NodeId> fins;
+    for (std::size_t k = 0; k < fanin; ++k) fins.push_back(pick_input(fins));
+    const NodeId g = nl.add_gate(t, std::move(fins), "g" + std::to_string(i));
+    gates.push_back(g);
+    pool.push_back(g);
+  }
+
+  // Consumers draw unused gate outputs first so little logic dangles.
+  std::vector<int> fanout(nl.size(), 0);
+  for (NodeId id = 0; id < nl.size(); ++id) {
+    for (NodeId f : nl.fanins(id)) {
+      if (f != kNullNode) ++fanout[f];
+    }
+  }
+  std::vector<NodeId> unused;
+  for (NodeId g : gates) {
+    if (fanout[g] == 0) unused.push_back(g);
+  }
+  std::shuffle(unused.begin(), unused.end(), rng);
+
+  auto draw_sink_source = [&]() -> NodeId {
+    if (!unused.empty()) {
+      const NodeId n = unused.back();
+      unused.pop_back();
+      return n;
+    }
+    return gates[rng() % gates.size()];
+  };
+
+  for (NodeId q : ffs) nl.set_fanin(q, 0, draw_sink_source());
+  for (int i = 0; i < spec.num_pos; ++i) nl.mark_output(draw_sink_source());
+
+  // Any remaining dangling outputs become observable rather than dead logic
+  // (real mapped netlists have no dangling gates either).
+  for (NodeId n : unused) nl.mark_output(n);
+
+  if (std::string err = nl.validate(); !err.empty()) {
+    throw std::runtime_error("generator produced invalid netlist: " + err);
+  }
+  return nl;
+}
+
+}  // namespace fsct

@@ -1,0 +1,39 @@
+// Deterministic synthetic sequential-circuit generator.
+//
+// The paper evaluates on the 12 largest ISCAS'89 benchmarks after SIS
+// optimisation and NAND/NOR/NOT technology mapping.  Those exact mapped
+// netlists are not available here, so this generator produces circuits with
+// the same interface statistics (gate/FF/PI/PO counts) and a mapped-style
+// gate mix (NAND/NOR/NOT dominant, fanin <= 3, local connectivity with
+// occasional long wires).  Generation is fully deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace fsct {
+
+struct RandomCircuitSpec {
+  std::string name = "rand";
+  int num_pis = 8;
+  int num_pos = 8;
+  int num_ffs = 16;
+  int num_gates = 200;  ///< combinational gates
+  std::uint64_t seed = 1;
+  /// Probability (percent) that a gate input is drawn from the most recent
+  /// signals rather than uniformly — models mapped-netlist locality.
+  int locality_pct = 70;
+  /// Probability (percent) that a gate input connects directly to a primary
+  /// input — models the control-dominated structure of real mapped circuits
+  /// (it is what lets TPI force side inputs by pinning a few PIs).
+  int control_pct = 18;
+};
+
+/// Builds the circuit.  The result always validates: no combinational cycles,
+/// every FF D-pin driven, every PI/FF reachable-ish (unconnected signals get
+/// mopped up into the PO cones).
+Netlist make_random_sequential(const RandomCircuitSpec& spec);
+
+}  // namespace fsct

@@ -1,0 +1,177 @@
+#include "bench_circuits/paper_examples.h"
+
+#include "netlist/bench_io.h"
+
+namespace fsct {
+
+ExampleDesign paper_figure2() {
+  ExampleDesign e;
+  Netlist& nl = e.nl;
+  nl.set_name("paper_fig2");
+
+  const NodeId scan_mode = nl.add_input("scan_mode");
+  const NodeId si = nl.add_input("si");
+  const NodeId en = nl.add_input("en");
+
+  const NodeId f1 = nl.add_dff(si, "f1");
+  const NodeId f2 = nl.add_dff(f1, "f2");
+  const NodeId f3 = nl.add_dff(f2, "f3");
+  const NodeId f4 = nl.add_dff(f3, "f4");
+  const NodeId f5 = nl.add_dff(f4, "f5");
+  const NodeId en_n = nl.add_gate(GateType::Not, {en}, "en_n");
+  const NodeId a = nl.add_gate(GateType::And, {f5, en}, "a");
+  const NodeId b = nl.add_gate(GateType::And, {f1, en_n}, "b");
+  const NodeId d6 = nl.add_gate(GateType::Or, {a, b}, "d6");
+  const NodeId f6 = nl.add_dff(d6, "f6");
+  nl.mark_output(f6);
+
+  ScanDesign& d = e.design;
+  d.scan_mode = scan_mode;
+  d.pi_constraints = {{scan_mode, Val::One}, {en, Val::One}};
+
+  ScanChain chain;
+  chain.scan_in = si;
+  chain.ffs = {f1, f2, f3, f4, f5, f6};
+  auto direct = [](NodeId from, NodeId to) {
+    ScanSegment s;
+    s.from = from;
+    s.to = to;
+    s.functional = true;
+    return s;
+  };
+  chain.segments.push_back(direct(si, f1));
+  chain.segments.push_back(direct(f1, f2));
+  chain.segments.push_back(direct(f2, f3));
+  chain.segments.push_back(direct(f3, f4));
+  chain.segments.push_back(direct(f4, f5));
+  ScanSegment last;
+  last.from = f5;
+  last.to = f6;
+  last.path = {a, d6};
+  last.functional = true;
+  chain.segments.push_back(std::move(last));
+  d.chains.push_back(std::move(chain));
+  return e;
+}
+
+Fault paper_figure2_fault(const Netlist& nl) {
+  return Fault{nl.find("en"), -1, false};  // en s-a-0
+}
+
+ExampleDesign paper_figure3() {
+  ExampleDesign e;
+  Netlist& nl = e.nl;
+  nl.set_name("paper_fig3");
+
+  const NodeId scan_mode = nl.add_input("scan_mode");
+  const NodeId si = nl.add_input("si");
+  const NodeId pi1 = nl.add_input("pi1");
+
+  const NodeId f1 = nl.add_dff_floating("f1");
+  const NodeId g1 = nl.add_gate(GateType::And, {f1, pi1}, "g1");
+  const NodeId f2 = nl.add_dff(g1, "f2");
+  const NodeId f3 = nl.add_dff(f2, "f3");
+  const NodeId pi1_n = nl.add_gate(GateType::Not, {pi1}, "pi1_n");
+  const NodeId s = nl.add_gate(GateType::And, {pi1_n, f1}, "s");
+  const NodeId g2 = nl.add_gate(GateType::Or, {f3, s}, "g2");
+  const NodeId f4 = nl.add_dff(g2, "f4");
+  nl.set_fanin(f1, 0, si);
+  nl.mark_output(f4);
+
+  ScanDesign& d = e.design;
+  d.scan_mode = scan_mode;
+  d.pi_constraints = {{scan_mode, Val::One}, {pi1, Val::One}};
+
+  ScanChain chain;
+  chain.scan_in = si;
+  chain.ffs = {f1, f2, f3, f4};
+  ScanSegment s0;
+  s0.from = si;
+  s0.to = f1;
+  s0.functional = true;
+  ScanSegment s1;
+  s1.from = f1;
+  s1.to = f2;
+  s1.path = {g1};
+  s1.functional = true;
+  ScanSegment s2;
+  s2.from = f2;
+  s2.to = f3;
+  s2.functional = true;
+  ScanSegment s3;
+  s3.from = f3;
+  s3.to = f4;
+  s3.path = {g2};
+  s3.functional = true;
+  chain.segments = {s0, s1, s2, s3};
+  d.chains.push_back(std::move(chain));
+  return e;
+}
+
+Fault paper_figure3_fault(const Netlist& nl) {
+  return Fault{nl.find("pi1"), -1, false};  // pi1 s-a-0
+}
+
+Netlist small_counter() {
+  Netlist nl("small_counter");
+  const NodeId en = nl.add_input("en");
+  const NodeId q0 = nl.add_dff_floating("q0");
+  const NodeId q1 = nl.add_dff_floating("q1");
+  const NodeId q2 = nl.add_dff_floating("q2");
+  const NodeId q3 = nl.add_dff_floating("q3");
+  const NodeId c0 = nl.add_gate(GateType::And, {q0, en}, "c0");
+  const NodeId c1 = nl.add_gate(GateType::And, {q1, c0}, "c1");
+  const NodeId c2 = nl.add_gate(GateType::And, {q2, c1}, "c2");
+  const NodeId n0 = nl.add_gate(GateType::Xor, {q0, en}, "n0");
+  const NodeId n1 = nl.add_gate(GateType::Xor, {q1, c0}, "n1");
+  const NodeId n2 = nl.add_gate(GateType::Xor, {q2, c1}, "n2");
+  const NodeId n3 = nl.add_gate(GateType::Xor, {q3, c2}, "n3");
+  const NodeId carry = nl.add_gate(GateType::And, {q3, c2}, "carry");
+  nl.set_fanin(q0, 0, n0);
+  nl.set_fanin(q1, 0, n1);
+  nl.set_fanin(q2, 0, n2);
+  nl.set_fanin(q3, 0, n3);
+  nl.mark_output(carry);
+  return nl;
+}
+
+Netlist small_pipeline() {
+  Netlist nl("small_pipeline");
+  const NodeId pi = nl.add_input("pi");
+  const NodeId c1 = nl.add_input("c1");
+  const NodeId c2 = nl.add_input("c2");
+  const NodeId f1 = nl.add_dff(pi, "f1");
+  const NodeId g1 = nl.add_gate(GateType::Nand, {f1, c1}, "g1");
+  const NodeId f2 = nl.add_dff(g1, "f2");
+  const NodeId g2 = nl.add_gate(GateType::Nor, {f2, c2}, "g2");
+  const NodeId f3 = nl.add_dff(g2, "f3");
+  nl.mark_output(f3);
+  return nl;
+}
+
+Netlist iscas_s27() {
+  static const char* kS27 = R"(
+# s27 (ISCAS'89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+)";
+  return read_bench_string(kS27, "s27");
+}
+
+}  // namespace fsct

@@ -1,0 +1,51 @@
+// Hand-built circuits reproducing the paper's illustrative figures, plus a
+// few small sequential circuits used throughout the test suite.
+#pragma once
+
+#include "fault/fault.h"
+#include "netlist/netlist.h"
+#include "scan/scan_chain.h"
+
+namespace fsct {
+
+/// A scanned design built by hand (used where the example must be exact
+/// rather than produced by the TPI heuristic).
+struct ExampleDesign {
+  Netlist nl;
+  ScanDesign design;
+};
+
+/// The Figure 2 phenomenon: a 6-flip-flop functional scan chain where the
+/// F5->F6 link runs through a 2:1 and-or selector whose enable is forced to 1
+/// in scan mode.  The fault `en s-a-0` reroutes the chain so that F6 is fed
+/// from F1 — the chain shortens by exactly 4 stages, which the period-4
+/// alternating sequence 0,0,1,1,... cannot see.
+///
+/// Netlist signal names: en (PI), si (scan-in PI), scan_mode (PI),
+/// f1..f6 (DFFs), en_n, a = AND(f5,en), b = AND(f1,en_n), d6 = OR(a,b).
+ExampleDesign paper_figure2();
+
+/// The fault the Figure 2 discussion targets: en s-a-0.
+Fault paper_figure2_fault(const Netlist& nl);
+
+/// A small circuit shaped like Figure 3: one stuck PI whose forward
+/// implication reaches the chain in two places (a chain net forced binary and
+/// a side input turned X), exercising the multi-location classifier.
+ExampleDesign paper_figure3();
+
+/// The Figure 3 fault: pi1 s-a-0.
+Fault paper_figure3_fault(const Netlist& nl);
+
+/// Plain sequential circuits (no scan) for TPI / mux-scan unit tests.
+/// A 4-bit ripple "counter-ish" circuit: 4 DFFs with XOR/AND next-state
+/// logic, 1 PI enable, 1 PO carry.
+Netlist small_counter();
+
+/// A 3-stage pipeline: pi -> f1 -> NAND(f1, c1) -> f2 -> NOR(f2, c2) -> f3,
+/// with side PIs c1, c2 and PO = f3.  TPI can sensitise both stages.
+Netlist small_pipeline();
+
+/// The textual .bench form of ISCAS'89 s27 (the classic 10-gate benchmark).
+Netlist iscas_s27();
+
+}  // namespace fsct

@@ -1,0 +1,48 @@
+#include "bench_circuits/suite.h"
+
+#include <stdexcept>
+
+#include "bench_circuits/generator.h"
+
+namespace fsct {
+
+const std::vector<SuiteEntry>& paper_suite() {
+  static const std::vector<SuiteEntry> kSuite = {
+      // name      gates   ffs   pis  pos  chains
+      {"s1423",    657,    74,   17,  5,   1},
+      {"s1488",    653,    6,    8,   19,  1},
+      {"s1494",    647,    6,    8,   19,  1},
+      {"s3330",    1789,   132,  40,  73,  2},
+      {"s4863",    2342,   104,  49,  16,  1},
+      {"s5378",    2779,   179,  35,  49,  2},
+      {"s9234",    5597,   211,  36,  39,  2},
+      {"s13207",   7951,   638,  62,  152, 5},
+      {"s15850",   9772,   534,  77,  150, 5},
+      {"s35932",   16065,  1728, 35,  320, 14},
+      {"s38417",   22179,  1636, 28,  106, 13},
+      {"s38584",   19253,  1426, 38,  304, 12},
+  };
+  return kSuite;
+}
+
+const SuiteEntry& suite_entry(const std::string& name) {
+  for (const SuiteEntry& e : paper_suite()) {
+    if (e.name == name) return e;
+  }
+  throw std::invalid_argument("unknown suite circuit: " + name);
+}
+
+Netlist build_suite_circuit(const SuiteEntry& e) {
+  RandomCircuitSpec spec;
+  spec.name = e.name;
+  spec.num_pis = e.pis;
+  spec.num_pos = e.pos;
+  spec.num_ffs = e.ffs;
+  spec.num_gates = e.gates;
+  // Stable per-circuit seed so every run regenerates the same netlist.
+  spec.seed = 0x5eed;
+  for (char c : e.name) spec.seed = spec.seed * 131 + static_cast<unsigned char>(c);
+  return make_random_sequential(spec);
+}
+
+}  // namespace fsct

@@ -1,0 +1,35 @@
+// The paper's Table 1 test suite: the 12 largest ISCAS'89 benchmarks, here
+// realised as deterministic synthetic circuits with matching interface
+// statistics (see generator.h for the substitution rationale).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace fsct {
+
+/// One row of the paper's Table 1 (gate counts are the published post-SIS
+/// sizes; chains chosen so no chain exceeds ~130 flip-flops, matching the
+/// paper's "multiple scan chains ... to reduce the length of the scan chain
+/// to a reasonable size").
+struct SuiteEntry {
+  std::string name;
+  int gates = 0;
+  int ffs = 0;
+  int pis = 0;
+  int pos = 0;
+  int chains = 1;
+};
+
+/// The 12-circuit suite, smallest first.
+const std::vector<SuiteEntry>& paper_suite();
+
+/// Looks up a suite entry by name; throws if unknown.
+const SuiteEntry& suite_entry(const std::string& name);
+
+/// Builds the synthetic stand-in for a suite circuit (deterministic).
+Netlist build_suite_circuit(const SuiteEntry& e);
+
+}  // namespace fsct

@@ -1,0 +1,238 @@
+#include "core/chain_reorder.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "core/classify.h"
+#include "fault/fault.h"
+#include "netlist/levelize.h"
+#include "scan/scan_mode_model.h"
+
+namespace fsct {
+namespace {
+
+// One stitchable unit: a mux-headed run of functionally linked flip-flops.
+struct Run {
+  NodeId head_mux = kNullNode;       // the dedicated scan mux feeding ffs[0]
+  std::vector<NodeId> ffs;
+  std::vector<ScanSegment> segments;  // segments[0] is the mux link
+};
+
+// Splits the design into runs.  Returns false when a chain does not follow
+// the TPI/mux-scan shape (first segment dedicated, path = {mux}).
+bool split_runs(const ScanDesign& d, std::vector<Run>& runs) {
+  for (const ScanChain& c : d.chains) {
+    for (std::size_t k = 0; k < c.segments.size(); ++k) {
+      const ScanSegment& s = c.segments[k];
+      if (!s.functional) {
+        if (s.path.size() != 1) return false;  // not a simple mux link
+        Run r;
+        r.head_mux = s.path[0];
+        runs.push_back(std::move(r));
+      } else if (runs.empty() || (k == 0)) {
+        return false;  // functional link with no mux-headed run to join
+      }
+      runs.back().ffs.push_back(c.ffs[k]);
+      runs.back().segments.push_back(s);
+    }
+  }
+  return !runs.empty();
+}
+
+// Mean location spread of multi-location faults plus per-run co-affection
+// weights.  run_of maps (chain, position) to a run index.
+double spread_and_coupling(
+    const Netlist& nl, const ScanDesign& d,
+    const std::vector<std::vector<int>>& run_of,
+    std::map<std::pair<int, int>, int>* coupling) {
+  const Levelizer lv(nl);
+  const ScanModeModel model(lv, d);
+  ChainFaultClassifier cls(model);
+  const auto faults = collapsed_fault_list(nl);
+  double spread_sum = 0;
+  int multi = 0;
+  for (const Fault& f : faults) {
+    const ChainFaultInfo info = cls.classify(f);
+    if (info.locations.size() < 2) continue;
+    // Spread within each affected chain.
+    int lo = 1 << 30, hi = -1;
+    std::vector<int> runs_hit;
+    for (const ChainLocation& loc : info.locations) {
+      if (loc.chain != info.locations.front().chain) continue;
+      lo = std::min(lo, loc.segment);
+      hi = std::max(hi, loc.segment);
+      const auto& per_chain = run_of[static_cast<std::size_t>(loc.chain)];
+      const int pos = std::min<int>(loc.segment,
+                                    static_cast<int>(per_chain.size()) - 1);
+      if (pos >= 0) runs_hit.push_back(per_chain[static_cast<std::size_t>(pos)]);
+    }
+    if (hi < 0) continue;
+    ++multi;
+    spread_sum += hi - lo;
+    if (coupling != nullptr) {
+      std::sort(runs_hit.begin(), runs_hit.end());
+      runs_hit.erase(std::unique(runs_hit.begin(), runs_hit.end()),
+                     runs_hit.end());
+      for (std::size_t a = 0; a < runs_hit.size(); ++a) {
+        for (std::size_t b = a + 1; b < runs_hit.size(); ++b) {
+          ++(*coupling)[{runs_hit[a], runs_hit[b]}];
+        }
+      }
+    }
+  }
+  return multi ? spread_sum / multi : 0.0;
+}
+
+std::vector<std::vector<int>> build_run_of(const ScanDesign& d,
+                                           const std::vector<Run>& runs) {
+  // Map (chain, segment-position) -> run index, derived from run membership.
+  std::map<NodeId, int> run_of_ff;
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    for (NodeId ff : runs[r].ffs) run_of_ff[ff] = static_cast<int>(r);
+  }
+  std::vector<std::vector<int>> out(d.chains.size());
+  for (std::size_t c = 0; c < d.chains.size(); ++c) {
+    out[c].reserve(d.chains[c].ffs.size());
+    for (NodeId ff : d.chains[c].ffs) out[c].push_back(run_of_ff.at(ff));
+  }
+  return out;
+}
+
+}  // namespace
+
+ScanDesign reorder_chains(Netlist& nl, const ScanDesign& design,
+                          ReorderStats* stats_out) {
+  ReorderStats stats;
+  std::vector<Run> runs;
+  if (!split_runs(design, runs)) {
+    if (stats_out) *stats_out = stats;
+    return design;  // unknown shape: leave untouched
+  }
+  stats.runs = static_cast<int>(runs.size());
+
+  // Coupling analysis on the current order.
+  std::map<std::pair<int, int>, int> coupling;
+  {
+    const auto run_of = build_run_of(design, runs);
+    stats.mean_spread_before =
+        spread_and_coupling(nl, design, run_of, &coupling);
+  }
+
+  // Greedy placement: seed with the heaviest-coupled run, then repeatedly
+  // append the unplaced run most coupled to the tail (ties: longer first,
+  // then lower index for determinism).
+  const int n = static_cast<int>(runs.size());
+  std::vector<int> weight_total(static_cast<std::size_t>(n), 0);
+  for (const auto& [pr, w] : coupling) {
+    weight_total[static_cast<std::size_t>(pr.first)] += w;
+    weight_total[static_cast<std::size_t>(pr.second)] += w;
+  }
+  auto pair_w = [&](int a, int b) {
+    if (a > b) std::swap(a, b);
+    const auto it = coupling.find({a, b});
+    return it == coupling.end() ? 0 : it->second;
+  };
+  std::vector<char> placed(static_cast<std::size_t>(n), 0);
+  std::vector<int> order;
+  auto better = [&](int cand, int best, int w_cand, int w_best) {
+    if (w_cand != w_best) return w_cand > w_best;
+    const std::size_t lc = runs[static_cast<std::size_t>(cand)].ffs.size();
+    const std::size_t lb = runs[static_cast<std::size_t>(best)].ffs.size();
+    if (lc != lb) return lc > lb;
+    return cand < best;
+  };
+  int seed = 0;
+  for (int i = 1; i < n; ++i) {
+    if (better(i, seed, weight_total[static_cast<std::size_t>(i)],
+               weight_total[static_cast<std::size_t>(seed)])) {
+      seed = i;
+    }
+  }
+  order.push_back(seed);
+  placed[static_cast<std::size_t>(seed)] = 1;
+  while (static_cast<int>(order.size()) < n) {
+    const int tail = order.back();
+    int best = -1, best_w = -1;
+    for (int i = 0; i < n; ++i) {
+      if (placed[static_cast<std::size_t>(i)]) continue;
+      const int w = pair_w(tail, i);
+      if (best < 0 || better(i, best, w, best_w)) {
+        best = i;
+        best_w = w;
+      }
+    }
+    order.push_back(best);
+    placed[static_cast<std::size_t>(best)] = 1;
+  }
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    stats.moved += (order[i] != static_cast<int>(i));
+  }
+
+  // Distribute the ordered runs over the same number of chains, keeping the
+  // order contiguous so coupled runs stay adjacent.
+  const std::size_t nc = design.chains.size();
+  std::size_t total_ffs = 0;
+  for (const Run& r : runs) total_ffs += r.ffs.size();
+  const std::size_t target = (total_ffs + nc - 1) / nc;
+
+  ScanDesign out;
+  out.scan_mode = design.scan_mode;
+  out.pi_constraints = design.pi_constraints;
+  out.test_points = design.test_points;
+  out.scan_muxes = design.scan_muxes;
+
+  // Old scan-outs lose their PO marking (re-marked below as needed).
+  for (const ScanChain& c : design.chains) {
+    if (!c.ffs.empty()) nl.unmark_output(c.scan_out());
+  }
+
+  std::size_t oi = 0;
+  for (std::size_t c = 0; c < nc; ++c) {
+    ScanChain chain;
+    chain.scan_in = design.chains[c].scan_in;
+    NodeId prev = chain.scan_in;
+    std::size_t filled = 0;
+    while (oi < order.size() &&
+           (filled == 0 || filled + runs[static_cast<std::size_t>(
+                                       order[oi])].ffs.size() / 2 <= target)) {
+      Run& r = runs[static_cast<std::size_t>(order[oi++])];
+      // Rewire the run's head mux shift pin to the new predecessor.
+      nl.set_fanin(r.head_mux, 2, prev);
+      r.segments[0].from = prev;
+      for (std::size_t k = 0; k < r.ffs.size(); ++k) {
+        chain.segments.push_back(r.segments[k]);
+        chain.ffs.push_back(r.ffs[k]);
+      }
+      prev = r.ffs.back();
+      filled += r.ffs.size();
+      if (filled >= target) break;
+    }
+    if (!chain.ffs.empty()) {
+      nl.mark_output(chain.scan_out());
+      out.chains.push_back(std::move(chain));
+    }
+  }
+  // Leftovers (rounding): append to the last chain.
+  while (oi < order.size()) {
+    ScanChain& chain = out.chains.back();
+    Run& r = runs[static_cast<std::size_t>(order[oi++])];
+    nl.unmark_output(chain.scan_out());
+    nl.set_fanin(r.head_mux, 2, chain.scan_out());
+    r.segments[0].from = chain.scan_out();
+    for (std::size_t k = 0; k < r.ffs.size(); ++k) {
+      chain.segments.push_back(r.segments[k]);
+      chain.ffs.push_back(r.ffs[k]);
+    }
+    nl.mark_output(chain.scan_out());
+  }
+
+  {
+    const auto run_of = build_run_of(out, runs);
+    stats.mean_spread_after = spread_and_coupling(nl, out, run_of, nullptr);
+  }
+  if (stats_out) *stats_out = stats;
+  return out;
+}
+
+}  // namespace fsct

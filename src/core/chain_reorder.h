@@ -1,0 +1,35 @@
+// Chain-order optimisation.  The paper observes that "different orderings
+// will lead to faults affecting the scan chain in different locations, and
+// thus potentially increasing or decreasing the fault coverage", and leaves
+// the flexibility to the designer.  This module is that designer knob:
+//
+// Functional links pin the relative order inside a *run* of flip-flops, but
+// runs are stitched together with dedicated scan muxes whose shift input can
+// be rewired freely.  reorder_chains() classifies the fault population,
+// measures which run pairs are co-affected by multi-location faults, and
+// re-stitches the runs so co-affected runs sit close together — shrinking
+// those faults' location windows, which gives step 3 more controllability/
+// observability per reduced circuit model.
+#pragma once
+
+#include "netlist/netlist.h"
+#include "scan/scan_chain.h"
+#include "scan/scan_chain.h"
+
+namespace fsct {
+
+struct ReorderStats {
+  int runs = 0;                  ///< stitchable units found
+  int moved = 0;                 ///< runs placed somewhere new
+  double mean_spread_before = 0; ///< mean multi-location fault window spread
+  double mean_spread_after = 0;
+};
+
+/// Rewires the dedicated mux links of `design` on `nl` (mutating both) so
+/// co-affected runs are adjacent.  Chain count and membership per chain may
+/// change (lengths stay balanced); functional links are never touched, so
+/// the TPI shift invariant is preserved.  Returns the updated design.
+ScanDesign reorder_chains(Netlist& nl, const ScanDesign& design,
+                          ReorderStats* stats_out = nullptr);
+
+}  // namespace fsct

@@ -1,0 +1,62 @@
+// Section 3 of the paper: find the faults that affect the functional scan
+// chain, by forward implication of each fault on the scan-mode circuit model,
+// and sort them into the three categories:
+//   1 (Easy)         — some chain net becomes a binary constant; the
+//                      alternating flush sequence will catch it,
+//   2 (Hard)         — some forced side input becomes unknown (or, beyond
+//                      the paper's model, changes polarity on an XOR/MUX
+//                      path gate); needs dedicated tests,
+//   3 (NotAffecting) — the chain is untouched.
+// Category 2 takes priority: a fault is Easy only when the *last* location
+// it reaches on some chain is a pure category-1 event (a stuck capture at the
+// last location is guaranteed to reach the scan-out).
+#pragma once
+
+#include <vector>
+
+#include "fault/fault.h"
+#include "scan/scan_mode_model.h"
+
+namespace fsct {
+
+enum class ChainFaultCategory : std::uint8_t {
+  NotAffecting,  ///< paper's category 3
+  Easy,          ///< paper's category 1
+  Hard,          ///< paper's category 2
+};
+
+/// Classification result for one fault.
+struct ChainFaultInfo {
+  ChainFaultCategory category = ChainFaultCategory::NotAffecting;
+  /// Every chain location the fault reaches (sorted, deduped).
+  std::vector<ChainLocation> locations;
+  /// True if more than one chain is affected.
+  bool multi_chain = false;
+};
+
+/// Forward-implication classifier.  Reusable across faults; not thread-safe.
+class ChainFaultClassifier {
+ public:
+  explicit ChainFaultClassifier(const ScanModeModel& model);
+
+  ChainFaultInfo classify(const Fault& f);
+
+  /// Convenience: classify a whole list.
+  std::vector<ChainFaultInfo> classify_all(std::span<const Fault> faults);
+
+ private:
+  void touch(NodeId id, Val v);
+
+  const ScanModeModel& model_;
+  const Levelizer& lv_;
+  std::vector<Val> cur_;           // faulty values (dirty-restored)
+  std::vector<NodeId> dirty_;
+  std::vector<char> in_dirty_;
+  std::vector<char> queued_;
+  std::vector<int> eval_count_;    // oscillation guard across DFF loops
+  std::vector<NodeId> worklist_;
+  std::vector<std::pair<int, int>> ff_pos_;  // dff order -> (chain, pos)
+  std::vector<int> dff_index_;               // node id -> dff order, -1
+};
+
+}  // namespace fsct

@@ -1,0 +1,133 @@
+#include "core/grouping.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace fsct {
+
+DistanceParams DistanceParams::from_maxsize(std::size_t maxsize) {
+  DistanceParams p;
+  p.large_dist = std::max<int>(static_cast<int>(0.6 * static_cast<double>(maxsize)), 50);
+  p.med_dist = std::max<int>(static_cast<int>(0.25 * static_cast<double>(maxsize)), 25);
+  p.dist = std::max<int>(static_cast<int>(0.15 * static_cast<double>(maxsize)), 20);
+  return p;
+}
+
+FaultWindow make_fault_window(std::size_t fault_index,
+                              const ChainFaultInfo& info) {
+  FaultWindow w;
+  w.fault_index = fault_index;
+  for (const ChainLocation& loc : info.locations) {
+    bool merged = false;
+    for (ChainWindow& cw : w.chains) {
+      if (cw.chain == loc.chain) {
+        cw.min_seg = std::min(cw.min_seg, loc.segment);
+        cw.max_seg = std::max(cw.max_seg, loc.segment);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) w.chains.push_back({loc.chain, loc.segment, loc.segment});
+  }
+  return w;
+}
+
+namespace {
+
+// True if `f`'s windows all fit inside `host`'s windows (same chains only).
+bool fits_inside(const FaultWindow& f, const std::vector<ChainWindow>& host) {
+  for (const ChainWindow& fw : f.chains) {
+    bool ok = false;
+    for (const ChainWindow& hw : host) {
+      if (hw.chain == fw.chain && fw.min_seg >= hw.min_seg &&
+          fw.max_seg <= hw.max_seg) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<AtpgGroup> make_groups(const std::vector<FaultWindow>& faults,
+                                   const DistanceParams& p) {
+  std::vector<AtpgGroup> groups;
+  std::vector<char> taken(faults.size(), 0);
+
+  // Group 1: multi-chain faults and very wide spans — one circuit each.
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const FaultWindow& f = faults[i];
+    if (f.multi_chain() || f.spread() >= p.large_dist) {
+      AtpgGroup g;
+      g.kind = 1;
+      g.fault_indices = {f.fault_index};
+      g.window = f.chains;
+      groups.push_back(std::move(g));
+      taken[i] = 1;
+    }
+  }
+
+  // Group 2: medium spans — the seed's circuit absorbs compatible faults.
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (taken[i]) continue;
+    const FaultWindow& f = faults[i];
+    if (f.chains.size() != 1 || f.spread() < p.med_dist) continue;
+    AtpgGroup g;
+    g.kind = 2;
+    g.window = f.chains;
+    g.fault_indices.push_back(f.fault_index);
+    taken[i] = 1;
+    for (std::size_t j = 0; j < faults.size(); ++j) {
+      if (taken[j]) continue;
+      if (fits_inside(faults[j], g.window)) {
+        g.fault_indices.push_back(faults[j].fault_index);
+        taken[j] = 1;
+      }
+    }
+    groups.push_back(std::move(g));
+  }
+
+  // Group 3: cluster the narrow faults per chain, window span <= DIST.
+  std::vector<std::size_t> rest;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (!taken[i]) rest.push_back(i);
+  }
+  std::sort(rest.begin(), rest.end(), [&](std::size_t a, std::size_t b) {
+    const ChainWindow& wa = faults[a].chains.front();
+    const ChainWindow& wb = faults[b].chains.front();
+    return std::tie(wa.chain, wa.min_seg, wa.max_seg, faults[a].fault_index) <
+           std::tie(wb.chain, wb.min_seg, wb.max_seg, faults[b].fault_index);
+  });
+  AtpgGroup cur;
+  cur.kind = 3;
+  auto flush = [&] {
+    if (!cur.fault_indices.empty()) groups.push_back(std::move(cur));
+    cur = AtpgGroup{};
+    cur.kind = 3;
+  };
+  for (std::size_t i : rest) {
+    const ChainWindow& w = faults[i].chains.front();
+    if (cur.fault_indices.empty()) {
+      cur.window = {w};
+    } else {
+      ChainWindow& cw = cur.window.front();
+      const int new_min = std::min(cw.min_seg, w.min_seg);
+      const int new_max = std::max(cw.max_seg, w.max_seg);
+      if (cw.chain != w.chain || new_max - new_min > p.dist) {
+        flush();
+        cur.window = {w};
+      } else {
+        cw.min_seg = new_min;
+        cw.max_seg = new_max;
+      }
+    }
+    cur.fault_indices.push_back(faults[i].fault_index);
+  }
+  flush();
+  return groups;
+}
+
+}  // namespace fsct

@@ -1,0 +1,72 @@
+// Section 5 of the paper: partition the remaining faults into sequential-ATPG
+// groups so that each group shares one enhanced-controllability/observability
+// circuit model, minimising the number of sequential ATPG runs.
+//
+//   group 1 — faults whose affected locations span >= LARGE_DIST (little
+//             extra ctrl/obs is available) and faults touching more than one
+//             chain: each gets its own maximally controllable/observable
+//             circuit.
+//   group 2 — span in [MED_DIST, LARGE_DIST): the circuit built for the seed
+//             fault also hosts every other fault fitting inside its window.
+//   group 3 — everything else, clustered greedily so each cluster's combined
+//             window spans <= DIST.
+#pragma once
+
+#include <vector>
+
+#include "core/classify.h"
+
+namespace fsct {
+
+/// The paper's user parameters (experimental section defaults).
+struct DistanceParams {
+  int large_dist = 50;
+  int med_dist = 25;
+  int dist = 20;
+
+  /// LARGE_DIST = max(0.6*maxsize, 50), MED_DIST = max(0.25*maxsize, 25),
+  /// DIST = max(0.15*maxsize, 20).
+  static DistanceParams from_maxsize(std::size_t maxsize);
+};
+
+/// Per-chain affected window of one fault.
+struct ChainWindow {
+  int chain = -1;
+  int min_seg = 0;  ///< first affected location
+  int max_seg = 0;  ///< last affected location
+  friend bool operator==(const ChainWindow&, const ChainWindow&) = default;
+};
+
+/// Location summary used for grouping (derived from ChainFaultInfo).
+struct FaultWindow {
+  std::size_t fault_index = 0;  ///< caller-side index (into f_remaining)
+  std::vector<ChainWindow> chains;
+
+  bool multi_chain() const { return chains.size() > 1; }
+  int spread() const {
+    int s = 0;
+    for (const ChainWindow& w : chains) {
+      s = std::max(s, w.max_seg - w.min_seg);
+    }
+    return s;
+  }
+};
+
+FaultWindow make_fault_window(std::size_t fault_index,
+                              const ChainFaultInfo& info);
+
+/// One sequential-ATPG circuit model to build: all member faults are targeted
+/// on the same reduced circuit.
+struct AtpgGroup {
+  int kind = 3;  ///< paper group number (1, 2 or 3)
+  std::vector<std::size_t> fault_indices;
+  /// Combined window per affected chain; flip-flops before min_seg are
+  /// controllable, at/after max_seg observable; unaffected chains fully both.
+  std::vector<ChainWindow> window;
+};
+
+/// Implements the paper's grouping policy.
+std::vector<AtpgGroup> make_groups(const std::vector<FaultWindow>& faults,
+                                   const DistanceParams& p);
+
+}  // namespace fsct

@@ -1,0 +1,340 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <random>
+
+#include "fault/comb_fault_sim.h"
+
+namespace fsct {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+PipelineResult run_fsct_pipeline(const ScanModeModel& model,
+                                 std::span<const Fault> faults,
+                                 const PipelineOptions& opt) {
+  const Levelizer& lv = model.levelizer();
+  const Netlist& nl = lv.netlist();
+  PipelineResult res;
+  res.total_faults = faults.size();
+  res.outcome.assign(faults.size(), FaultOutcome::NotAffecting);
+
+  const std::size_t maxlen = model.max_chain_length();
+  const DistanceParams dist =
+      opt.auto_dist ? DistanceParams::from_maxsize(maxlen) : opt.dist;
+  const std::size_t observe_cycles =
+      opt.observe_cycles ? opt.observe_cycles : maxlen + 2;
+
+  // ---- step 0: classification ---------------------------------------------
+  auto t0 = std::chrono::steady_clock::now();
+  {
+    ChainFaultClassifier cls(model);
+    res.info = cls.classify_all(faults);
+  }
+  std::vector<std::size_t> hard_idx;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    switch (res.info[i].category) {
+      case ChainFaultCategory::Easy:
+        res.outcome[i] = FaultOutcome::EasyAlternating;
+        ++res.easy;
+        break;
+      case ChainFaultCategory::Hard:
+        res.outcome[i] = FaultOutcome::Undetected;  // until proven otherwise
+        hard_idx.push_back(i);
+        ++res.hard;
+        break;
+      default:
+        break;
+    }
+  }
+  res.classify_seconds = seconds_since(t0);
+
+  std::vector<NodeId> observe = nl.outputs();
+  for (NodeId so : model.scan_outs()) {
+    if (std::find(observe.begin(), observe.end(), so) == observe.end()) {
+      observe.push_back(so);
+    }
+  }
+  ScanSequenceBuilder sb(nl, model.design());
+
+  // ---- step 1: alternating flush (optional verification) -------------------
+  if (opt.verify_easy && res.easy > 0) {
+    t0 = std::chrono::steady_clock::now();
+    const std::size_t cycles = opt.alternating_cycles
+                                   ? opt.alternating_cycles
+                                   : 2 * maxlen + 8;
+    std::vector<Fault> easy_faults;
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (res.info[i].category == ChainFaultCategory::Easy) {
+        easy_faults.push_back(faults[i]);
+      }
+    }
+    SeqFaultSim sim(lv, observe);
+    const SeqFaultSimResult r = sim.run(sb.alternating(cycles), easy_faults);
+    res.easy_verified = r.num_detected();
+    res.alternating_seconds = seconds_since(t0);
+  }
+
+  // ---- step 2: combinational ATPG + sequential fault simulation ------------
+  t0 = std::chrono::steady_clock::now();
+  std::vector<ScanVector>& vectors = res.vectors;
+  std::vector<char> comb_covered(faults.size(), 0);  // PPSFP-screened
+
+  if (!hard_idx.empty()) {
+    UnrollSpec cspec;
+    cspec.base = &nl;
+    cspec.frames = 1;
+    cspec.fixed_pis = model.design().pi_constraints;
+    // Only scanned flip-flops are load/observe-able through the chains; in a
+    // partial-scan design the rest stay uncontrolled (X) and unobserved.
+    cspec.controllable_state.assign(nl.dffs().size(), 0);
+    cspec.observable_ff.assign(nl.dffs().size(), 0);
+    {
+      std::vector<char> on_chain(nl.size(), 0);
+      for (const ScanChain& c : model.design().chains) {
+        for (NodeId ff : c.ffs) on_chain[ff] = 1;
+      }
+      for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
+        cspec.controllable_state[i] = on_chain[nl.dffs()[i]];
+        cspec.observable_ff[i] = on_chain[nl.dffs()[i]];
+      }
+    }
+    cspec.observe_pos = true;
+    UnrolledModel cm = unroll(cspec);
+    Levelizer clv(cm.nl);
+    AtpgOptions aopt;
+    aopt.backtrack_limit = opt.comb_backtrack_limit;
+    aopt.time_limit_ms = opt.comb_time_limit_ms;
+    Podem podem(clv, cm.controllable, cm.observe, aopt);
+
+    std::vector<NodeId> comb_observe = nl.outputs();
+    for (NodeId ff : nl.dffs()) comb_observe.push_back(ff);
+    CombFaultSim ppsfp(lv, comb_observe);
+
+    const std::vector<Val> base_pi = sb.base_vector(Val::Zero);
+
+    // Random-pattern warm-up: cheap coverage of the easy majority of f_hard
+    // so deterministic PODEM only sees the stubborn tail.
+    if (opt.random_patterns > 0) {
+      std::mt19937_64 rng(0xf5c7);
+      std::vector<Fault> open;
+      std::vector<std::size_t> open_idx;
+      for (std::size_t j : hard_idx) {
+        open.push_back(faults[j]);
+        open_idx.push_back(j);
+      }
+      std::vector<CombPattern> pats(
+          static_cast<std::size_t>(opt.random_patterns));
+      for (auto& pat : pats) {
+        pat = base_pi;
+        for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+          if (!model.design().is_constrained(nl.inputs()[i])) {
+            pat[i] = (rng() & 1) ? Val::One : Val::Zero;
+          }
+        }
+        pat.resize(nl.inputs().size() + nl.dffs().size());
+        for (std::size_t i = nl.inputs().size(); i < pat.size(); ++i) {
+          pat[i] = (rng() & 1) ? Val::One : Val::Zero;
+        }
+      }
+      const CombFaultSimResult fr = ppsfp.run(pats, open);
+      std::vector<char> pattern_useful(pats.size(), 0);
+      for (std::size_t k = 0; k < open.size(); ++k) {
+        if (fr.detect_pattern[k] >= 0) {
+          comb_covered[open_idx[k]] = 1;
+          pattern_useful[static_cast<std::size_t>(fr.detect_pattern[k])] = 1;
+        }
+      }
+      for (std::size_t pi = 0; pi < pats.size(); ++pi) {
+        if (!pattern_useful[pi]) continue;
+        ScanVector v;
+        v.pi_vals.assign(pats[pi].begin(),
+                         pats[pi].begin() +
+                             static_cast<std::ptrdiff_t>(nl.inputs().size()));
+        v.ff_state.assign(pats[pi].begin() +
+                              static_cast<std::ptrdiff_t>(nl.inputs().size()),
+                          pats[pi].end());
+        vectors.push_back(std::move(v));
+      }
+    }
+
+    for (std::size_t idx : hard_idx) {
+      if (comb_covered[idx]) continue;
+      const AtpgResult r = podem.generate(cm.map_fault(faults[idx]));
+      if (r.status == AtpgStatus::Untestable) {
+        res.outcome[idx] = FaultOutcome::Undetectable;
+        ++res.s2_undetectable;
+        continue;
+      }
+      if (r.status != AtpgStatus::Detected) continue;  // aborted: to step 3
+      ScanVector v;
+      v.pi_vals = base_pi;
+      v.ff_state.assign(nl.dffs().size(), Val::Zero);
+      for (auto [node, val] : r.assignment) {
+        for (std::size_t i = 0; i < cm.init_state.size(); ++i) {
+          if (cm.init_state[i] == node) v.ff_state[i] = val;
+        }
+        const auto& fpi = cm.frame_pi[0];
+        for (std::size_t i = 0; i < fpi.size(); ++i) {
+          if (fpi[i] == node) v.pi_vals[i] = val;
+        }
+      }
+      // Screen the new vector against all still-open hard faults (PPSFP) so
+      // most faults never reach PODEM.
+      std::vector<Fault> open;
+      std::vector<std::size_t> open_idx;
+      for (std::size_t j : hard_idx) {
+        if (!comb_covered[j] &&
+            res.outcome[j] == FaultOutcome::Undetected) {
+          open.push_back(faults[j]);
+          open_idx.push_back(j);
+        }
+      }
+      CombPattern pat = v.pi_vals;
+      pat.insert(pat.end(), v.ff_state.begin(), v.ff_state.end());
+      const CombFaultSimResult fr = ppsfp.run(std::span(&pat, 1), open);
+      for (std::size_t k = 0; k < open.size(); ++k) {
+        if (fr.detect_pattern[k] >= 0) comb_covered[open_idx[k]] = 1;
+      }
+      vectors.push_back(std::move(v));
+    }
+    res.s2_vectors = vectors.size();
+
+    // Sequential verification: the converting chain may be broken by the very
+    // fault under test, so detection only counts after sequential fault
+    // simulation of the full scan sequence (also yields the Figure 5 curve).
+    SeqFaultSim ssim(lv, observe);
+    for (const ScanVector& v : vectors) {
+      std::vector<Fault> open;
+      std::vector<std::size_t> open_idx;
+      for (std::size_t j : hard_idx) {
+        if (res.outcome[j] == FaultOutcome::Undetected) {
+          open.push_back(faults[j]);
+          open_idx.push_back(j);
+        }
+      }
+      if (!open.empty()) {
+        const TestSequence seq =
+            sb.apply_comb_vector(v.ff_state, v.pi_vals, observe_cycles);
+        const SeqFaultSimResult r = ssim.run(seq, open);
+        for (std::size_t k = 0; k < open.size(); ++k) {
+          if (r.detect_cycle[k] >= 0) {
+            res.outcome[open_idx[k]] = FaultOutcome::DetectedComb;
+            ++res.s2_detected;
+          }
+        }
+      }
+      res.detection_curve.push_back(res.s2_detected);
+    }
+  }
+  res.s2_undetected = res.hard - res.s2_detected - res.s2_undetectable;
+  res.s2_seconds = seconds_since(t0);
+
+  // ---- step 3: grouped sequential ATPG on reduced circuits -----------------
+  t0 = std::chrono::steady_clock::now();
+  std::vector<std::size_t> remaining;
+  for (std::size_t j : hard_idx) {
+    if (res.outcome[j] == FaultOutcome::Undetected) remaining.push_back(j);
+  }
+
+  SeqFaultSim s3sim(lv, observe);
+  // Realises an in-model detection and (optionally) verifies it end to end.
+  // Returns true when the detection stands.
+  auto accept_s3_detection = [&](const ReducedCircuitBuilder& bld,
+                                 const ReducedModel& rm, const AtpgResult& ar,
+                                 std::size_t fault_idx) {
+    const SeqTest t = bld.extract_test(rm, ar);
+    TestSequence seq = bld.realize(t, maxlen + 2);
+    if (opt.verify_seq) {
+      const Fault one[1] = {faults[fault_idx]};
+      if (s3sim.run_serial(seq, one).detect_cycle[0] < 0) {
+        ++res.s3_unverified;
+        return false;
+      }
+    }
+    res.s3_sequences.push_back(std::move(seq));
+    res.s3_sequence_fault.push_back(fault_idx);
+    return true;
+  };
+
+  ReducedModelOptions ropt;
+  ropt.frame_slack = opt.frame_slack;
+  ropt.frame_cap = opt.frame_cap;
+  ropt.observe_pos = opt.observe_pos;
+  ropt.atpg.backtrack_limit = opt.seq_backtrack_limit;
+  ropt.atpg.time_limit_ms = opt.seq_time_limit_ms;
+  ReducedCircuitBuilder builder(model, ropt);
+
+  if (!remaining.empty()) {
+    std::vector<FaultWindow> windows;
+    windows.reserve(remaining.size());
+    for (std::size_t j : remaining) {
+      windows.push_back(make_fault_window(j, res.info[j]));
+    }
+    const std::vector<AtpgGroup> groups = make_groups(windows, dist);
+    for (const AtpgGroup& g : groups) {
+      std::vector<Fault> gf;
+      for (std::size_t j : g.fault_indices) gf.push_back(faults[j]);
+      const ReducedModel rm = builder.build(g, gf);
+      ++res.s3_circuits_group;
+      for (std::size_t j : g.fault_indices) {
+        const auto sites = rm.um.map_fault(faults[j]);
+        if (sites.empty()) continue;  // pruned away: retried in final pass
+        const AtpgResult r = rm.podem->generate(sites);
+        if (r.status == AtpgStatus::Detected &&
+            accept_s3_detection(builder, rm, r, j)) {
+          res.outcome[j] = FaultOutcome::DetectedSeq;
+          ++res.s3_detected;
+        }
+        // Untestable in a *shared* window is not conclusive for absorbed
+        // faults (they may have more ctrl/obs alone): final pass decides.
+      }
+    }
+  }
+
+  // Final faults: individual maximal-window models, bigger budget.
+  ReducedModelOptions fopt = ropt;
+  fopt.atpg.backtrack_limit = opt.final_backtrack_limit;
+  fopt.atpg.time_limit_ms = opt.final_time_limit_ms;
+  ReducedCircuitBuilder final_builder(model, fopt);
+  for (std::size_t j : remaining) {
+    if (res.outcome[j] != FaultOutcome::Undetected) continue;
+    AtpgGroup g;
+    g.kind = 1;
+    g.fault_indices = {j};
+    g.window = make_fault_window(j, res.info[j]).chains;
+    const Fault f = faults[j];
+    const ReducedModel rm =
+        final_builder.build(g, std::span(&f, 1), opt.final_extra_frames);
+    ++res.s3_circuits_final;
+    const auto sites = rm.um.map_fault(f);
+    if (sites.empty()) {
+      ++res.s3_undetected;
+      continue;
+    }
+    const AtpgResult r = rm.podem->generate(sites);
+    if (r.status == AtpgStatus::Detected) {
+      if (accept_s3_detection(final_builder, rm, r, j)) {
+        res.outcome[j] = FaultOutcome::DetectedFinal;
+        ++res.s3_detected;
+      } else {
+        ++res.s3_undetected;  // in-model only; does not reproduce on silicon
+      }
+    } else if (r.status == AtpgStatus::Untestable) {
+      res.outcome[j] = FaultOutcome::Undetectable;
+      ++res.s3_undetectable;
+    } else {
+      ++res.s3_undetected;
+    }
+  }
+  res.s3_seconds = seconds_since(t0);
+  return res;
+}
+
+}  // namespace fsct

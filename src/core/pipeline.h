@@ -1,0 +1,133 @@
+// The full functional-scan-chain-testing flow (sections 2–5):
+//
+//   step 0  classify every collapsed fault on the scan-mode model
+//           (f_easy = category 1, f_hard = category 2),
+//   step 1  the alternating flush sequence (detects f_easy; we optionally
+//           *verify* that by sequential fault simulation instead of assuming
+//           it, unlike the paper),
+//   step 2  combinational ATPG on the scan-mode model for f_hard, converted
+//           to scan sequences and re-verified by sequential fault simulation
+//           (the converting chain may itself be broken by the target fault),
+//   step 3  location-aware grouping + sequential ATPG on reduced
+//           enhanced-ctrl/obs circuit models; leftover faults retried
+//           individually with a larger budget (f_final).
+//
+// The result carries everything Tables 2 and 3 and Figure 5 report.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/classify.h"
+#include "core/grouping.h"
+#include "core/reduced_atpg.h"
+#include "fault/seq_fault_sim.h"
+#include "scan/scan_mode_model.h"
+
+namespace fsct {
+
+struct PipelineOptions {
+  /// Distance parameters; when auto_dist is true they are derived from the
+  /// longest chain as in the paper's experiments.
+  DistanceParams dist;
+  bool auto_dist = true;
+
+  int comb_backtrack_limit = 1500;
+  int seq_backtrack_limit = 3000;
+  int final_backtrack_limit = 12000;
+  /// Wall-clock budgets per ATPG call (0 = unlimited) — the role the CPU
+  /// limit played for the paper's stg3 runs.
+  int comb_time_limit_ms = 250;
+  int seq_time_limit_ms = 1000;
+  int final_time_limit_ms = 3000;
+  /// Random scan-mode patterns fault-simulated before any deterministic ATPG
+  /// (classic RPG warm-up; keeps PODEM for the stubborn tail).  0 disables.
+  int random_patterns = 96;
+  int frame_slack = 4;
+  int frame_cap = 96;
+  int final_extra_frames = 8;
+  bool observe_pos = true;
+
+  /// Sequentially fault-simulate the alternating sequence against f_easy and
+  /// report how many it really detects (the paper assumes all).
+  bool verify_easy = false;
+  /// End-to-end-check every step-3 "detected" verdict: realise the extracted
+  /// sequential test on the real circuit and fault-simulate it; tests that do
+  /// not reproduce the detection are not counted (honest accounting the
+  /// paper's in-model ATPG cannot give).  Also fills s3_sequences.
+  bool verify_seq = true;
+  /// Cycles of alternating flush; 0 = auto (2*maxlen + 8).
+  std::size_t alternating_cycles = 0;
+  /// Extra shift-out cycles appended to each converted step-2 vector;
+  /// 0 = auto (maxlen + 2).
+  std::size_t observe_cycles = 0;
+};
+
+/// One scan-mode test vector of the step-2 set: free-PI values plus the
+/// flip-flop state to shift in (both fully specified, binary).
+struct ScanVector {
+  std::vector<Val> pi_vals;   ///< all PIs, netlist inputs() order
+  std::vector<Val> ff_state;  ///< all FFs, netlist dffs() order
+};
+
+/// Per-fault final status.
+enum class FaultOutcome : std::uint8_t {
+  NotAffecting,        ///< category 3: never targeted
+  EasyAlternating,     ///< category 1: covered by the alternating sequence
+  DetectedComb,        ///< step 2: detected (sequentially verified)
+  DetectedSeq,         ///< step 3: detected by grouped sequential ATPG
+  DetectedFinal,       ///< step 3: detected in the final individual pass
+  Undetectable,        ///< proven untestable in scan mode
+  Undetected,          ///< given up (aborted)
+};
+
+struct PipelineResult {
+  // Classification (Table 2).
+  std::size_t total_faults = 0;
+  std::size_t easy = 0;   ///< #faults detectable by the alternating sequence
+  std::size_t hard = 0;   ///< #faults needing dedicated tests
+  double classify_seconds = 0;
+
+  // Step 1 verification (optional).
+  std::size_t easy_verified = 0;   ///< of `easy`, confirmed by simulation
+  double alternating_seconds = 0;
+
+  // Step 2 (Table 3 left half).
+  std::size_t s2_detected = 0;
+  std::size_t s2_undetectable = 0;
+  std::size_t s2_undetected = 0;  ///< |f_remaining|
+  std::size_t s2_vectors = 0;     ///< combinational vectors generated
+  std::vector<ScanVector> vectors;  ///< the step-2 test set itself
+  double s2_seconds = 0;
+  /// Figure 5: cumulative faults detected after sequentially simulating the
+  /// first k vectors; one entry per vector.
+  std::vector<std::size_t> detection_curve;
+
+  // Step 3 (Table 3 right half).
+  std::size_t s3_circuits_group = 0;  ///< models built for groups 1-3
+  std::size_t s3_circuits_final = 0;  ///< models built for f_final
+  std::size_t s3_detected = 0;
+  std::size_t s3_undetectable = 0;
+  std::size_t s3_undetected = 0;
+  /// In-model detections whose realised test failed end-to-end verification
+  /// (only populated when verify_seq; such faults count as undetected).
+  std::size_t s3_unverified = 0;
+  double s3_seconds = 0;
+  /// The realised (verified) step-3 test sequences, one per fault detected
+  /// in step 3, aligned with s3_sequence_fault (indices into `outcome`).
+  std::vector<TestSequence> s3_sequences;
+  std::vector<std::size_t> s3_sequence_fault;
+
+  std::vector<FaultOutcome> outcome;     ///< per collapsed fault
+  std::vector<ChainFaultInfo> info;      ///< per collapsed fault
+
+  std::size_t affecting() const { return easy + hard; }
+  std::size_t final_undetected() const { return s3_undetected; }
+};
+
+/// Runs the whole flow.  `lv`/`model` must be built on the post-TPI netlist.
+PipelineResult run_fsct_pipeline(const ScanModeModel& model,
+                                 std::span<const Fault> faults,
+                                 const PipelineOptions& opt = {});
+
+}  // namespace fsct

@@ -1,0 +1,113 @@
+#include "core/report.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace fsct {
+namespace {
+
+std::string pct(std::size_t part, std::size_t whole) {
+  char buf[32];
+  const double p = whole ? 100.0 * static_cast<double>(part) /
+                               static_cast<double>(whole)
+                         : 0.0;
+  std::snprintf(buf, sizeof buf, "(%.1f%%)", p);
+  return buf;
+}
+
+std::string secs(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2fs", s);
+  return buf;
+}
+
+void row(std::ostream& os, std::initializer_list<std::string> cells,
+         std::initializer_list<int> widths) {
+  auto w = widths.begin();
+  for (const std::string& c : cells) {
+    const int width = (w != widths.end()) ? *w++ : 10;
+    os << c;
+    for (int i = static_cast<int>(c.size()); i < width; ++i) os << ' ';
+    os << ' ';
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+void print_table1_header(std::ostream& os) {
+  row(os, {"name", "#gates", "#FFs", "#faults", "#chains"},
+      {10, 8, 6, 8, 7});
+}
+
+void print_table1_row(std::ostream& os, const Table1Row& r) {
+  row(os,
+      {r.name, std::to_string(r.gates), std::to_string(r.ffs),
+       std::to_string(r.faults), std::to_string(r.chains)},
+      {10, 8, 6, 8, 7});
+}
+
+void print_table2_header(std::ostream& os) {
+  row(os, {"name", "#easy", "", "#hard", "", "CPU"},
+      {10, 8, 8, 8, 8, 10});
+}
+
+void print_table2_row(std::ostream& os, const Table2Row& r) {
+  row(os,
+      {r.name, std::to_string(r.easy), pct(r.easy, r.total_faults),
+       std::to_string(r.hard), pct(r.hard, r.total_faults), secs(r.seconds)},
+      {10, 8, 8, 8, 8, 10});
+}
+
+void print_table2_total(std::ostream& os, const Table2Row& total) {
+  print_table2_row(os, total);
+}
+
+void print_table3_header(std::ostream& os) {
+  row(os,
+      {"name", "#det", "#undetectable", "#undetected", "CPU", "#circ",
+       "#det", "#undetectable", "#undetected", "CPU"},
+      {10, 7, 13, 11, 9, 9, 7, 13, 11, 9});
+}
+
+void print_table3_row(std::ostream& os, const Table3Row& r) {
+  row(os,
+      {r.name, std::to_string(r.s2_det), std::to_string(r.s2_undetectable),
+       std::to_string(r.s2_undetected), secs(r.s2_seconds),
+       std::to_string(r.circ_group) + "," + std::to_string(r.circ_final),
+       std::to_string(r.s3_det), std::to_string(r.s3_undetectable),
+       std::to_string(r.s3_undetected), secs(r.s3_seconds)},
+      {10, 7, 13, 11, 9, 9, 7, 13, 11, 9});
+}
+
+void print_table3_total(std::ostream& os, const Table3Row& total) {
+  print_table3_row(os, total);
+}
+
+Table2Row to_table2(const std::string& name, const PipelineResult& r) {
+  Table2Row t;
+  t.name = name;
+  t.total_faults = r.total_faults;
+  t.easy = r.easy;
+  t.hard = r.hard;
+  t.seconds = r.classify_seconds;
+  return t;
+}
+
+Table3Row to_table3(const std::string& name, const PipelineResult& r) {
+  Table3Row t;
+  t.name = name;
+  t.s2_det = r.s2_detected;
+  t.s2_undetectable = r.s2_undetectable;
+  t.s2_undetected = r.s2_undetected;
+  t.s2_seconds = r.s2_seconds;
+  t.circ_group = r.s3_circuits_group;
+  t.circ_final = r.s3_circuits_final;
+  t.s3_det = r.s3_detected;
+  t.s3_undetectable = r.s3_undetectable;
+  t.s3_undetected = r.s3_undetected;
+  t.s3_seconds = r.s3_seconds;
+  return t;
+}
+
+}  // namespace fsct

@@ -1,0 +1,57 @@
+// Text renderers for the paper's tables: one row per circuit, printed in the
+// same column layout the paper uses so bench output can be eyeballed against
+// the published numbers.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/pipeline.h"
+#include "scan/scan_chain.h"
+
+namespace fsct {
+
+/// Table 1 row: name, #gates, #FFs, #faults, #chains.
+struct Table1Row {
+  std::string name;
+  std::size_t gates = 0;
+  std::size_t ffs = 0;
+  std::size_t faults = 0;
+  std::size_t chains = 0;
+};
+
+/// Table 2 row: #easy (%), #hard (%), CPU.
+struct Table2Row {
+  std::string name;
+  std::size_t total_faults = 0;
+  std::size_t easy = 0;
+  std::size_t hard = 0;
+  double seconds = 0;
+};
+
+/// Table 3 row: step-2 and step-3 outcomes.
+struct Table3Row {
+  std::string name;
+  std::size_t s2_det = 0, s2_undetectable = 0, s2_undetected = 0;
+  double s2_seconds = 0;
+  std::size_t circ_group = 0, circ_final = 0;
+  std::size_t s3_det = 0, s3_undetectable = 0, s3_undetected = 0;
+  double s3_seconds = 0;
+};
+
+void print_table1_header(std::ostream& os);
+void print_table1_row(std::ostream& os, const Table1Row& r);
+
+void print_table2_header(std::ostream& os);
+void print_table2_row(std::ostream& os, const Table2Row& r);
+void print_table2_total(std::ostream& os, const Table2Row& total);
+
+void print_table3_header(std::ostream& os);
+void print_table3_row(std::ostream& os, const Table3Row& r);
+void print_table3_total(std::ostream& os, const Table3Row& total);
+
+/// Builds a Table2/3 row pair from a pipeline result.
+Table2Row to_table2(const std::string& name, const PipelineResult& r);
+Table3Row to_table3(const std::string& name, const PipelineResult& r);
+
+}  // namespace fsct

@@ -1,0 +1,231 @@
+#include "core/test_export.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "scan/scan_sequences.h"
+#include "sim/seq_sim.h"
+
+namespace fsct {
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::runtime_error("test program parse error, line " +
+                           std::to_string(line) + ": " + msg);
+}
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::istringstream is(s);
+  std::vector<std::string> out;
+  std::string t;
+  while (is >> t) out.push_back(t);
+  return out;
+}
+
+}  // namespace
+
+TestProgram make_test_program(const ScanModeModel& model,
+                              TestSequence stimulus,
+                              std::vector<NodeId> observe) {
+  const Levelizer& lv = model.levelizer();
+  const Netlist& nl = lv.netlist();
+  if (observe.empty()) {
+    observe = nl.outputs();
+    for (NodeId so : model.scan_outs()) {
+      if (std::find(observe.begin(), observe.end(), so) == observe.end()) {
+        observe.push_back(so);
+      }
+    }
+  }
+  TestProgram p;
+  p.circuit = nl.name();
+  for (NodeId pi : nl.inputs()) p.input_names.push_back(nl.node_name(pi));
+  for (NodeId o : observe) p.observe_names.push_back(nl.node_name(o));
+  p.stimulus = std::move(stimulus);
+
+  SeqSim sim(lv);
+  p.expected.reserve(p.stimulus.size());
+  for (const auto& pi : p.stimulus) {
+    const auto& v = sim.step(pi);
+    std::vector<Val> row;
+    row.reserve(observe.size());
+    for (NodeId o : observe) row.push_back(v[o]);
+    p.expected.push_back(std::move(row));
+  }
+  return p;
+}
+
+void write_test_program(std::ostream& os, const TestProgram& p) {
+  os << "FSCT-TEST 1\n";
+  os << "circuit " << p.circuit << "\n";
+  os << "inputs";
+  for (const auto& n : p.input_names) os << ' ' << n;
+  os << "\nobserve";
+  for (const auto& n : p.observe_names) os << ' ' << n;
+  os << "\ncycles " << p.stimulus.size() << "\n";
+  for (std::size_t t = 0; t < p.stimulus.size(); ++t) {
+    os << "v ";
+    for (Val v : p.stimulus[t]) os << val_char(v);
+    os << " | ";
+    for (Val v : p.expected[t]) os << val_char(v);
+    os << "\n";
+  }
+}
+
+std::string write_test_program_string(const TestProgram& p) {
+  std::ostringstream os;
+  write_test_program(os, p);
+  return os.str();
+}
+
+TestProgram read_test_program(std::istream& is) {
+  TestProgram p;
+  std::string line;
+  int ln = 0;
+
+  auto next = [&]() -> bool {
+    while (std::getline(is, line)) {
+      ++ln;
+      if (auto h = line.find('#'); h != std::string::npos) line.erase(h);
+      if (!split_ws(line).empty()) return true;
+    }
+    return false;
+  };
+
+  if (!next() || split_ws(line) != std::vector<std::string>{"FSCT-TEST", "1"}) {
+    fail(ln, "missing FSCT-TEST 1 header");
+  }
+  std::size_t cycles = 0;
+  bool have_cycles = false;
+  while (!have_cycles) {
+    if (!next()) fail(ln, "unexpected end of header");
+    auto toks = split_ws(line);
+    if (toks[0] == "circuit") {
+      if (toks.size() != 2) fail(ln, "circuit takes one name");
+      p.circuit = toks[1];
+    } else if (toks[0] == "inputs") {
+      p.input_names.assign(toks.begin() + 1, toks.end());
+    } else if (toks[0] == "observe") {
+      p.observe_names.assign(toks.begin() + 1, toks.end());
+    } else if (toks[0] == "cycles") {
+      if (toks.size() != 2) fail(ln, "cycles takes one number");
+      cycles = static_cast<std::size_t>(std::stoul(toks[1]));
+      have_cycles = true;
+    } else {
+      fail(ln, "unknown directive '" + toks[0] + "'");
+    }
+  }
+  for (std::size_t t = 0; t < cycles; ++t) {
+    if (!next()) fail(ln, "missing vector line");
+    const auto toks = split_ws(line);
+    if (toks.size() != 4 || toks[0] != "v" || toks[2] != "|") {
+      fail(ln, "expected 'v <stimulus> | <expected>'");
+    }
+    if (toks[1].size() != p.input_names.size()) {
+      fail(ln, "stimulus width != #inputs");
+    }
+    if (toks[3].size() != p.observe_names.size()) {
+      fail(ln, "expected-response width != #observe");
+    }
+    std::vector<Val> stim, exp;
+    for (char c : toks[1]) stim.push_back(val_from_char(c));
+    for (char c : toks[3]) exp.push_back(val_from_char(c));
+    p.stimulus.push_back(std::move(stim));
+    p.expected.push_back(std::move(exp));
+  }
+  return p;
+}
+
+TestProgram read_test_program_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_test_program(is);
+}
+
+BoundTestProgram bind_test_program(const Netlist& nl, const TestProgram& p) {
+  if (p.input_names.size() != nl.inputs().size()) {
+    throw std::runtime_error("bind: program has " +
+                             std::to_string(p.input_names.size()) +
+                             " inputs, netlist has " +
+                             std::to_string(nl.inputs().size()));
+  }
+  // Program order -> netlist inputs() order.
+  std::vector<std::size_t> perm(p.input_names.size());
+  for (std::size_t i = 0; i < p.input_names.size(); ++i) {
+    const NodeId id = nl.find(p.input_names[i]);
+    if (id == kNullNode) {
+      throw std::runtime_error("bind: unknown input " + p.input_names[i]);
+    }
+    bool found = false;
+    for (std::size_t k = 0; k < nl.inputs().size(); ++k) {
+      if (nl.inputs()[k] == id) {
+        perm[i] = k;
+        found = true;
+      }
+    }
+    if (!found) {
+      throw std::runtime_error("bind: " + p.input_names[i] +
+                               " is not a primary input");
+    }
+  }
+  BoundTestProgram b;
+  b.stimulus.reserve(p.stimulus.size());
+  for (const auto& row : p.stimulus) {
+    std::vector<Val> v(nl.inputs().size(), Val::X);
+    for (std::size_t i = 0; i < row.size(); ++i) v[perm[i]] = row[i];
+    b.stimulus.push_back(std::move(v));
+  }
+  for (const auto& n : p.observe_names) {
+    const NodeId id = nl.find(n);
+    if (id == kNullNode) {
+      throw std::runtime_error("bind: unknown observe net " + n);
+    }
+    b.observe.push_back(id);
+  }
+  b.expected = &p.expected;
+  return b;
+}
+
+std::size_t run_test_program(const Levelizer& lv, const TestProgram& p,
+                             const Fault* fault) {
+  const BoundTestProgram b = bind_test_program(lv.netlist(), p);
+  SeqSim sim(lv);
+  Injection inj[1];
+  std::span<const Injection> injections;
+  if (fault != nullptr) {
+    inj[0] = to_injection(*fault);
+    injections = std::span<const Injection>(inj, 1);
+  }
+  std::size_t mismatches = 0;
+  for (std::size_t t = 0; t < b.stimulus.size(); ++t) {
+    const auto& v = sim.step(b.stimulus[t], injections);
+    for (std::size_t o = 0; o < b.observe.size(); ++o) {
+      const Val want = (*b.expected)[t][o];
+      const Val got = v[b.observe[o]];
+      if (want != Val::X && got != Val::X && want != got) ++mismatches;
+    }
+  }
+  return mismatches;
+}
+
+TestProgram make_chain_test_program(const ScanModeModel& model,
+                                    const PipelineResult& result) {
+  const Netlist& nl = model.levelizer().netlist();
+  const ScanSequenceBuilder sb(nl, model.design());
+  const std::size_t maxlen = model.max_chain_length();
+
+  TestSequence stimulus = sb.alternating(2 * maxlen + 8);
+  for (const ScanVector& v : result.vectors) {
+    const TestSequence seq =
+        sb.apply_comb_vector(v.ff_state, v.pi_vals, maxlen + 2);
+    stimulus.insert(stimulus.end(), seq.begin(), seq.end());
+  }
+  for (const TestSequence& seq : result.s3_sequences) {
+    stimulus.insert(stimulus.end(), seq.begin(), seq.end());
+  }
+  return make_test_program(model, std::move(stimulus));
+}
+
+}  // namespace fsct

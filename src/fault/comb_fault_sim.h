@@ -1,0 +1,52 @@
+// Parallel-pattern single-fault-propagation (PPSFP) combinational fault
+// simulation on the "combinational view" of a sequential circuit: primary
+// inputs and DFF Q outputs are pattern-controlled sources; primary outputs
+// and DFF D pins are observation points.
+//
+// Patterns are processed 64 at a time; each fault is propagated event-driven
+// through its forward cone only, with dirty-value restore between faults.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fault/fault.h"
+#include "sim/comb_sim.h"
+
+namespace fsct {
+
+/// One fully specified combinational pattern: values for all PIs (netlist
+/// inputs() order) followed by values for all DFF Qs (netlist dffs() order).
+using CombPattern = std::vector<Val>;
+
+/// Per-fault outcome: index of the first detecting pattern, or -1.
+struct CombFaultSimResult {
+  std::vector<int> detect_pattern;
+
+  std::size_t num_detected() const {
+    std::size_t n = 0;
+    for (int c : detect_pattern) n += (c >= 0);
+    return n;
+  }
+};
+
+/// PPSFP engine.  `observe` lists observed nodes: a PO id observes that net,
+/// a DFF id observes the net at its D pin.
+class CombFaultSim {
+ public:
+  CombFaultSim(const Levelizer& lv, std::vector<NodeId> observe);
+
+  /// Simulates all faults against all patterns.  Patterns must be
+  /// pis+dffs-sized (see CombPattern); X entries are allowed.
+  CombFaultSimResult run(std::span<const CombPattern> patterns,
+                         std::span<const Fault> faults) const;
+
+  const std::vector<NodeId>& observe() const { return observe_; }
+
+ private:
+  const Levelizer& lv_;
+  std::vector<NodeId> observe_;
+  std::vector<char> observed_net_;  // net-level observation flags
+};
+
+}  // namespace fsct

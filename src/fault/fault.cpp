@@ -1,0 +1,179 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace fsct {
+
+std::string fault_name(const Netlist& nl, const Fault& f) {
+  std::string s = nl.node_name(f.node);
+  if (f.pin >= 0) {
+    s += "/" + std::to_string(f.pin) + "(" +
+         nl.node_name(nl.fanins(f.node)[static_cast<std::size_t>(f.pin)]) +
+         ")";
+  }
+  s += f.stuck_one ? " s-a-1" : " s-a-0";
+  return s;
+}
+
+Injection to_injection(const Fault& f) {
+  return {f.node, f.pin, f.stuck_one ? Val::One : Val::Zero};
+}
+
+PackedInjection to_packed_injection(const Fault& f, std::uint64_t mask) {
+  return {f.node, f.pin, mask, f.stuck_one ? Val::One : Val::Zero};
+}
+
+namespace {
+
+std::vector<int> fanout_counts(const Netlist& nl) {
+  std::vector<int> n(nl.size(), 0);
+  for (NodeId id = 0; id < nl.size(); ++id) {
+    for (NodeId f : nl.fanins(id)) {
+      if (f != kNullNode) ++n[f];
+    }
+  }
+  // A PO connection also counts as a fanout use.
+  for (NodeId id : nl.outputs()) ++n[id];
+  return n;
+}
+
+struct FaultKeyHash {
+  std::size_t operator()(const Fault& f) const {
+    return (static_cast<std::size_t>(f.node) << 8) ^
+           (static_cast<std::size_t>(f.pin + 1) << 1) ^
+           static_cast<std::size_t>(f.stuck_one);
+  }
+};
+
+}  // namespace
+
+std::vector<Fault> all_faults(const Netlist& nl) {
+  const std::vector<int> fo = fanout_counts(nl);
+  std::vector<Fault> faults;
+  for (NodeId id = 0; id < nl.size(); ++id) {
+    const GateType t = nl.type(id);
+    if (t == GateType::Const0 || t == GateType::Const1) continue;
+    faults.push_back({id, -1, false});
+    faults.push_back({id, -1, true});
+    const auto fins = nl.fanins(id);
+    for (std::size_t p = 0; p < fins.size(); ++p) {
+      if (fo[fins[p]] > 1) {  // fanout branch: distinct fault site
+        faults.push_back({id, static_cast<int>(p), false});
+        faults.push_back({id, static_cast<int>(p), true});
+      }
+    }
+  }
+  return faults;
+}
+
+std::vector<Fault> collapse_equivalent(const Netlist& nl,
+                                       const std::vector<Fault>& faults) {
+  std::unordered_map<Fault, std::size_t, FaultKeyHash> index;
+  index.reserve(faults.size() * 2);
+  for (std::size_t i = 0; i < faults.size(); ++i) index.emplace(faults[i], i);
+
+  // Union-find.
+  std::vector<std::size_t> parent(faults.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  };
+  auto idx_of = [&](const Fault& f) -> std::size_t {
+    auto it = index.find(f);
+    return it == index.end() ? static_cast<std::size_t>(-1) : it->second;
+  };
+
+  const std::vector<int> fo = fanout_counts(nl);
+  // The fault seen on pin (g,p): the branch fault if it exists in the
+  // universe, otherwise the driver's stem fault (single-fanout driver).
+  auto pin_fault = [&](NodeId g, std::size_t p, bool v) -> std::size_t {
+    if (std::size_t i = idx_of({g, static_cast<int>(p), v});
+        i != static_cast<std::size_t>(-1)) {
+      return i;
+    }
+    const NodeId drv = nl.fanins(g)[p];
+    if (fo[drv] == 1) return idx_of({drv, -1, v});
+    return static_cast<std::size_t>(-1);
+  };
+
+  for (NodeId id = 0; id < nl.size(); ++id) {
+    const GateType t = nl.type(id);
+    const std::size_t out0 = idx_of({id, -1, false});
+    const std::size_t out1 = idx_of({id, -1, true});
+    if (out0 == static_cast<std::size_t>(-1)) continue;
+    const std::size_t n = nl.fanins(id).size();
+    switch (t) {
+      case GateType::And:
+      case GateType::Nand: {
+        const std::size_t out = (t == GateType::And) ? out0 : out1;
+        for (std::size_t p = 0; p < n; ++p) {
+          if (std::size_t pf = pin_fault(id, p, false);
+              pf != static_cast<std::size_t>(-1)) {
+            unite(pf, out);
+          }
+        }
+        break;
+      }
+      case GateType::Or:
+      case GateType::Nor: {
+        const std::size_t out = (t == GateType::Or) ? out1 : out0;
+        for (std::size_t p = 0; p < n; ++p) {
+          if (std::size_t pf = pin_fault(id, p, true);
+              pf != static_cast<std::size_t>(-1)) {
+            unite(pf, out);
+          }
+        }
+        break;
+      }
+      case GateType::Buf:
+      case GateType::Dff: {
+        if (std::size_t pf = pin_fault(id, 0, false);
+            pf != static_cast<std::size_t>(-1)) {
+          unite(pf, out0);
+        }
+        if (std::size_t pf = pin_fault(id, 0, true);
+            pf != static_cast<std::size_t>(-1)) {
+          unite(pf, out1);
+        }
+        break;
+      }
+      case GateType::Not: {
+        if (std::size_t pf = pin_fault(id, 0, false);
+            pf != static_cast<std::size_t>(-1)) {
+          unite(pf, out1);
+        }
+        if (std::size_t pf = pin_fault(id, 0, true);
+            pf != static_cast<std::size_t>(-1)) {
+          unite(pf, out0);
+        }
+        break;
+      }
+      default:
+        break;  // XOR/XNOR/MUX/PI: no structural equivalences
+    }
+  }
+
+  std::vector<Fault> out;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (find(i) == i) out.push_back(faults[i]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Fault> collapsed_fault_list(const Netlist& nl) {
+  return collapse_equivalent(nl, all_faults(nl));
+}
+
+}  // namespace fsct

@@ -1,0 +1,55 @@
+// Single stuck-at fault model: fault universe generation and structural
+// equivalence collapsing.
+//
+// A fault is a (location, polarity) pair.  Locations are either a node's
+// output stem (pin == -1) or one of its fanin pins (pin >= 0, a branch
+// fault).  Pin faults are only generated where they are not trivially
+// equivalent to the driver's stem fault, i.e. on fanout branches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/comb_sim.h"
+
+namespace fsct {
+
+/// One single stuck-at fault.
+struct Fault {
+  NodeId node = kNullNode;  ///< gate whose output (pin==-1) or input pin is stuck
+  int pin = -1;             ///< -1 = output stem, else fanin pin index
+  bool stuck_one = false;   ///< true = s-a-1, false = s-a-0
+
+  friend bool operator==(const Fault&, const Fault&) = default;
+  friend auto operator<=>(const Fault&, const Fault&) = default;
+};
+
+/// "U123/2 s-a-1" style description using netlist names.
+std::string fault_name(const Netlist& nl, const Fault& f);
+
+/// The simulation injection equivalent to this fault.
+Injection to_injection(const Fault& f);
+
+/// Packed injection forcing this fault on the patterns in `mask`.
+PackedInjection to_packed_injection(const Fault& f, std::uint64_t mask);
+
+/// Complete uncollapsed universe: both polarities on every node output and on
+/// every gate/DFF input pin whose driver has more than one fanout connection
+/// (fanout branches).  Pins fed by single-fanout drivers are represented by
+/// the driver's stem fault.
+std::vector<Fault> all_faults(const Netlist& nl);
+
+/// Structural equivalence collapsing (classic rules):
+///  - controlling-value input faults of AND/NAND/OR/NOR collapse with the
+///    corresponding output fault,
+///  - NOT/BUF/DFF input faults collapse with the (inverted) output fault,
+///  - a stem fault collapses with the pin fault of its unique fanout.
+/// Returns one representative per equivalence class, in deterministic order.
+std::vector<Fault> collapse_equivalent(const Netlist& nl,
+                                       const std::vector<Fault>& faults);
+
+/// Convenience: collapse_equivalent(nl, all_faults(nl)).
+std::vector<Fault> collapsed_fault_list(const Netlist& nl);
+
+}  // namespace fsct

@@ -1,0 +1,90 @@
+#include "fault/seq_fault_sim.h"
+
+#include <bit>
+
+namespace fsct {
+
+SeqFaultSim::SeqFaultSim(const Levelizer& lv, std::vector<NodeId> observe)
+    : lv_(lv), observe_(std::move(observe)) {}
+
+SeqFaultSimResult SeqFaultSim::run_serial(const TestSequence& seq,
+                                          std::span<const Fault> faults,
+                                          Val initial_state) const {
+  SeqFaultSimResult res;
+  res.detect_cycle.assign(faults.size(), -1);
+
+  // Good machine trace at the observation points.
+  std::vector<std::vector<Val>> good_obs(seq.size());
+  {
+    SeqSim good(lv_);
+    good.reset(initial_state);
+    for (std::size_t t = 0; t < seq.size(); ++t) {
+      const auto& v = good.step(seq[t]);
+      good_obs[t].reserve(observe_.size());
+      for (NodeId n : observe_) good_obs[t].push_back(v[n]);
+    }
+  }
+
+  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    const Injection inj[1] = {to_injection(faults[fi])};
+    SeqSim faulty(lv_);
+    faulty.reset(initial_state);
+    for (std::size_t t = 0; t < seq.size() && res.detect_cycle[fi] < 0; ++t) {
+      const auto& v = faulty.step(seq[t], inj);
+      for (std::size_t o = 0; o < observe_.size(); ++o) {
+        const Val g = good_obs[t][o];
+        const Val f = v[observe_[o]];
+        if (g != Val::X && f != Val::X && g != f) {
+          res.detect_cycle[fi] = static_cast<int>(t);
+          break;
+        }
+      }
+    }
+  }
+  return res;
+}
+
+SeqFaultSimResult SeqFaultSim::run(const TestSequence& seq,
+                                   std::span<const Fault> faults,
+                                   Val initial_state) const {
+  SeqFaultSimResult res;
+  res.detect_cycle.assign(faults.size(), -1);
+  const Netlist& nl = lv_.netlist();
+
+  std::vector<PackedVal> pi_packed(nl.inputs().size());
+  for (std::size_t base = 0; base < faults.size(); base += 63) {
+    const std::size_t chunk = std::min<std::size_t>(63, faults.size() - base);
+    std::vector<PackedInjection> inj;
+    inj.reserve(chunk);
+    for (std::size_t k = 0; k < chunk; ++k) {
+      inj.push_back(to_packed_injection(faults[base + k], 1ull << (k + 1)));
+    }
+
+    PackedSeqSim sim(lv_);
+    sim.reset(initial_state);
+    std::uint64_t undet = ((chunk == 63) ? ~1ull : ((1ull << (chunk + 1)) - 2));
+    for (std::size_t t = 0; t < seq.size() && undet != 0; ++t) {
+      for (std::size_t i = 0; i < pi_packed.size(); ++i) {
+        pi_packed[i] = PackedVal::broadcast(seq[t][i]);
+      }
+      const auto& v = sim.step(pi_packed, inj);
+      for (NodeId n : observe_) {
+        const PackedVal pv = v[n];
+        const Val g = pv.at(0);
+        std::uint64_t det = 0;
+        if (g == Val::Zero) det = pv.one;
+        if (g == Val::One) det = pv.zero;
+        det &= undet;
+        while (det != 0) {
+          const unsigned bit = static_cast<unsigned>(std::countr_zero(det));
+          det &= det - 1;
+          undet &= ~(1ull << bit);
+          res.detect_cycle[base + bit - 1] = static_cast<int>(t);
+        }
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace fsct

@@ -1,0 +1,59 @@
+// Sequential stuck-at fault simulation over a fixed test sequence.
+//
+// Detection criterion (standard "definite detection"): at some cycle, an
+// observed net carries a binary value in the good machine and the *opposite*
+// binary value in the faulty machine.  X never detects.
+//
+// Two engines with identical semantics:
+//  * run_serial  — one faulty machine at a time (reference implementation),
+//  * run         — parallel-fault: 63 faulty machines + the good machine
+//                  packed in one 64-bit word per net (bit 0 = good).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fault/fault.h"
+#include "sim/seq_sim.h"
+
+namespace fsct {
+
+/// One PI assignment per clock cycle, each indexed in netlist inputs() order.
+using TestSequence = std::vector<std::vector<Val>>;
+
+/// Per-fault outcome: first detecting cycle, or -1 if the sequence does not
+/// detect the fault.
+struct SeqFaultSimResult {
+  std::vector<int> detect_cycle;
+
+  std::size_t num_detected() const {
+    std::size_t n = 0;
+    for (int c : detect_cycle) n += (c >= 0);
+    return n;
+  }
+};
+
+/// Sequential fault simulator.  `observe` lists the nets sampled every cycle
+/// (primary outputs, plus e.g. the scan-out flip-flop's Q).  A DFF id in the
+/// list observes its Q value (pre-clock-edge state).
+class SeqFaultSim {
+ public:
+  SeqFaultSim(const Levelizer& lv, std::vector<NodeId> observe);
+
+  /// Serial reference engine.
+  SeqFaultSimResult run_serial(const TestSequence& seq,
+                               std::span<const Fault> faults,
+                               Val initial_state = Val::X) const;
+
+  /// Parallel-fault engine (63 faults per packed pass).
+  SeqFaultSimResult run(const TestSequence& seq, std::span<const Fault> faults,
+                        Val initial_state = Val::X) const;
+
+  const std::vector<NodeId>& observe() const { return observe_; }
+
+ private:
+  const Levelizer& lv_;
+  std::vector<NodeId> observe_;
+};
+
+}  // namespace fsct

@@ -1,0 +1,226 @@
+#include "netlist/bench_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace fsct {
+namespace {
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+struct Def {
+  GateType type;
+  std::vector<std::string> fanins;
+  int line;
+};
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::runtime_error("bench parse error, line " + std::to_string(line) +
+                           ": " + msg);
+}
+
+GateType parse_type(const std::string& kw, int line) {
+  const std::string k = upper(kw);
+  if (k == "AND") return GateType::And;
+  if (k == "NAND") return GateType::Nand;
+  if (k == "OR") return GateType::Or;
+  if (k == "NOR") return GateType::Nor;
+  if (k == "XOR") return GateType::Xor;
+  if (k == "XNOR") return GateType::Xnor;
+  if (k == "NOT" || k == "INV") return GateType::Not;
+  if (k == "BUF" || k == "BUFF") return GateType::Buf;
+  if (k == "DFF") return GateType::Dff;
+  if (k == "MUX") return GateType::Mux;
+  if (k == "CONST0") return GateType::Const0;
+  if (k == "CONST1") return GateType::Const1;
+  fail(line, "unknown gate type '" + kw + "'");
+}
+
+}  // namespace
+
+Netlist read_bench(std::istream& in, std::string circuit_name) {
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<std::pair<std::string, Def>> defs;  // in file order
+  std::unordered_map<std::string, std::size_t> def_index;
+
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    if (auto h = raw.find('#'); h != std::string::npos) raw.erase(h);
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      // INPUT(x) or OUTPUT(x)
+      const auto lp = line.find('(');
+      const auto rp = line.rfind(')');
+      if (lp == std::string::npos || rp == std::string::npos || rp < lp) {
+        fail(line_no, "expected INPUT(...) / OUTPUT(...)");
+      }
+      const std::string kw = upper(trim(line.substr(0, lp)));
+      const std::string arg = trim(line.substr(lp + 1, rp - lp - 1));
+      if (arg.empty()) fail(line_no, "empty signal name");
+      if (kw == "INPUT") {
+        input_names.push_back(arg);
+      } else if (kw == "OUTPUT") {
+        output_names.push_back(arg);
+      } else {
+        fail(line_no, "unknown directive '" + kw + "'");
+      }
+      continue;
+    }
+
+    const std::string lhs = trim(line.substr(0, eq));
+    const std::string rhs = trim(line.substr(eq + 1));
+    const auto lp = rhs.find('(');
+    const auto rp = rhs.rfind(')');
+    if (lhs.empty() || lp == std::string::npos || rp == std::string::npos ||
+        rp < lp) {
+      fail(line_no, "expected 'name = GATE(a, b, ...)'");
+    }
+    Def d;
+    d.type = parse_type(trim(rhs.substr(0, lp)), line_no);
+    d.line = line_no;
+    std::stringstream args(rhs.substr(lp + 1, rp - lp - 1));
+    std::string tok;
+    while (std::getline(args, tok, ',')) {
+      const std::string t = trim(tok);
+      if (t.empty()) fail(line_no, "empty fanin name");
+      d.fanins.push_back(t);
+    }
+    if (def_index.contains(lhs)) fail(line_no, "redefinition of " + lhs);
+    def_index.emplace(lhs, defs.size());
+    defs.emplace_back(lhs, std::move(d));
+  }
+
+  Netlist nl(std::move(circuit_name));
+
+  // Pass 1: sources.
+  for (const std::string& n : input_names) nl.add_input(n);
+  for (const auto& [name, d] : defs) {
+    if (d.type == GateType::Dff) {
+      nl.add_dff_floating(name);
+    } else if (d.type == GateType::Const0 || d.type == GateType::Const1) {
+      nl.add_const(d.type == GateType::Const1, name);
+    }
+  }
+
+  // Pass 2: combinational gates in dependency order (Kahn over name graph).
+  auto resolved = [&](const std::string& n) { return nl.find(n) != kNullNode; };
+  std::vector<std::size_t> todo;
+  for (std::size_t i = 0; i < defs.size(); ++i) {
+    if (is_combinational(defs[i].second.type)) todo.push_back(i);
+  }
+  while (!todo.empty()) {
+    bool progress = false;
+    std::vector<std::size_t> next;
+    for (std::size_t i : todo) {
+      const auto& [name, d] = defs[i];
+      if (std::all_of(d.fanins.begin(), d.fanins.end(), resolved)) {
+        std::vector<NodeId> fins;
+        for (const std::string& f : d.fanins) fins.push_back(nl.find(f));
+        nl.add_gate(d.type, std::move(fins), name);
+        progress = true;
+      } else {
+        next.push_back(i);
+      }
+    }
+    if (!progress) {
+      const auto& [name, d] = defs[next.front()];
+      for (const std::string& f : d.fanins) {
+        if (!resolved(f)) {
+          fail(d.line, "undefined signal '" + f + "' feeding " + name +
+                           " (or combinational cycle)");
+        }
+      }
+      fail(d.line, "combinational cycle through " + name);
+    }
+    todo = std::move(next);
+  }
+
+  // Pass 3: connect DFF D-pins, mark outputs.
+  for (const auto& [name, d] : defs) {
+    if (d.type != GateType::Dff) continue;
+    if (d.fanins.size() != 1) fail(d.line, "DFF takes exactly one fanin");
+    const NodeId dn = nl.find(d.fanins[0]);
+    if (dn == kNullNode) fail(d.line, "undefined signal '" + d.fanins[0] + "'");
+    nl.set_fanin(nl.find(name), 0, dn);
+  }
+  for (const std::string& n : output_names) {
+    const NodeId id = nl.find(n);
+    if (id == kNullNode) {
+      throw std::runtime_error("bench parse error: OUTPUT(" + n +
+                               ") references undefined signal");
+    }
+    nl.mark_output(id);
+  }
+
+  if (std::string err = nl.validate(); !err.empty()) {
+    throw std::runtime_error("bench parse produced invalid netlist: " + err);
+  }
+  return nl;
+}
+
+Netlist read_bench_string(const std::string& text, std::string circuit_name) {
+  std::istringstream in(text);
+  return read_bench(in, std::move(circuit_name));
+}
+
+Netlist read_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::string name = path;
+  if (auto slash = name.find_last_of('/'); slash != std::string::npos) {
+    name.erase(0, slash + 1);
+  }
+  if (auto dot = name.find_last_of('.'); dot != std::string::npos) {
+    name.erase(dot);
+  }
+  return read_bench(in, std::move(name));
+}
+
+void write_bench(std::ostream& out, const Netlist& nl) {
+  out << "# " << nl.name() << "\n";
+  for (NodeId id : nl.inputs()) out << "INPUT(" << nl.node_name(id) << ")\n";
+  for (NodeId id : nl.outputs()) out << "OUTPUT(" << nl.node_name(id) << ")\n";
+  for (NodeId id = 0; id < nl.size(); ++id) {
+    const GateType t = nl.type(id);
+    if (t == GateType::Input) continue;
+    out << nl.node_name(id) << " = " << gate_type_name(t) << "(";
+    bool first = true;
+    for (NodeId f : nl.fanins(id)) {
+      if (!first) out << ", ";
+      first = false;
+      out << nl.node_name(f);
+    }
+    out << ")\n";
+  }
+}
+
+std::string write_bench_string(const Netlist& nl) {
+  std::ostringstream out;
+  write_bench(out, nl);
+  return out.str();
+}
+
+}  // namespace fsct

@@ -1,0 +1,37 @@
+// ISCAS'89 ".bench" reader / writer.
+//
+// Grammar accepted (case-insensitive keywords, '#' comments):
+//   INPUT(name)
+//   OUTPUT(name)
+//   name = GATE(a, b, ...)     GATE in {AND OR NAND NOR XOR XNOR NOT BUF BUFF
+//                                        DFF MUX CONST0 CONST1}
+// OUTPUT may reference a signal defined later; definitions may reference
+// signals defined later (two-pass resolution).  MUX fanin order is
+// (sel, d0, d1).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace fsct {
+
+/// Parses a .bench description.  Throws std::runtime_error with a
+/// line-numbered message on malformed input.
+Netlist read_bench(std::istream& in, std::string circuit_name);
+
+/// Convenience overload for in-memory text (used by embedded circuits).
+Netlist read_bench_string(const std::string& text, std::string circuit_name);
+
+/// Parses a .bench file from disk.
+Netlist read_bench_file(const std::string& path);
+
+/// Writes `nl` as .bench text.  Round-trips with read_bench (node order may
+/// differ; names and connectivity are preserved).
+void write_bench(std::ostream& out, const Netlist& nl);
+
+/// Returns the .bench text of `nl` as a string.
+std::string write_bench_string(const Netlist& nl);
+
+}  // namespace fsct

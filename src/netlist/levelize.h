@@ -1,0 +1,53 @@
+// Derived structural views of a Netlist: fanout lists, logic levels and a
+// topological order of the combinational gates.  These are consumed by every
+// simulator and by ATPG.  A Levelizer snapshot is invalidated by any netlist
+// mutation; rebuild after TPI / scan insertion.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace fsct {
+
+/// Immutable structural snapshot of a netlist.
+class Levelizer {
+ public:
+  /// Builds fanouts, levels and topological order.  Throws std::runtime_error
+  /// if the netlist has combinational cycles or unconnected pins.
+  explicit Levelizer(const Netlist& nl);
+
+  /// Fanout node ids of `id` (sinks whose fanin list contains `id`).  A sink
+  /// appears once per pin it connects on.
+  const std::vector<NodeId>& fanouts(NodeId id) const { return fanouts_[id]; }
+
+  /// Logic level: 0 for PIs, constants and DFF outputs; otherwise
+  /// 1 + max(level of fanins).
+  int level(NodeId id) const { return levels_[id]; }
+
+  /// Maximum level over all nodes.
+  int max_level() const { return max_level_; }
+
+  /// Combinational gates in topological (level-compatible) order.
+  const std::vector<NodeId>& topo_order() const { return topo_; }
+
+  /// All node ids reachable from `from` through combinational gates (forward,
+  /// including `from` itself).  Propagation stops at DFF D-pins: the DFF node
+  /// itself is included (the fault reaches its D input) but nothing beyond.
+  std::vector<NodeId> forward_cone(NodeId from) const;
+
+  /// All node ids in the transitive fanin of `to` (backward, including `to`),
+  /// stopping at PIs, constants and DFF outputs (which are included).
+  std::vector<NodeId> backward_cone(NodeId to) const;
+
+  const Netlist& netlist() const { return nl_; }
+
+ private:
+  const Netlist& nl_;
+  std::vector<std::vector<NodeId>> fanouts_;
+  std::vector<int> levels_;
+  std::vector<NodeId> topo_;
+  int max_level_ = 0;
+};
+
+}  // namespace fsct

@@ -1,0 +1,86 @@
+#include "netlist/stats.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "netlist/levelize.h"
+
+namespace fsct {
+
+NetlistStats compute_stats(const Netlist& nl) {
+  NetlistStats s;
+  s.nodes = nl.size();
+  s.pis = nl.inputs().size();
+  s.pos = nl.outputs().size();
+  s.ffs = nl.dffs().size();
+
+  std::size_t fanin_sum = 0;
+  std::vector<std::size_t> fanout(nl.size(), 0);
+  for (NodeId id = 0; id < nl.size(); ++id) {
+    const GateType t = nl.type(id);
+    ++s.by_type[static_cast<std::size_t>(t)];
+    if (t == GateType::Const0 || t == GateType::Const1) ++s.constants;
+    if (is_combinational(t)) {
+      ++s.gates;
+      fanin_sum += nl.fanins(id).size();
+      if (t == GateType::Not || t == GateType::Nand || t == GateType::Nor ||
+          t == GateType::Xnor) {
+        ++s.inverting_gates;
+      }
+    }
+    for (NodeId f : nl.fanins(id)) {
+      if (f != kNullNode) ++fanout[f];
+    }
+  }
+  s.avg_fanin = s.gates ? static_cast<double>(fanin_sum) /
+                              static_cast<double>(s.gates)
+                        : 0.0;
+
+  std::size_t fanout_sum = 0, drivers = 0;
+  for (NodeId id = 0; id < nl.size(); ++id) {
+    if (fanout[id] > 0) {
+      ++drivers;
+      fanout_sum += fanout[id];
+      s.max_fanout = std::max(s.max_fanout, fanout[id]);
+    }
+  }
+  s.avg_fanout = drivers ? static_cast<double>(fanout_sum) /
+                               static_cast<double>(drivers)
+                         : 0.0;
+
+  if (nl.validate().empty()) {
+    const Levelizer lv(nl);
+    s.max_depth = lv.max_level();
+  }
+  return s;
+}
+
+void print_stats(std::ostream& os, const NetlistStats& s) {
+  os << "nodes " << s.nodes << " (gates " << s.gates << ", PIs " << s.pis
+     << ", POs " << s.pos << ", FFs " << s.ffs << ", consts " << s.constants
+     << ")\n";
+  os << "depth " << s.max_depth << ", avg fanin "
+     << static_cast<int>(s.avg_fanin * 100) / 100.0 << ", avg fanout "
+     << static_cast<int>(s.avg_fanout * 100) / 100.0 << ", max fanout "
+     << s.max_fanout << "\n";
+  os << "mix:";
+  static constexpr GateType kTypes[] = {
+      GateType::And, GateType::Nand, GateType::Or,  GateType::Nor,
+      GateType::Not, GateType::Buf,  GateType::Xor, GateType::Xnor,
+      GateType::Mux,
+  };
+  for (GateType t : kTypes) {
+    if (s.count(t) > 0) {
+      os << ' ' << gate_type_name(t) << '=' << s.count(t);
+    }
+  }
+  os << "\n";
+}
+
+std::string stats_string(const NetlistStats& s) {
+  std::ostringstream os;
+  print_stats(os, s);
+  return os.str();
+}
+
+}  // namespace fsct

@@ -1,0 +1,44 @@
+// Structural statistics of a netlist: gate-type histogram, logic depth,
+// fanout distribution.  Used by the reporting tools and handy when sanity-
+// checking generated or parsed circuits against published benchmark data.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace fsct {
+
+struct NetlistStats {
+  std::size_t nodes = 0;
+  std::size_t gates = 0;  ///< combinational gates
+  std::size_t pis = 0;
+  std::size_t pos = 0;
+  std::size_t ffs = 0;
+  std::size_t constants = 0;
+
+  /// Per-GateType node counts, indexed by static_cast<size_t>(GateType).
+  std::array<std::size_t, 13> by_type{};
+
+  int max_depth = 0;          ///< deepest combinational level
+  double avg_fanin = 0;       ///< mean fanin over combinational gates
+  std::size_t max_fanout = 0;
+  double avg_fanout = 0;      ///< mean fanout over driving nodes
+  std::size_t inverting_gates = 0;  ///< NOT/NAND/NOR/XNOR
+
+  std::size_t count(GateType t) const {
+    return by_type[static_cast<std::size_t>(t)];
+  }
+};
+
+/// Computes all statistics in one pass (plus a levelization for depth).
+NetlistStats compute_stats(const Netlist& nl);
+
+/// Multi-line human-readable rendering.
+void print_stats(std::ostream& os, const NetlistStats& s);
+std::string stats_string(const NetlistStats& s);
+
+}  // namespace fsct

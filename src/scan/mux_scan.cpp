@@ -1,0 +1,65 @@
+#include "scan/mux_scan.h"
+
+#include <stdexcept>
+
+namespace fsct {
+
+ScanDesign insert_mux_scan(Netlist& nl, const MuxScanOptions& opt) {
+  if (opt.num_chains < 1) throw std::invalid_argument("num_chains < 1");
+  const std::vector<NodeId> ffs = nl.dffs();  // copy: we mutate nl
+  const int nc = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(opt.num_chains),
+                            std::max<std::size_t>(ffs.size(), 1)));
+
+  ScanDesign d;
+  d.scan_mode = nl.add_input("scan_mode");
+  d.pi_constraints.emplace_back(d.scan_mode, Val::One);
+
+  // Partition flip-flops across chains.
+  std::vector<std::vector<NodeId>> part(static_cast<std::size_t>(nc));
+  if (opt.block_partition) {
+    const std::size_t per =
+        (ffs.size() + static_cast<std::size_t>(nc) - 1) /
+        static_cast<std::size_t>(nc);
+    for (std::size_t i = 0; i < ffs.size(); ++i) {
+      part[std::min(i / std::max<std::size_t>(per, 1),
+                    static_cast<std::size_t>(nc - 1))]
+          .push_back(ffs[i]);
+    }
+  } else {
+    for (std::size_t i = 0; i < ffs.size(); ++i) {
+      part[i % static_cast<std::size_t>(nc)].push_back(ffs[i]);
+    }
+  }
+
+  for (int c = 0; c < nc; ++c) {
+    ScanChain chain;
+    chain.scan_in = nl.add_input("scan_in" + std::to_string(c));
+    NodeId prev = chain.scan_in;
+    for (NodeId ff : part[static_cast<std::size_t>(c)]) {
+      const NodeId d_orig = nl.fanins(ff)[0];
+      const NodeId mux = nl.add_gate(
+          GateType::Mux, {d.scan_mode, d_orig, prev},
+          nl.node_name(ff) + "_smux");
+      nl.set_fanin(ff, 0, mux);
+      ++d.scan_muxes;
+
+      ScanSegment seg;
+      seg.from = prev;
+      seg.to = ff;
+      seg.path = {mux};
+      seg.inverting = false;
+      seg.functional = false;
+      chain.segments.push_back(std::move(seg));
+      chain.ffs.push_back(ff);
+      prev = ff;
+    }
+    if (!chain.ffs.empty()) {
+      nl.mark_output(chain.scan_out());
+      d.chains.push_back(std::move(chain));
+    }
+  }
+  return d;
+}
+
+}  // namespace fsct

@@ -1,0 +1,23 @@
+// Conventional full MUX-scan insertion: the baseline the paper's Figure 1(a)
+// shows.  Every flip-flop's D pin gets a scan multiplexer
+// D' = MUX(scan_mode, D, previous_Q) and the flip-flops are stitched into one
+// or more shift chains with dedicated wiring.
+#pragma once
+
+#include "scan/scan_chain.h"
+
+namespace fsct {
+
+struct MuxScanOptions {
+  int num_chains = 1;
+  /// Chain order: flip-flops are taken in netlist dffs() order and dealt
+  /// round-robin (false) or in contiguous blocks (true) across chains.
+  bool block_partition = true;
+};
+
+/// Inserts MUX-scan into `nl` (mutates it: adds scan_mode and scan_in PIs,
+/// one mux per flip-flop, and marks each chain's scan-out Q as a PO).
+/// Returns the resulting scan design.
+ScanDesign insert_mux_scan(Netlist& nl, const MuxScanOptions& opt = {});
+
+}  // namespace fsct

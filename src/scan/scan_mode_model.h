@@ -1,0 +1,84 @@
+// The scan-mode circuit model: the TPI'd netlist with its scan-mode PI
+// constraints propagated, plus net-level maps of where each net sits relative
+// to the scan chains.  This is the structure sections 2–3 of the paper reason
+// about: chain nets carry shift data (X in 3-valued scan-mode simulation),
+// side-input nets of chain gates are binary non-controlling constants.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/levelize.h"
+#include "scan/scan_chain.h"
+
+namespace fsct {
+
+/// A position on a scan chain: `segment` k is the link capturing into
+/// chain.ffs[k]; the value `chain.length()` denotes "at the scan-out itself"
+/// (a corrupted Q of the last flip-flop).
+struct ChainLocation {
+  int chain = -1;
+  int segment = -1;
+  friend bool operator==(const ChainLocation&, const ChainLocation&) = default;
+  friend auto operator<=>(const ChainLocation&, const ChainLocation&) = default;
+};
+
+/// One side-input attachment of a net: feeding a path gate of type
+/// `gate_type` at chain position `loc`.
+struct SideAttachment {
+  ChainLocation loc;
+  GateType gate_type = GateType::And;
+};
+
+class ScanModeModel {
+ public:
+  /// `lv` must be built on the post-TPI netlist.
+  ScanModeModel(const Levelizer& lv, const ScanDesign& design);
+
+  /// 3-valued scan-mode values: constrained PIs at their constants, free PIs
+  /// and flip-flops at X.
+  const std::vector<Val>& values() const { return values_; }
+
+  /// Chain location of a shift-data-carrying net (path gates, chain FF Qs,
+  /// scan-in PIs); nullopt for all other nets.
+  std::optional<ChainLocation> chain_location(NodeId n) const {
+    return chain_loc_[n].chain < 0 ? std::nullopt
+                                   : std::make_optional(chain_loc_[n]);
+  }
+
+  /// Side-input attachments of a net (empty for non-side nets).  Only sides
+  /// whose scan-mode value is binary are recorded — an X side (e.g. the
+  /// mission-D input of a scan mux) cannot mask shift data.
+  const std::vector<SideAttachment>& side_attachments(NodeId n) const {
+    static const std::vector<SideAttachment> kEmpty;
+    auto it = sides_.find(n);
+    return it == sides_.end() ? kEmpty : it->second;
+  }
+
+  /// All nets with at least one side attachment.
+  const std::vector<NodeId>& side_nets() const { return side_net_list_; }
+
+  const ScanDesign& design() const { return design_; }
+  const Levelizer& levelizer() const { return lv_; }
+
+  /// Longest chain length (the paper's `maxsize`).
+  std::size_t max_chain_length() const;
+
+  /// Scan-out Q nodes, one per chain (observed every cycle in scan mode).
+  std::vector<NodeId> scan_outs() const;
+
+  /// Checks the TPI invariant: every recorded non-XOR/MUX side input is at
+  /// its non-controlling value.  Returns empty string if OK.
+  std::string check() const;
+
+ private:
+  const Levelizer& lv_;
+  const ScanDesign& design_;
+  std::vector<Val> values_;
+  std::vector<ChainLocation> chain_loc_;
+  std::unordered_map<NodeId, std::vector<SideAttachment>> sides_;
+  std::vector<NodeId> side_net_list_;
+};
+
+}  // namespace fsct

@@ -1,0 +1,491 @@
+#include "scan/tpi.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "netlist/levelize.h"
+#include "sim/comb_sim.h"
+
+namespace fsct {
+namespace {
+
+// A planned test point: force what `node` sees on `pin` to `value` in scan
+// mode.
+struct PlannedTp {
+  NodeId node;
+  int pin;
+  Val value;
+};
+
+struct PathCandidate {
+  NodeId from_ff = kNullNode;
+  std::vector<NodeId> path;  // forward order: first gate after Q .. D driver
+  std::vector<PlannedTp> tps;
+  std::vector<std::pair<NodeId, Val>> assigns;
+  bool inverting = false;
+  int steps = 0;  // DFS work counter (caps pathological searches)
+};
+
+constexpr int kMaxSearchSteps = 20000;
+
+// Search state shared across all per-FF searches.
+struct TpiState {
+  Netlist* nl;
+  std::unique_ptr<Levelizer> lv;
+  std::unique_ptr<CombSim> sim;
+  std::vector<Val> values;                   // scan-mode values
+  std::unordered_map<NodeId, Val> assign;    // PI -> pinned value
+  std::map<std::pair<NodeId, int>, Val> forced_pin;  // planned TPs
+  std::map<std::pair<NodeId, int>, char> path_pin;   // pins carrying shift data
+  std::vector<char> on_path;                 // nodes carrying shift data
+  std::vector<Injection> injections;         // forced_pin as injections
+  std::unordered_map<NodeId, NodeId> pred, succ;
+  int ff_grab_depth = 0;  // below this remaining depth, grab adjacent FFs
+
+  void recompute() {
+    values.assign(nl->size(), Val::X);
+    for (auto [pi, v] : assign) values[pi] = v;
+    sim->run(values, injections);
+  }
+  void rebuild() {
+    lv = std::make_unique<Levelizer>(*nl);
+    sim = std::make_unique<CombSim>(*lv);
+    on_path.resize(nl->size(), 0);
+    recompute();
+  }
+};
+
+// Effective scan-mode value seen by `node` on `pin` (honours planned TPs).
+Val pin_value(const TpiState& st, NodeId node, int pin) {
+  if (auto it = st.forced_pin.find({node, pin}); it != st.forced_pin.end()) {
+    return it->second;
+  }
+  return st.values[st.nl->fanins(node)[static_cast<std::size_t>(pin)]];
+}
+
+// Attempts to make side pin (g,p) non-controlling at value `nc`.
+// Returns false if impossible; otherwise appends the needed TP/assignment to
+// the candidate (cost handled by caller via tps.size()).
+bool force_side(const TpiState& st, PathCandidate& cand, NodeId g, int p,
+                Val nc) {
+  const Netlist& nl = *st.nl;
+  const NodeId s = nl.fanins(g)[static_cast<std::size_t>(p)];
+
+  // Planned TPs and assignments in the candidate itself.
+  for (const PlannedTp& tp : cand.tps) {
+    if (tp.node == g && tp.pin == p) return tp.value == nc;
+  }
+  Val v = pin_value(st, g, p);
+  for (auto [pi, av] : cand.assigns) {
+    if (pi == s) v = av;
+  }
+  if (v == nc) return true;
+  if (v != Val::X) return false;  // pinned to the controlling value
+
+  // Free PI?  Pin it.
+  if (nl.type(s) == GateType::Input && !st.assign.contains(s)) {
+    bool already = false;
+    for (auto [pi, av] : cand.assigns) already |= (pi == s);
+    if (!already) {
+      cand.assigns.emplace_back(s, nc);
+      return true;
+    }
+    return false;  // this candidate already pinned it to the other value
+  }
+
+  // Test point — not allowed on pins that carry shift data.
+  if (st.path_pin.contains({g, p})) return false;
+  cand.tps.push_back({g, p, nc});
+  return true;
+}
+
+// Depth-first backward search from `net` (a net that must carry shift data)
+// toward a flip-flop Q.  `cost_budget` bounds candidate TPs.
+bool search_path(const TpiState& st, NodeId target_ff, NodeId net, int depth,
+                 int cost_budget, PathCandidate& cand) {
+  const Netlist& nl = *st.nl;
+  const GateType t = nl.type(net);
+  if (++cand.steps > kMaxSearchSteps) return false;
+
+  if (t == GateType::Dff) {
+    if (net == target_ff) return false;  // no self-loop
+    if (st.succ.contains(net)) return false;
+    // Cycle check: target must not already lead (via succ) back to net.
+    // Linking net->target creates a cycle iff net is reachable from target.
+    NodeId w = target_ff;
+    while (true) {
+      auto it = st.succ.find(w);
+      if (it == st.succ.end()) break;
+      w = it->second;
+      if (w == net) return false;
+    }
+    cand.from_ff = net;
+    return true;
+  }
+  if (!is_combinational(t)) return false;   // PI / const cannot source a chain
+  if (depth <= 0) return false;
+  if (st.on_path[net]) return false;        // gate already carries shift data
+  if (st.values[net] != Val::X) return false;  // constant net can't shift
+
+  const auto fins = nl.fanins(net);
+  const std::size_t saved_tps = cand.tps.size();
+  const std::size_t saved_assigns = cand.assigns.size();
+  const std::size_t saved_len = cand.path.size();
+  cand.path.push_back(net);
+
+  auto try_through = [&](std::size_t cont_pin, bool extra_invert) -> bool {
+    const NodeId cont = fins[cont_pin];
+    if (st.path_pin.contains({net, static_cast<int>(cont_pin)})) return false;
+    if (st.forced_pin.contains({net, static_cast<int>(cont_pin)})) return false;
+    // Make every other pin non-controlling / neutral.
+    bool invert_here = is_inverting(t);
+    bool ok = true;
+    for (std::size_t p = 0; p < fins.size() && ok; ++p) {
+      if (p == cont_pin) continue;
+      switch (t) {
+        case GateType::And:
+        case GateType::Nand:
+          ok = force_side(st, cand, net, static_cast<int>(p), Val::One);
+          break;
+        case GateType::Or:
+        case GateType::Nor:
+          ok = force_side(st, cand, net, static_cast<int>(p), Val::Zero);
+          break;
+        case GateType::Xor:
+        case GateType::Xnor: {
+          // Any binary side works; parity depends on the forced value.
+          Val v = pin_value(st, net, static_cast<int>(p));
+          if (v == Val::X) {
+            ok = force_side(st, cand, net, static_cast<int>(p), Val::Zero);
+            v = Val::Zero;
+          }
+          if (ok && v == Val::One) invert_here = !invert_here;
+          break;
+        }
+        default:
+          break;  // Mux handled by caller, Buf/Not have no sides
+      }
+    }
+    if (ok && static_cast<int>(cand.tps.size()) <= cost_budget &&
+        search_path(st, target_ff, cont, depth - 1, cost_budget, cand)) {
+      cand.inverting = (cand.inverting != (invert_here != extra_invert));
+      return true;
+    }
+    cand.tps.resize(saved_tps);
+    cand.assigns.resize(saved_assigns);
+    return false;
+  };
+
+  bool found = false;
+  if (t == GateType::Mux) {
+    // Route through d0 (sel forced 0) or d1 (sel forced 1).
+    for (int branch = 0; branch < 2 && !found; ++branch) {
+      const std::size_t cont_pin = branch == 0 ? 1u : 2u;
+      const Val need = branch == 0 ? Val::Zero : Val::One;
+      const std::size_t stp = cand.tps.size(), sas = cand.assigns.size();
+      if (force_side(st, cand, net, 0, need) &&
+          static_cast<int>(cand.tps.size()) <= cost_budget &&
+          !st.path_pin.contains({net, static_cast<int>(cont_pin)}) &&
+          !st.forced_pin.contains({net, static_cast<int>(cont_pin)}) &&
+          search_path(st, target_ff, fins[cont_pin], depth - 1, cost_budget,
+                      cand)) {
+        found = true;
+      } else {
+        cand.tps.resize(stp);
+        cand.assigns.resize(sas);
+      }
+    }
+  } else {
+    // Deep in the budget, grab a flip-flop Q as soon as one is adjacent;
+    // early on, prefer extending through mission gates so the established
+    // scan path carries real functional logic (longer sensitised paths are
+    // exactly what makes TPI pay off — and what the paper's chain-affecting
+    // fault percentages reflect).
+    const bool take_ff_first = depth <= st.ff_grab_depth;
+    std::vector<std::size_t> order;
+    for (std::size_t p = 0; p < fins.size(); ++p) {
+      if ((nl.type(fins[p]) == GateType::Dff) == take_ff_first) {
+        order.push_back(p);
+      }
+    }
+    for (std::size_t p = 0; p < fins.size(); ++p) {
+      if ((nl.type(fins[p]) == GateType::Dff) != take_ff_first) {
+        order.push_back(p);
+      }
+    }
+    for (std::size_t p : order) {
+      if (try_through(p, false)) {
+        found = true;
+        break;
+      }
+    }
+  }
+  if (!found) cand.path.resize(saved_len);
+  return found;
+}
+
+}  // namespace
+
+ScanDesign run_tpi(Netlist& nl, const TpiOptions& opt, TpiStats* stats_out) {
+  if (opt.num_chains < 1) throw std::invalid_argument("num_chains < 1");
+
+  ScanDesign d;
+  d.scan_mode = nl.add_input("scan_mode");
+
+  TpiState st;
+  st.nl = &nl;
+  st.ff_grab_depth =
+      opt.max_path_len - std::min(opt.prefer_path_len, opt.max_path_len);
+  st.assign.emplace(d.scan_mode, Val::One);
+  st.rebuild();
+
+  TpiStats stats;
+  struct Seg {
+    NodeId from, to;
+    std::vector<NodeId> path;
+    bool invert;
+  };
+  std::vector<Seg> segs;
+
+  // Phase 1: find a functional predecessor for every flip-flop we can.
+  const std::vector<NodeId> ffs = nl.dffs();  // stable copy
+  for (NodeId ff : ffs) {
+    const NodeId dnet = nl.fanins(ff)[0];
+    PathCandidate best;
+    bool have = false;
+    for (int budget = 0; budget <= opt.max_test_points && !have; ++budget) {
+      PathCandidate cand;
+      if (search_path(st, ff, dnet, opt.max_path_len, budget, cand)) {
+        best = std::move(cand);
+        have = true;
+      }
+    }
+    if (!have) continue;
+
+    // Commit: assignments, planned TPs, path bookkeeping.
+    bool values_dirty = false;
+    for (auto [pi, v] : best.assigns) {
+      st.assign.emplace(pi, v);
+      ++stats.assigned_pis;
+      values_dirty = true;
+    }
+    for (const PlannedTp& tp : best.tps) {
+      st.forced_pin.emplace(std::make_pair(tp.node, tp.pin), tp.value);
+      st.injections.push_back({tp.node, tp.pin, tp.value});
+      ++stats.test_points;
+      values_dirty = true;
+    }
+    // best.path is in D->Q discovery order; store forward (Q -> D).
+    std::vector<NodeId> fwd(best.path.rbegin(), best.path.rend());
+    // Mark shift-carrying pins and nodes.
+    NodeId prev = best.from_ff;
+    for (NodeId g : fwd) {
+      const auto fins = nl.fanins(g);
+      for (std::size_t p = 0; p < fins.size(); ++p) {
+        if (fins[p] == prev) {
+          st.path_pin.emplace(std::make_pair(g, static_cast<int>(p)), 1);
+          break;
+        }
+      }
+      st.on_path[g] = 1;
+      prev = g;
+    }
+    st.path_pin.emplace(std::make_pair(ff, 0), 1);
+    st.pred.emplace(ff, best.from_ff);
+    st.succ.emplace(best.from_ff, ff);
+    segs.push_back({best.from_ff, ff, std::move(fwd), best.inverting});
+    ++stats.functional_segments;
+    if (values_dirty) st.recompute();
+  }
+
+  // Phase 2: insert the planned test points (transparent in normal mode).
+  NodeId scan_mode_n = kNullNode;
+  int tp_id = 0;
+  for (const auto& [pin, v] : st.forced_pin) {
+    const auto [g, p] = pin;
+    const NodeId driver = nl.fanins(g)[static_cast<std::size_t>(p)];
+    if (v == Val::Zero) {
+      if (scan_mode_n == kNullNode) {
+        scan_mode_n = nl.add_gate(GateType::Not, {d.scan_mode}, "scan_mode_n");
+      }
+      nl.insert_on_edge(driver, g, static_cast<std::size_t>(p), GateType::And,
+                        {scan_mode_n}, "_tp" + std::to_string(tp_id++));
+    } else {
+      nl.insert_on_edge(driver, g, static_cast<std::size_t>(p), GateType::Or,
+                        {d.scan_mode}, "_tp" + std::to_string(tp_id++));
+    }
+  }
+  d.test_points = stats.test_points;
+
+  // Phase 2.5: verify every functional segment on the *mutated* netlist and
+  // recompute its inversion parity from the settled scan-mode values.  A
+  // later global PI assignment can invalidate an earlier path's side-input
+  // forcing; such segments are demoted to dedicated mux links.
+  {
+    Levelizer lv2(nl);
+    CombSim sim2(lv2);
+    std::vector<Val> vals(nl.size(), Val::X);
+    for (auto [pi, v] : st.assign) vals[pi] = v;
+    sim2.run(vals);
+
+    auto seg_ok = [&](Seg& s) -> bool {
+      NodeId prev = s.from;
+      bool invert = false;
+      for (NodeId g : s.path) {
+        const GateType t = nl.type(g);
+        const auto fins = nl.fanins(g);
+        std::size_t cont = fins.size();
+        for (std::size_t p = 0; p < fins.size(); ++p) {
+          if (fins[p] == prev) {
+            cont = p;
+            break;
+          }
+        }
+        if (cont == fins.size()) return false;
+        bool inv_here = is_inverting(t);
+        for (std::size_t p = 0; p < fins.size(); ++p) {
+          if (p == cont) continue;
+          const Val v = vals[fins[p]];
+          switch (t) {
+            case GateType::And:
+            case GateType::Nand:
+              if (v != Val::One) return false;
+              break;
+            case GateType::Or:
+            case GateType::Nor:
+              if (v != Val::Zero) return false;
+              break;
+            case GateType::Xor:
+            case GateType::Xnor:
+              if (v == Val::X) return false;
+              if (v == Val::One) inv_here = !inv_here;
+              break;
+            case GateType::Mux:
+              if (p == 0) {
+                // select pin: must route the continuation branch
+                if (cont == 1 && v != Val::Zero) return false;
+                if (cont == 2 && v != Val::One) return false;
+              }
+              break;
+            default:
+              return false;
+          }
+        }
+        if (t == GateType::Mux && cont == 0) return false;
+        invert ^= inv_here;
+        prev = g;
+      }
+      if (nl.fanins(s.to)[0] != prev) return false;
+      s.invert = invert;
+      return true;
+    };
+
+    std::vector<Seg> kept;
+    for (Seg& s : segs) {
+      if (seg_ok(s)) {
+        kept.push_back(std::move(s));
+      } else {
+        st.pred.erase(s.to);
+        st.succ.erase(s.from);
+        --stats.functional_segments;
+      }
+    }
+    segs = std::move(kept);
+  }
+
+  // Phase 3: assemble runs of functionally linked flip-flops.
+  std::unordered_map<NodeId, const Seg*> seg_by_to;
+  for (const Seg& s : segs) seg_by_to.emplace(s.to, &s);
+  std::vector<std::vector<NodeId>> runs;
+  for (NodeId ff : ffs) {
+    if (st.pred.contains(ff)) continue;  // not a run head
+    std::vector<NodeId> run{ff};
+    NodeId w = ff;
+    for (auto it = st.succ.find(w); it != st.succ.end();
+         it = st.succ.find(w)) {
+      w = it->second;
+      run.push_back(w);
+    }
+    runs.push_back(std::move(run));
+  }
+  // Longest runs first, then greedy balance across chains.
+  std::sort(runs.begin(), runs.end(),
+            [](const auto& a, const auto& b) { return a.size() > b.size(); });
+
+  // Partial scan: keep the cheapest-to-scan flip-flops (long functional runs
+  // first; a run may be truncated), drop the rest from the chains entirely.
+  if (opt.scan_permille < 1000) {
+    std::size_t budget =
+        (ffs.size() * static_cast<std::size_t>(std::max(opt.scan_permille, 0)) +
+         999) /
+        1000;
+    std::vector<std::vector<NodeId>> kept_runs;
+    for (auto& run : runs) {
+      if (budget == 0) break;
+      if (run.size() > budget) run.resize(budget);
+      budget -= run.size();
+      kept_runs.push_back(std::move(run));
+    }
+    runs = std::move(kept_runs);
+  }
+
+  const std::size_t nc = std::min<std::size_t>(
+      static_cast<std::size_t>(opt.num_chains), std::max<std::size_t>(
+          ffs.size(), 1));
+  std::vector<std::vector<std::vector<NodeId>>> chain_runs(nc);
+  std::vector<std::size_t> load(nc, 0);
+  for (auto& run : runs) {
+    const std::size_t c = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    load[c] += run.size();
+    chain_runs[c].push_back(std::move(run));
+  }
+
+  // Phase 4: stitch each chain (scan muxes at run boundaries).
+  for (std::size_t c = 0; c < nc; ++c) {
+    if (chain_runs[c].empty()) continue;
+    ScanChain chain;
+    chain.scan_in = nl.add_input("scan_in" + std::to_string(c));
+    NodeId prev = chain.scan_in;
+    for (const auto& run : chain_runs[c]) {
+      for (std::size_t k = 0; k < run.size(); ++k) {
+        const NodeId ff = run[k];
+        ScanSegment seg;
+        seg.from = prev;
+        seg.to = ff;
+        if (k == 0) {
+          // Dedicated mux link into the head of the run.
+          const NodeId d_orig = nl.fanins(ff)[0];
+          const NodeId mux =
+              nl.add_gate(GateType::Mux, {d.scan_mode, d_orig, prev},
+                          nl.node_name(ff) + "_smux");
+          nl.set_fanin(ff, 0, mux);
+          seg.path = {mux};
+          seg.functional = false;
+          ++stats.mux_segments;
+          ++d.scan_muxes;
+        } else {
+          const Seg* s = seg_by_to.at(ff);
+          seg.path = s->path;
+          seg.inverting = s->invert;
+          seg.functional = true;
+        }
+        chain.segments.push_back(std::move(seg));
+        chain.ffs.push_back(ff);
+        prev = ff;
+      }
+    }
+    nl.mark_output(chain.scan_out());
+    d.chains.push_back(std::move(chain));
+  }
+
+  d.pi_constraints.assign(st.assign.begin(), st.assign.end());
+  std::sort(d.pi_constraints.begin(), d.pi_constraints.end());
+  if (stats_out) *stats_out = stats;
+  return d;
+}
+
+}  // namespace fsct

@@ -1,0 +1,52 @@
+// Test point insertion (TPI): establishes functional scan paths through
+// mission logic, after Lin et al. (DAC'97), as consumed by the paper.
+//
+// For every flip-flop the engine searches backward from its D pin for a
+// combinational path that starts at another flip-flop's Q and whose side
+// inputs can all be made non-controlling during scan mode, by
+//  * already being non-controlling constants under the current scan-mode
+//    primary-input assignment,
+//  * assigning a still-free primary input to the non-controlling value, or
+//  * inserting a test point (an AND gate with NOT(scan_mode), forcing 0, or
+//    an OR gate with scan_mode, forcing 1) on that single fanin pin.
+// The cheapest feasible path (fewest test points) is taken; flip-flops left
+// without a functional predecessor are stitched with conventional scan muxes.
+// In normal mode (scan_mode = 0) every test point is transparent, so mission
+// behaviour is unchanged — a property the test suite checks.
+#pragma once
+
+#include "scan/scan_chain.h"
+
+namespace fsct {
+
+struct TpiOptions {
+  int num_chains = 1;
+  int max_path_len = 12;    ///< max combinational gates on one functional path
+  int max_test_points = 3;  ///< test-point budget per segment
+  /// Preferred minimum functional path length: the search keeps extending
+  /// through mission gates for this many levels before grabbing an adjacent
+  /// flip-flop, so chains carry real logic (0 = shortest paths).
+  int prefer_path_len = 5;
+  /// Partial scan: per-mille of flip-flops placed on chains (1000 = full
+  /// scan).  Flip-flops are ranked by how cheaply TPI can link them — FFs
+  /// that would need dedicated muxes are dropped first, so partial functional
+  /// scan keeps the cheap links (the environment the paper's section 4
+  /// mentions: "in a partial scan environment, we can use a test set of
+  /// random vectors").
+  int scan_permille = 1000;
+};
+
+/// Statistics the overhead experiments (Figure 1) report.
+struct TpiStats {
+  int functional_segments = 0;  ///< FF->FF links riding mission logic
+  int mux_segments = 0;         ///< dedicated scan muxes (incl. chain heads)
+  int test_points = 0;
+  int assigned_pis = 0;  ///< free PIs pinned to constants in scan mode
+};
+
+/// Runs TPI on `nl` (mutates it) and builds the scan chains.
+/// `stats_out`, if non-null, receives the overhead statistics.
+ScanDesign run_tpi(Netlist& nl, const TpiOptions& opt = {},
+                   TpiStats* stats_out = nullptr);
+
+}  // namespace fsct

@@ -1,0 +1,43 @@
+// DFT transparency checking: simulation-based evidence that scan insertion
+// (MUX scan or TPI) did not change mission behaviour when scan_mode = 0.
+//
+// The check drives reference and scanned circuit with the same random input
+// streams from the same reset state and compares every flip-flop and primary
+// output each cycle.  It is a miter in spirit; being simulation-based it is
+// falsifiable evidence rather than proof, with the vector budget as the
+// confidence knob.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.h"
+#include "scan/scan_chain.h"
+
+namespace fsct {
+
+struct TransparencyOptions {
+  int cycles = 256;        ///< clocked vectors per reset epoch
+  int epochs = 4;          ///< independent random streams
+  std::uint64_t seed = 1;
+};
+
+struct TransparencyResult {
+  bool equivalent = true;
+  /// First divergence found, if any (empty when equivalent).
+  std::string diagnosis;
+  int cycles_checked = 0;
+};
+
+/// Checks that `scanned` (the post-DFT netlist, with `design` describing its
+/// scan side) behaves like `reference` in normal mode.  The reference's PIs
+/// must be a prefix of the scanned circuit's PIs (scan insertion only appends
+/// scan_mode / scan_in pins) and the flip-flop lists must correspond 1:1 in
+/// order.  Throws std::invalid_argument when the interfaces cannot be
+/// aligned.
+TransparencyResult check_dft_transparency(const Netlist& reference,
+                                          const Netlist& scanned,
+                                          const ScanDesign& design,
+                                          const TransparencyOptions& opt = {});
+
+}  // namespace fsct

@@ -1,0 +1,158 @@
+#include "sim/value.h"
+
+#include <stdexcept>
+
+namespace fsct {
+
+char val_char(Val v) {
+  switch (v) {
+    case Val::Zero: return '0';
+    case Val::One: return '1';
+    default: return 'X';
+  }
+}
+
+Val val_from_char(char c) {
+  switch (c) {
+    case '0': return Val::Zero;
+    case '1': return Val::One;
+    case 'x':
+    case 'X': return Val::X;
+    default: throw std::invalid_argument("bad value character");
+  }
+}
+
+Val controlling_value(GateType t) {
+  switch (t) {
+    case GateType::And:
+    case GateType::Nand: return Val::Zero;
+    case GateType::Or:
+    case GateType::Nor: return Val::One;
+    default: return Val::X;
+  }
+}
+
+bool is_inverting(GateType t) {
+  return t == GateType::Nand || t == GateType::Nor || t == GateType::Xnor ||
+         t == GateType::Not;
+}
+
+namespace {
+
+Val and_reduce(const Val* ins, std::size_t n) {
+  bool saw_x = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ins[i] == Val::Zero) return Val::Zero;
+    if (ins[i] == Val::X) saw_x = true;
+  }
+  return saw_x ? Val::X : Val::One;
+}
+
+Val or_reduce(const Val* ins, std::size_t n) {
+  bool saw_x = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ins[i] == Val::One) return Val::One;
+    if (ins[i] == Val::X) saw_x = true;
+  }
+  return saw_x ? Val::X : Val::Zero;
+}
+
+Val xor_reduce(const Val* ins, std::size_t n) {
+  bool parity = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ins[i] == Val::X) return Val::X;
+    parity ^= (ins[i] == Val::One);
+  }
+  return parity ? Val::One : Val::Zero;
+}
+
+}  // namespace
+
+Val eval_gate(GateType t, const Val* ins, std::size_t n) {
+  switch (t) {
+    case GateType::Const0: return Val::Zero;
+    case GateType::Const1: return Val::One;
+    case GateType::Buf:
+    case GateType::Dff: return ins[0];
+    case GateType::Not: return !ins[0];
+    case GateType::And: return and_reduce(ins, n);
+    case GateType::Nand: return !and_reduce(ins, n);
+    case GateType::Or: return or_reduce(ins, n);
+    case GateType::Nor: return !or_reduce(ins, n);
+    case GateType::Xor: return xor_reduce(ins, n);
+    case GateType::Xnor: return !xor_reduce(ins, n);
+    case GateType::Mux: {
+      const Val s = ins[0], d0 = ins[1], d1 = ins[2];
+      if (s == Val::Zero) return d0;
+      if (s == Val::One) return d1;
+      return (d0 == d1 && d0 != Val::X) ? d0 : Val::X;
+    }
+    case GateType::Input:
+      throw std::logic_error("eval_gate on a primary input");
+  }
+  return Val::X;
+}
+
+namespace {
+
+PackedVal not_p(PackedVal a) { return {a.one, a.zero}; }
+
+PackedVal and_reduce_p(const PackedVal* ins, std::size_t n) {
+  PackedVal r = PackedVal::broadcast(Val::One);
+  for (std::size_t i = 0; i < n; ++i) {
+    r = {r.zero | ins[i].zero, r.one & ins[i].one};
+  }
+  return r;
+}
+
+PackedVal or_reduce_p(const PackedVal* ins, std::size_t n) {
+  PackedVal r = PackedVal::broadcast(Val::Zero);
+  for (std::size_t i = 0; i < n; ++i) {
+    r = {r.zero & ins[i].zero, r.one | ins[i].one};
+  }
+  return r;
+}
+
+PackedVal xor2_p(PackedVal a, PackedVal b) {
+  return {(a.zero & b.zero) | (a.one & b.one),
+          (a.zero & b.one) | (a.one & b.zero)};
+}
+
+PackedVal xor_reduce_p(const PackedVal* ins, std::size_t n) {
+  PackedVal r = PackedVal::broadcast(Val::Zero);
+  for (std::size_t i = 0; i < n; ++i) r = xor2_p(r, ins[i]);
+  return r;
+}
+
+}  // namespace
+
+PackedVal eval_gate_packed(GateType t, const PackedVal* ins, std::size_t n) {
+  switch (t) {
+    case GateType::Const0: return PackedVal::broadcast(Val::Zero);
+    case GateType::Const1: return PackedVal::broadcast(Val::One);
+    case GateType::Buf:
+    case GateType::Dff: return ins[0];
+    case GateType::Not: return not_p(ins[0]);
+    case GateType::And: return and_reduce_p(ins, n);
+    case GateType::Nand: return not_p(and_reduce_p(ins, n));
+    case GateType::Or: return or_reduce_p(ins, n);
+    case GateType::Nor: return not_p(or_reduce_p(ins, n));
+    case GateType::Xor: return xor_reduce_p(ins, n);
+    case GateType::Xnor: return not_p(xor_reduce_p(ins, n));
+    case GateType::Mux: {
+      const PackedVal s = ins[0], d0 = ins[1], d1 = ins[2];
+      // sel=0 -> d0, sel=1 -> d1, sel=X -> agreement of d0/d1.
+      const std::uint64_t agree0 = d0.zero & d1.zero;
+      const std::uint64_t agree1 = d0.one & d1.one;
+      return {(s.zero & d0.zero) | (s.one & d1.zero) |
+                  (~s.zero & ~s.one & agree0),
+              (s.zero & d0.one) | (s.one & d1.one) |
+                  (~s.zero & ~s.one & agree1)};
+    }
+    case GateType::Input:
+      throw std::logic_error("eval_gate_packed on a primary input");
+  }
+  return {};
+}
+
+}  // namespace fsct

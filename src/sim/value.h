@@ -1,0 +1,77 @@
+// Three-valued logic (0 / 1 / X) and its 64-way packed counterpart.
+//
+// Scalar values drive the classifier, the serial fault simulators and ATPG;
+// packed values drive the parallel-pattern fault simulator (PPSFP), where one
+// PackedVal carries the same net across 64 test patterns.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+
+namespace fsct {
+
+/// Ternary logic value.
+enum class Val : std::uint8_t { Zero = 0, One = 1, X = 2 };
+
+inline Val operator!(Val v) {
+  switch (v) {
+    case Val::Zero: return Val::One;
+    case Val::One: return Val::Zero;
+    default: return Val::X;
+  }
+}
+
+/// 'X' / '0' / '1' for logs and tests.
+char val_char(Val v);
+
+/// Parses '0' / '1' / 'x' / 'X'; throws on anything else.
+Val val_from_char(char c);
+
+/// Returns the controlling value of an AND/NAND (0) or OR/NOR (1) style gate;
+/// Val::X when the gate has no controlling value (XOR/XNOR/BUF/NOT/MUX).
+Val controlling_value(GateType t);
+
+/// True when the gate output is the complement of its "natural" function
+/// (NAND, NOR, XNOR, NOT).
+bool is_inverting(GateType t);
+
+/// Evaluates one gate in 3-valued logic. `ins` are the fanin values in pin
+/// order; `n` is the pin count.  Sources (Input) must not be passed here.
+Val eval_gate(GateType t, const Val* ins, std::size_t n);
+
+/// 64 ternary values, one bit position per pattern.  Encoding:
+/// 0 -> zero bit set, 1 -> one bit set, X -> neither.  Invariant:
+/// (zero & one) == 0.
+struct PackedVal {
+  std::uint64_t zero = 0;
+  std::uint64_t one = 0;
+
+  static PackedVal broadcast(Val v) {
+    switch (v) {
+      case Val::Zero: return {~0ull, 0};
+      case Val::One: return {0, ~0ull};
+      default: return {0, 0};
+    }
+  }
+  /// Value of pattern `bit`.
+  Val at(unsigned bit) const {
+    const std::uint64_t m = 1ull << bit;
+    if (zero & m) return Val::Zero;
+    if (one & m) return Val::One;
+    return Val::X;
+  }
+  void set(unsigned bit, Val v) {
+    const std::uint64_t m = 1ull << bit;
+    zero &= ~m;
+    one &= ~m;
+    if (v == Val::Zero) zero |= m;
+    if (v == Val::One) one |= m;
+  }
+  friend bool operator==(const PackedVal&, const PackedVal&) = default;
+};
+
+/// Evaluates one gate over 64 packed patterns.
+PackedVal eval_gate_packed(GateType t, const PackedVal* ins, std::size_t n);
+
+}  // namespace fsct

@@ -1,0 +1,160 @@
+#include "atpg/pair_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace fsct {
+namespace {
+
+constexpr Val k0 = Val::Zero;
+constexpr Val k1 = Val::One;
+constexpr Val kX = Val::X;
+
+struct Built {
+  Netlist nl;
+  Levelizer lv;
+  PairSim sim;
+  explicit Built(Netlist n) : nl(std::move(n)), lv(nl), sim(lv) {}
+};
+
+Netlist and_tree() {
+  Netlist nl("t");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId c = nl.add_input("c");
+  const NodeId g1 = nl.add_gate(GateType::And, {a, b}, "g1");
+  nl.add_gate(GateType::Or, {g1, c}, "g2");
+  return nl;
+}
+
+TEST(PairSim, InitIsAllXWithConstants) {
+  Netlist nl("t");
+  const NodeId c1 = nl.add_const(true, "c1");
+  const NodeId a = nl.add_input("a");
+  const NodeId g = nl.add_gate(GateType::And, {c1, a}, "g");
+  Built b(std::move(nl));
+  b.sim.init({});
+  EXPECT_EQ(b.sim.value(c1).g, k1);
+  EXPECT_EQ(b.sim.value(a).g, kX);
+  EXPECT_EQ(b.sim.value(g).g, kX);
+  EXPECT_FALSE(b.sim.any_effect());
+}
+
+TEST(PairSim, SetSourcePropagates) {
+  Built b(and_tree());
+  b.sim.init({});
+  b.sim.set_source(b.nl.find("a"), k1);
+  b.sim.set_source(b.nl.find("b"), k1);
+  EXPECT_EQ(b.sim.value(b.nl.find("g1")).g, k1);
+  EXPECT_EQ(b.sim.value(b.nl.find("g2")).g, k1);
+  b.sim.set_source(b.nl.find("a"), kX);  // un-assign
+  EXPECT_EQ(b.sim.value(b.nl.find("g1")).g, kX);
+}
+
+TEST(PairSim, OutputSiteCreatesD) {
+  Built b(and_tree());
+  const NodeId g1 = b.nl.find("g1");
+  const FaultSite site[] = {{g1, -1, k0}};  // g1 s-a-0
+  b.sim.init(site);
+  b.sim.set_source(b.nl.find("a"), k1);
+  b.sim.set_source(b.nl.find("b"), k1);
+  const PairVal v = b.sim.value(g1);
+  EXPECT_EQ(v.g, k1);
+  EXPECT_EQ(v.f, k0);
+  EXPECT_TRUE(has_effect(v));
+  EXPECT_TRUE(b.sim.any_effect());
+}
+
+TEST(PairSim, EffectPropagatesAndMasks) {
+  Built b(and_tree());
+  const FaultSite site[] = {{b.nl.find("g1"), -1, k0}};
+  b.sim.init(site);
+  b.sim.set_source(b.nl.find("a"), k1);
+  b.sim.set_source(b.nl.find("b"), k1);
+  b.sim.set_source(b.nl.find("c"), k0);
+  EXPECT_TRUE(has_effect(b.sim.value(b.nl.find("g2"))));  // D reaches g2
+  b.sim.set_source(b.nl.find("c"), k1);  // OR side input masks
+  EXPECT_FALSE(has_effect(b.sim.value(b.nl.find("g2"))));
+  EXPECT_EQ(b.sim.value(b.nl.find("g2")).g, k1);
+}
+
+TEST(PairSim, PinSiteOnlyAffectsFaultyComponentOfThatGate) {
+  Netlist nl("t");
+  const NodeId a = nl.add_input("a");
+  const NodeId g1 = nl.add_gate(GateType::Buf, {a}, "g1");
+  const NodeId g2 = nl.add_gate(GateType::Buf, {a}, "g2");
+  Built b(std::move(nl));
+  const FaultSite site[] = {{g1, 0, k0}};
+  b.sim.init(site);
+  b.sim.set_source(a, k1);
+  EXPECT_TRUE(has_effect(b.sim.value(g1)));
+  EXPECT_FALSE(has_effect(b.sim.value(g2)));
+  EXPECT_EQ(b.sim.value(a).f, k1);  // the stem itself is healthy
+}
+
+TEST(PairSim, InputOutputSite) {
+  Netlist nl("t");
+  const NodeId a = nl.add_input("a");
+  const NodeId g = nl.add_gate(GateType::Not, {a}, "g");
+  Built b(std::move(nl));
+  const FaultSite site[] = {{a, -1, k1}};  // a s-a-1
+  b.sim.init(site);
+  EXPECT_EQ(b.sim.value(a).f, k1);
+  EXPECT_EQ(b.sim.value(a).g, kX);
+  b.sim.set_source(a, k0);
+  EXPECT_TRUE(has_effect(b.sim.value(a)));
+  EXPECT_TRUE(has_effect(b.sim.value(g)));
+  EXPECT_EQ(b.sim.value(g).f, k0);
+}
+
+TEST(PairSim, MultipleSitesSameFault) {
+  // Two sites of "the same" stuck line across two frame copies.
+  Netlist nl("t");
+  const NodeId a = nl.add_input("a");
+  const NodeId g1 = nl.add_gate(GateType::Buf, {a}, "g1");
+  const NodeId b2 = nl.add_input("b");
+  const NodeId g2 = nl.add_gate(GateType::Buf, {b2}, "g2");
+  Built b(std::move(nl));
+  const FaultSite sites[] = {{g1, -1, k0}, {g2, -1, k0}};
+  b.sim.init(sites);
+  b.sim.set_source(a, k1);
+  b.sim.set_source(b2, k1);
+  EXPECT_TRUE(has_effect(b.sim.value(g1)));
+  EXPECT_TRUE(has_effect(b.sim.value(g2)));
+}
+
+TEST(PairSim, EffectNetsTracksLiveEffects) {
+  Built b(and_tree());
+  const FaultSite site[] = {{b.nl.find("g1"), -1, k0}};
+  b.sim.init(site);
+  b.sim.set_source(b.nl.find("a"), k1);
+  b.sim.set_source(b.nl.find("b"), k1);
+  b.sim.set_source(b.nl.find("c"), k0);
+  const auto& nets = b.sim.effect_nets();
+  EXPECT_EQ(nets.size(), 2u);  // g1 and g2
+  b.sim.set_source(b.nl.find("b"), k0);  // deactivate the fault
+  EXPECT_FALSE(b.sim.any_effect());
+  EXPECT_TRUE(b.sim.effect_nets().empty());
+}
+
+TEST(PairSim, ReInitClearsPreviousFault) {
+  Built b(and_tree());
+  const FaultSite site[] = {{b.nl.find("g1"), -1, k0}};
+  b.sim.init(site);
+  b.sim.set_source(b.nl.find("a"), k1);
+  b.sim.set_source(b.nl.find("b"), k1);
+  EXPECT_TRUE(b.sim.any_effect());
+  b.sim.init({});
+  EXPECT_FALSE(b.sim.any_effect());
+  EXPECT_EQ(b.sim.value(b.nl.find("g1")).g, kX);
+}
+
+TEST(PairSim, RejectsSequentialNetlists) {
+  Netlist nl("t");
+  const NodeId a = nl.add_input("a");
+  nl.add_dff(a, "q");
+  Built b(std::move(nl));
+  EXPECT_THROW(b.sim.init({}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace fsct

@@ -1,0 +1,243 @@
+#include "atpg/podem.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bench_circuits/generator.h"
+#include "fault/comb_fault_sim.h"
+#include "fault/fault.h"
+
+namespace fsct {
+namespace {
+
+constexpr Val k0 = Val::Zero;
+constexpr Val k1 = Val::One;
+
+struct Built {
+  Netlist nl;
+  Levelizer lv;
+  std::vector<char> ctrl;
+  Podem podem;
+  Built(Netlist n, std::vector<NodeId> observe, AtpgOptions opt = {})
+      : nl(std::move(n)),
+        lv(nl),
+        ctrl(make_ctrl(nl)),
+        podem(lv, ctrl, std::move(observe), opt) {}
+  static std::vector<char> make_ctrl(const Netlist& nl) {
+    std::vector<char> c(nl.size(), 0);
+    for (NodeId pi : nl.inputs()) c[pi] = 1;
+    return c;
+  }
+};
+
+// Verifies a PODEM test by simulation.
+bool test_detects(const Levelizer& lv, const std::vector<NodeId>& observe,
+                  const FaultSite& site, const AtpgResult& res) {
+  PairSim sim(lv);
+  sim.init(std::span(&site, 1));
+  for (auto [pi, v] : res.assignment) sim.set_source(pi, v);
+  for (NodeId o : observe) {
+    if (has_effect(sim.value(o))) return true;
+  }
+  return false;
+}
+
+TEST(Podem, DetectsAndGateFaults) {
+  Netlist nl("t");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g = nl.add_gate(GateType::And, {a, b}, "g");
+  nl.mark_output(g);
+  Built bb(std::move(nl), {g});
+  for (bool sv : {false, true}) {
+    const FaultSite site{g, -1, sv ? k1 : k0};
+    const AtpgResult r = bb.podem.generate(std::span(&site, 1));
+    ASSERT_EQ(r.status, AtpgStatus::Detected) << (sv ? "s-a-1" : "s-a-0");
+    EXPECT_TRUE(test_detects(bb.lv, {g}, site, r));
+  }
+}
+
+TEST(Podem, ProvesRedundantFaultUntestable) {
+  // y = OR(a, NOT(a)) == 1 always; y s-a-1 is undetectable.
+  Netlist nl("t");
+  const NodeId a = nl.add_input("a");
+  const NodeId n = nl.add_gate(GateType::Not, {a}, "n");
+  const NodeId y = nl.add_gate(GateType::Or, {a, n}, "y");
+  nl.mark_output(y);
+  Built bb(std::move(nl), {y});
+  const FaultSite site{y, -1, k1};
+  const AtpgResult r = bb.podem.generate(std::span(&site, 1));
+  EXPECT_EQ(r.status, AtpgStatus::Untestable);
+}
+
+TEST(Podem, PropagatesThroughReconvergence) {
+  // Classic reconvergent structure: fault must sensitise one branch and keep
+  // the other non-masking.
+  Netlist nl("t");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId c = nl.add_input("c");
+  const NodeId g1 = nl.add_gate(GateType::And, {a, b}, "g1");
+  const NodeId g2 = nl.add_gate(GateType::And, {a, c}, "g2");
+  const NodeId y = nl.add_gate(GateType::Or, {g1, g2}, "y");
+  nl.mark_output(y);
+  Built bb(std::move(nl), {y});
+  const FaultSite site{a, -1, k0};
+  const AtpgResult r = bb.podem.generate(std::span(&site, 1));
+  ASSERT_EQ(r.status, AtpgStatus::Detected);
+  EXPECT_TRUE(test_detects(bb.lv, {y}, site, r));
+}
+
+TEST(Podem, PinFaultTargeted) {
+  Netlist nl("t");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g1 = nl.add_gate(GateType::Nand, {a, b}, "g1");
+  const NodeId g2 = nl.add_gate(GateType::Buf, {a}, "g2");
+  nl.mark_output(g1);
+  nl.mark_output(g2);
+  Built bb(std::move(nl), {g1, g2});
+  const FaultSite site{g1, 0, k1};  // branch of a into g1 s-a-1
+  const AtpgResult r = bb.podem.generate(std::span(&site, 1));
+  ASSERT_EQ(r.status, AtpgStatus::Detected);
+  EXPECT_TRUE(test_detects(bb.lv, {g1, g2}, site, r));
+  // The test must set a=0 (activation) and b=1 (propagation through NAND).
+  for (auto [pi, v] : r.assignment) {
+    if (pi == a) EXPECT_EQ(v, k0);
+    if (pi == b) EXPECT_EQ(v, k1);
+  }
+}
+
+TEST(Podem, XorPropagation) {
+  Netlist nl("t");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId y = nl.add_gate(GateType::Xor, {a, b}, "y");
+  nl.mark_output(y);
+  Built bb(std::move(nl), {y});
+  const FaultSite site{a, -1, k1};
+  const AtpgResult r = bb.podem.generate(std::span(&site, 1));
+  ASSERT_EQ(r.status, AtpgStatus::Detected);
+  EXPECT_TRUE(test_detects(bb.lv, {y}, site, r));
+}
+
+TEST(Podem, MuxPropagation) {
+  Netlist nl("t");
+  const NodeId s = nl.add_input("s");
+  const NodeId d0 = nl.add_input("d0");
+  const NodeId d1 = nl.add_input("d1");
+  const NodeId y = nl.add_gate(GateType::Mux, {s, d0, d1}, "y");
+  nl.mark_output(y);
+  Built bb(std::move(nl), {y});
+  const FaultSite site{d1, -1, k0};
+  const AtpgResult r = bb.podem.generate(std::span(&site, 1));
+  ASSERT_EQ(r.status, AtpgStatus::Detected);
+  EXPECT_TRUE(test_detects(bb.lv, {y}, site, r));
+}
+
+TEST(Podem, UnobservableFaultUntestable) {
+  // Gate with no path to any observation point.
+  Netlist nl("t");
+  const NodeId a = nl.add_input("a");
+  const NodeId dead = nl.add_gate(GateType::Not, {a}, "dead");
+  const NodeId y = nl.add_gate(GateType::Buf, {a}, "y");
+  nl.mark_output(y);
+  Built bb(std::move(nl), {y});
+  const FaultSite site{dead, -1, k0};
+  const AtpgResult r = bb.podem.generate(std::span(&site, 1));
+  EXPECT_EQ(r.status, AtpgStatus::Untestable);
+}
+
+TEST(Podem, UncontrollableActivationUntestable) {
+  // Activation requires an uncontrollable input.
+  Netlist nl("t");
+  const NodeId a = nl.add_input("a");   // controllable
+  const NodeId u = nl.add_input("u");   // not controllable
+  const NodeId g = nl.add_gate(GateType::And, {a, u}, "g");
+  nl.mark_output(g);
+  Netlist copy = nl;  // keep names for assertions
+  Levelizer lv(copy);
+  std::vector<char> ctrl(copy.size(), 0);
+  ctrl[a] = 1;
+  Podem podem(lv, ctrl, {g});
+  const FaultSite site{u, -1, k0};  // need u=1 to activate: impossible
+  const AtpgResult r = podem.generate(std::span(&site, 1));
+  EXPECT_EQ(r.status, AtpgStatus::Untestable);
+}
+
+TEST(Podem, BacktrackLimitAborts) {
+  // A hard random circuit with a tiny backtrack budget must abort (not hang).
+  RandomCircuitSpec spec;
+  spec.num_gates = 400;
+  spec.num_ffs = 0;
+  spec.num_pis = 12;
+  spec.num_pos = 3;
+  spec.seed = 5;
+  Netlist nl = make_random_sequential(spec);
+  Levelizer lv(nl);
+  std::vector<char> ctrl(nl.size(), 0);
+  for (NodeId pi : nl.inputs()) ctrl[pi] = 1;
+  Podem podem(lv, ctrl, nl.outputs(), AtpgOptions{0});
+  int aborted = 0;
+  const auto faults = collapsed_fault_list(nl);
+  for (std::size_t i = 0; i < faults.size() && i < 50; ++i) {
+    const FaultSite site{faults[i].node, faults[i].pin,
+                         faults[i].stuck_one ? k1 : k0};
+    const AtpgResult r = podem.generate(std::span(&site, 1));
+    aborted += (r.status == AtpgStatus::Aborted);
+  }
+  EXPECT_GE(aborted, 0);  // primarily: terminates
+}
+
+// Property: on random combinational circuits every Detected result is
+// verified by independent fault simulation, and coverage is high.
+class PodemRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PodemRandom, DetectedTestsAreRealAndCoverageHigh) {
+  RandomCircuitSpec spec;
+  spec.num_gates = 200;
+  spec.num_ffs = 0;
+  spec.num_pis = 10;
+  spec.num_pos = 6;
+  spec.seed = GetParam();
+  Netlist nl = make_random_sequential(spec);
+  Levelizer lv(nl);
+  std::vector<char> ctrl(nl.size(), 0);
+  for (NodeId pi : nl.inputs()) ctrl[pi] = 1;
+  Podem podem(lv, ctrl, nl.outputs(), AtpgOptions{500});
+
+  const auto faults = collapsed_fault_list(nl);
+  std::size_t detected = 0, untestable = 0, aborted = 0, bogus = 0;
+  for (const Fault& f : faults) {
+    const FaultSite site{f.node, f.pin, f.stuck_one ? k1 : k0};
+    const AtpgResult r = podem.generate(std::span(&site, 1));
+    switch (r.status) {
+      case AtpgStatus::Detected: {
+        PairSim sim(lv);
+        sim.init(std::span(&site, 1));
+        for (auto [pi, v] : r.assignment) sim.set_source(pi, v);
+        bool seen = false;
+        for (NodeId o : nl.outputs()) seen |= has_effect(sim.value(o));
+        if (!seen) ++bogus;
+        ++detected;
+        break;
+      }
+      case AtpgStatus::Untestable: ++untestable; break;
+      default: ++aborted; break;
+    }
+  }
+  EXPECT_EQ(bogus, 0u);
+  // Random mapped-style logic carries real redundancy (~20% of faults are
+  // untestable), so demand resolution, not raw detection: nearly every fault
+  // must end Detected or proven Untestable, with few aborts.
+  EXPECT_GT(detected, faults.size() / 2) << "coverage too low";
+  EXPECT_GT(detected + untestable, faults.size() * 9 / 10);
+  EXPECT_LT(aborted, faults.size() / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PodemRandom,
+                         ::testing::Values(11ull, 22ull, 33ull, 44ull));
+
+}  // namespace
+}  // namespace fsct

@@ -1,0 +1,124 @@
+#include "bench_circuits/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bench_circuits/suite.h"
+#include "netlist/levelize.h"
+
+namespace fsct {
+namespace {
+
+TEST(Generator, MatchesRequestedCounts) {
+  RandomCircuitSpec spec;
+  spec.num_pis = 7;
+  spec.num_ffs = 13;
+  spec.num_gates = 111;
+  spec.seed = 42;
+  const Netlist nl = make_random_sequential(spec);
+  EXPECT_EQ(nl.inputs().size(), 7u);
+  EXPECT_EQ(nl.dffs().size(), 13u);
+  EXPECT_EQ(nl.num_gates(), 111u);
+  EXPECT_GE(nl.outputs().size(), static_cast<std::size_t>(spec.num_pos));
+  EXPECT_EQ(nl.validate(), "");
+}
+
+TEST(Generator, DeterministicInSeed) {
+  RandomCircuitSpec spec;
+  spec.num_gates = 200;
+  spec.num_ffs = 10;
+  spec.seed = 9;
+  const Netlist a = make_random_sequential(spec);
+  const Netlist b = make_random_sequential(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (NodeId id = 0; id < a.size(); ++id) {
+    EXPECT_EQ(a.type(id), b.type(id));
+    EXPECT_EQ(a.fanins(id).size(), b.fanins(id).size());
+    for (std::size_t p = 0; p < a.fanins(id).size(); ++p) {
+      EXPECT_EQ(a.fanins(id)[p], b.fanins(id)[p]);
+    }
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  RandomCircuitSpec spec;
+  spec.num_gates = 200;
+  spec.num_ffs = 10;
+  spec.seed = 1;
+  const Netlist a = make_random_sequential(spec);
+  spec.seed = 2;
+  const Netlist b = make_random_sequential(spec);
+  bool any_diff = a.size() != b.size();
+  for (NodeId id = 0; id < a.size() && id < b.size() && !any_diff; ++id) {
+    if (a.type(id) != b.type(id)) any_diff = true;
+    const auto fa = a.fanins(id);
+    const auto fb = b.fanins(id);
+    if (!std::equal(fa.begin(), fa.end(), fb.begin(), fb.end())) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, NoDanglingLogic) {
+  RandomCircuitSpec spec;
+  spec.num_gates = 150;
+  spec.num_ffs = 8;
+  spec.seed = 33;
+  const Netlist nl = make_random_sequential(spec);
+  std::vector<int> fanout(nl.size(), 0);
+  for (NodeId id = 0; id < nl.size(); ++id) {
+    for (NodeId f : nl.fanins(id)) ++fanout[f];
+  }
+  for (NodeId po : nl.outputs()) ++fanout[po];
+  for (NodeId id = 0; id < nl.size(); ++id) {
+    if (is_combinational(nl.type(id))) {
+      EXPECT_GT(fanout[id], 0) << nl.node_name(id) << " dangles";
+    }
+  }
+}
+
+TEST(Generator, BadSpecThrows) {
+  RandomCircuitSpec spec;
+  spec.num_gates = 0;
+  EXPECT_THROW(make_random_sequential(spec), std::invalid_argument);
+}
+
+TEST(Suite, TwelveCircuitsWithPaperSizes) {
+  const auto& suite = paper_suite();
+  ASSERT_EQ(suite.size(), 12u);
+  EXPECT_EQ(suite.front().name, "s1423");
+  EXPECT_EQ(suite.back().name, "s38584");
+  std::size_t total_ffs = 0;
+  for (const SuiteEntry& e : suite) total_ffs += static_cast<std::size_t>(e.ffs);
+  EXPECT_EQ(total_ffs, 6674u);  // published ISCAS'89 flip-flop counts
+}
+
+TEST(Suite, LookupByName) {
+  EXPECT_EQ(suite_entry("s5378").ffs, 179);
+  EXPECT_THROW(suite_entry("sXXXX"), std::invalid_argument);
+}
+
+TEST(Suite, BuildSmallestCircuitMatchesEntry) {
+  const SuiteEntry& e = suite_entry("s1488");
+  const Netlist nl = build_suite_circuit(e);
+  EXPECT_EQ(nl.num_gates(), static_cast<std::size_t>(e.gates));
+  EXPECT_EQ(nl.dffs().size(), static_cast<std::size_t>(e.ffs));
+  EXPECT_EQ(nl.inputs().size(), static_cast<std::size_t>(e.pis));
+  const Levelizer lv(nl);
+  EXPECT_EQ(lv.topo_order().size(), nl.num_gates());
+}
+
+TEST(Suite, BuildIsDeterministic) {
+  const SuiteEntry& e = suite_entry("s1423");
+  const Netlist a = build_suite_circuit(e);
+  const Netlist b = build_suite_circuit(e);
+  ASSERT_EQ(a.size(), b.size());
+  for (NodeId id = 0; id < a.size(); id += 37) {
+    EXPECT_EQ(a.type(id), b.type(id));
+  }
+}
+
+}  // namespace
+}  // namespace fsct

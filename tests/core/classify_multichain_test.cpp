@@ -1,0 +1,132 @@
+// Multi-chain classification: faults that touch several chains, and the
+// per-chain last-location rule (a fault is Easy if at least one chain's last
+// affected location is a pure category-1 event — the flush watches every
+// scan-out at once).
+#include <gtest/gtest.h>
+
+#include "core/classify.h"
+#include "core/grouping.h"
+#include "fault/seq_fault_sim.h"
+#include "scan/scan_sequences.h"
+
+namespace fsct {
+namespace {
+
+constexpr Val k1 = Val::One;
+
+// Two 2-FF chains; a shared control PI `en` (forced 1) gates the last
+// segment of both chains.
+struct TwoChains {
+  Netlist nl{"two_chains"};
+  ScanDesign d;
+  NodeId en, a1, a2;
+
+  TwoChains() {
+    const NodeId scan_mode = nl.add_input("scan_mode");
+    const NodeId si0 = nl.add_input("si0");
+    const NodeId si1 = nl.add_input("si1");
+    en = nl.add_input("en");
+
+    const NodeId f10 = nl.add_dff(si0, "f10");
+    a1 = nl.add_gate(GateType::And, {f10, en}, "a1");
+    const NodeId f11 = nl.add_dff(a1, "f11");
+
+    const NodeId f20 = nl.add_dff(si1, "f20");
+    a2 = nl.add_gate(GateType::And, {f20, en}, "a2");
+    const NodeId f21 = nl.add_dff(a2, "f21");
+
+    nl.mark_output(f11);
+    nl.mark_output(f21);
+
+    d.scan_mode = scan_mode;
+    d.pi_constraints = {{scan_mode, Val::One}, {en, Val::One}};
+    auto seg = [](NodeId from, NodeId to, std::vector<NodeId> path) {
+      ScanSegment s;
+      s.from = from;
+      s.to = to;
+      s.path = std::move(path);
+      s.functional = true;
+      return s;
+    };
+    ScanChain c0;
+    c0.scan_in = si0;
+    c0.ffs = {f10, f11};
+    c0.segments = {seg(si0, f10, {}), seg(f10, f11, {a1})};
+    ScanChain c1;
+    c1.scan_in = si1;
+    c1.ffs = {f20, f21};
+    c1.segments = {seg(si1, f20, {}), seg(f20, f21, {a2})};
+    d.chains = {c0, c1};
+  }
+};
+
+TEST(ClassifyMultiChain, SharedControlFaultHitsBothChains) {
+  TwoChains w;
+  const Levelizer lv(w.nl);
+  const ScanModeModel model(lv, w.d);
+  ASSERT_EQ(model.check(), "");
+  ChainFaultClassifier cls(model);
+  // en s-a-0 pins BOTH chains' last segments to 0: category 1 everywhere.
+  const ChainFaultInfo info = cls.classify({w.en, -1, false});
+  EXPECT_TRUE(info.multi_chain);
+  EXPECT_EQ(info.category, ChainFaultCategory::Easy);
+  // Per chain: the stuck segment (1) and the latched scan-out Q (2).
+  ASSERT_EQ(info.locations.size(), 4u);
+  EXPECT_EQ(info.locations[0].chain, 0);
+  EXPECT_EQ(info.locations[3].chain, 1);
+}
+
+TEST(ClassifyMultiChain, MultiChainFaultWindowsFeedGrouping) {
+  TwoChains w;
+  const Levelizer lv(w.nl);
+  const ScanModeModel model(lv, w.d);
+  ChainFaultClassifier cls(model);
+  const ChainFaultInfo info = cls.classify({w.en, -1, false});
+  const FaultWindow fw = make_fault_window(0, info);
+  EXPECT_TRUE(fw.multi_chain());
+  const auto groups = make_groups({fw}, DistanceParams{});
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].kind, 1);  // multi-chain faults always group 1
+  EXPECT_EQ(groups[0].window.size(), 2u);
+}
+
+TEST(ClassifyMultiChain, SingleChainFaultLeavesOtherChainClean) {
+  TwoChains w;
+  const Levelizer lv(w.nl);
+  const ScanModeModel model(lv, w.d);
+  ChainFaultClassifier cls(model);
+  const ChainFaultInfo info = cls.classify({w.a1, -1, true});
+  EXPECT_FALSE(info.multi_chain);
+  ASSERT_FALSE(info.locations.empty());
+  for (const ChainLocation& loc : info.locations) {
+    EXPECT_EQ(loc.chain, 0);
+  }
+}
+
+TEST(ClassifyMultiChain, FlushCatchesTheSharedControlFault) {
+  TwoChains w;
+  const Levelizer lv(w.nl);
+  const ScanModeModel model(lv, w.d);
+  const ScanSequenceBuilder sb(w.nl, w.d);
+  std::vector<NodeId> observe = model.scan_outs();
+  SeqFaultSim sim(lv, observe);
+  const Fault faults[] = {{w.en, -1, false}};
+  const auto r = sim.run_serial(sb.alternating(16), faults);
+  EXPECT_GE(r.detect_cycle[0], 0);
+}
+
+TEST(ClassifyMultiChain, ScanInOfOneChainOnlyTouchesThatChain) {
+  TwoChains w;
+  const Levelizer lv(w.nl);
+  const ScanModeModel model(lv, w.d);
+  ChainFaultClassifier cls(model);
+  const ChainFaultInfo info = cls.classify({w.nl.find("si1"), -1, true});
+  EXPECT_FALSE(info.multi_chain);
+  ASSERT_FALSE(info.locations.empty());
+  EXPECT_EQ(info.locations[0].chain, 1);
+  EXPECT_EQ(info.locations[0].segment, 0);
+  (void)k1;
+}
+
+}  // namespace
+}  // namespace fsct

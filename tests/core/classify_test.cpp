@@ -1,0 +1,148 @@
+#include "core/classify.h"
+
+#include <gtest/gtest.h>
+
+#include "bench_circuits/paper_examples.h"
+#include "fault/seq_fault_sim.h"
+#include "scan/scan_sequences.h"
+
+namespace fsct {
+namespace {
+
+struct Built {
+  ExampleDesign e;
+  Levelizer lv;
+  ScanModeModel model;
+  ChainFaultClassifier cls;
+  explicit Built(ExampleDesign ed)
+      : e(std::move(ed)), lv(e.nl), model(lv, e.design), cls(model) {}
+};
+
+TEST(Classify, Figure2FaultIsCategory2AtLastLocation) {
+  Built b(paper_figure2());
+  const Fault f = paper_figure2_fault(b.e.nl);
+  const ChainFaultInfo info = b.cls.classify(f);
+  EXPECT_EQ(info.category, ChainFaultCategory::Hard);
+  ASSERT_EQ(info.locations.size(), 1u);
+  EXPECT_EQ(info.locations[0].segment, 5);
+  EXPECT_FALSE(info.multi_chain);
+}
+
+TEST(Classify, Figure2AlternatingSequenceMissesTheFault) {
+  // The paper's headline: a period-4 shortened chain hides from 0011....
+  Built b(paper_figure2());
+  const Fault f = paper_figure2_fault(b.e.nl);
+  const ScanSequenceBuilder sb(b.e.nl, b.e.design);
+  SeqFaultSim sim(b.lv, {b.e.nl.find("f6")});
+  const Fault faults[] = {f};
+  const auto r = sim.run_serial(sb.alternating(40), faults);
+  EXPECT_EQ(r.detect_cycle[0], -1) << "alternating sequence must miss it";
+}
+
+TEST(Classify, Figure2Category1FaultCaughtByAlternating) {
+  // en s-a-1 is the opposite: the OR side b stays 0... en s-a-1 equals the
+  // good assignment, so take a chain-net stuck instead: a s-a-1 makes d6=1.
+  Built b(paper_figure2());
+  const Fault f{b.e.nl.find("a"), -1, true};
+  const ChainFaultInfo info = b.cls.classify(f);
+  EXPECT_EQ(info.category, ChainFaultCategory::Easy);
+  const ScanSequenceBuilder sb(b.e.nl, b.e.design);
+  SeqFaultSim sim(b.lv, {b.e.nl.find("f6")});
+  const Fault faults[] = {f};
+  const auto r = sim.run_serial(sb.alternating(40), faults);
+  EXPECT_GE(r.detect_cycle[0], 0) << "alternating sequence must catch cat-1";
+}
+
+TEST(Classify, Figure3MultipleLocationsLastDecides) {
+  Built b(paper_figure3());
+  const Fault f = paper_figure3_fault(b.e.nl);
+  const ChainFaultInfo info = b.cls.classify(f);
+  // pi1 s-a-0: g1 = AND(f1, 0) = 0 (cat-1 at segment 1; in steady state
+  // f2/f3 latch the constant, extending it to segments 2 and 3), while
+  // s = AND(NOT(0)=1, f1) = X is a cat-2 side of g2 at segment 3.  The last
+  // location carries a category-2 event, so category 2 takes priority.
+  EXPECT_EQ(info.category, ChainFaultCategory::Hard);
+  ASSERT_EQ(info.locations.size(), 3u);
+  EXPECT_EQ(info.locations[0].segment, 1);
+  EXPECT_EQ(info.locations[2].segment, 3);
+}
+
+TEST(Classify, Figure3ReversedPriorityWhenLastIsStuck) {
+  // pi1 s-a-1 matches the good value: no effect at all (category 3).
+  Built b(paper_figure3());
+  const Fault f{b.e.nl.find("pi1"), -1, true};
+  const ChainFaultInfo info = b.cls.classify(f);
+  EXPECT_EQ(info.category, ChainFaultCategory::NotAffecting);
+  EXPECT_TRUE(info.locations.empty());
+}
+
+TEST(Classify, ChainNetStuckIsCategory1) {
+  Built b(paper_figure3());
+  // g1 output s-a-0 pins the chain net between f1 and f2.
+  const Fault f{b.e.nl.find("g1"), -1, false};
+  const ChainFaultInfo info = b.cls.classify(f);
+  EXPECT_EQ(info.category, ChainFaultCategory::Easy);
+  ASSERT_GE(info.locations.size(), 1u);
+  EXPECT_EQ(info.locations[0].segment, 1);
+}
+
+TEST(Classify, ScanInStuckIsCategory1AtSegmentZero) {
+  Built b(paper_figure3());
+  const Fault f{b.e.nl.find("si"), -1, true};
+  const ChainFaultInfo info = b.cls.classify(f);
+  EXPECT_EQ(info.category, ChainFaultCategory::Easy);
+  EXPECT_EQ(info.locations[0].segment, 0);
+}
+
+TEST(Classify, DffPinFaultIsStuckCapture) {
+  Built b(paper_figure3());
+  const NodeId f3 = b.e.nl.find("f3");
+  const Fault f{f3, 0, true};  // D pin of f3 s-a-1
+  const ChainFaultInfo info = b.cls.classify(f);
+  EXPECT_EQ(info.category, ChainFaultCategory::Easy);
+  // f3 = ffs[2]: capture location is segment 2.
+  EXPECT_EQ(info.locations[0].segment, 2);
+}
+
+TEST(Classify, DffOutputFaultPropagates) {
+  Built b(paper_figure3());
+  const Fault f{b.e.nl.find("f4"), -1, false};  // scan-out Q stuck
+  const ChainFaultInfo info = b.cls.classify(f);
+  EXPECT_EQ(info.category, ChainFaultCategory::Easy);
+  EXPECT_EQ(info.locations[0].segment, 4);  // "at the scan-out"
+}
+
+TEST(Classify, FaultOffTheChainIsCategory3) {
+  // Fig-2 PO-side logic: nothing besides the chain exists, so craft one: the
+  // en_n net's s-a-0 equals its good value -> category 3.
+  Built b(paper_figure2());
+  const Fault f{b.e.nl.find("en_n"), -1, false};
+  const ChainFaultInfo info = b.cls.classify(f);
+  EXPECT_EQ(info.category, ChainFaultCategory::NotAffecting);
+}
+
+TEST(Classify, ClassifyAllMatchesIndividualCalls) {
+  Built b(paper_figure3());
+  const auto faults = collapsed_fault_list(b.e.nl);
+  const auto all = b.cls.classify_all(faults);
+  ASSERT_EQ(all.size(), faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const ChainFaultInfo one = b.cls.classify(faults[i]);
+    EXPECT_EQ(all[i].category, one.category) << fault_name(b.e.nl, faults[i]);
+    EXPECT_EQ(all[i].locations, one.locations);
+  }
+}
+
+TEST(Classify, ScratchStateFullyRestoredBetweenFaults) {
+  Built b(paper_figure2());
+  const Fault f = paper_figure2_fault(b.e.nl);
+  const ChainFaultInfo a1 = b.cls.classify(f);
+  // Classify something unrelated, then the same fault again.
+  b.cls.classify({b.e.nl.find("si"), -1, false});
+  const ChainFaultInfo a2 = b.cls.classify(f);
+  EXPECT_EQ(a1.category, a2.category);
+  EXPECT_EQ(a1.locations, a2.locations);
+}
+
+}  // namespace
+}  // namespace fsct

@@ -1,0 +1,131 @@
+#include "core/compaction.h"
+
+#include <gtest/gtest.h>
+
+#include "bench_circuits/generator.h"
+#include "bench_circuits/paper_examples.h"
+#include "scan/tpi.h"
+
+namespace fsct {
+namespace {
+
+struct World {
+  Netlist nl;
+  ScanDesign design;
+  Levelizer lv;
+  ScanModeModel model;
+  std::vector<Fault> faults;
+  PipelineResult result;
+
+  explicit World(std::uint64_t seed) : nl(make(seed)), design(run_tpi(nl)),
+                                       lv(nl), model(lv, design),
+                                       faults(collapsed_fault_list(nl)) {
+    PipelineOptions opt;
+    opt.random_patterns = 32;
+    result = run_fsct_pipeline(model, faults, opt);
+  }
+  static Netlist make(std::uint64_t seed) {
+    RandomCircuitSpec spec;
+    spec.num_gates = 240;
+    spec.num_ffs = 18;
+    spec.num_pis = 8;
+    spec.num_pos = 5;
+    spec.seed = seed;
+    return make_random_sequential(spec);
+  }
+
+  std::vector<Fault> hard_faults() const {
+    std::vector<Fault> h;
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (result.info[i].category == ChainFaultCategory::Hard) {
+        h.push_back(faults[i]);
+      }
+    }
+    return h;
+  }
+};
+
+TEST(Compaction, DetectionSetsMatchPipelineTotals) {
+  World w(90);
+  ASSERT_GT(w.result.vectors.size(), 0u);
+  const auto hard = w.hard_faults();
+  const auto det = per_vector_detections(w.model, w.result.vectors, hard);
+  ASSERT_EQ(det.size(), w.result.vectors.size());
+  std::vector<char> covered(hard.size(), 0);
+  for (const auto& d : det) {
+    for (std::size_t f : d) covered[f] = 1;
+  }
+  const auto n = static_cast<std::size_t>(
+      std::count(covered.begin(), covered.end(), 1));
+  // Union coverage equals the pipeline's sequentially verified detections.
+  EXPECT_EQ(n, w.result.s2_detected);
+}
+
+TEST(Compaction, CompactionIsLossless) {
+  World w(91);
+  const auto hard = w.hard_faults();
+  const CompactionResult c =
+      compact_vectors(w.model, w.result.vectors, hard);
+  EXPECT_EQ(c.covered_kept, c.covered_full);
+  EXPECT_LE(c.kept.size(), w.result.vectors.size());
+  EXPECT_TRUE(std::is_sorted(c.kept.begin(), c.kept.end()));
+}
+
+TEST(Compaction, CompactedSetStillCoversEverything) {
+  World w(92);
+  const auto hard = w.hard_faults();
+  const CompactionResult c = compact_vectors(w.model, w.result.vectors, hard);
+  // Re-simulate only the kept vectors and confirm identical coverage.
+  std::vector<ScanVector> kept;
+  for (std::size_t i : c.kept) kept.push_back(w.result.vectors[i]);
+  const auto det = per_vector_detections(w.model, kept, hard);
+  std::vector<char> covered(hard.size(), 0);
+  for (const auto& d : det) {
+    for (std::size_t f : d) covered[f] = 1;
+  }
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(covered.begin(), covered.end(), 1)),
+            c.covered_full);
+}
+
+TEST(Compaction, TruncationCurveMonotoneAndEndsAtFullCoverage) {
+  World w(93);
+  const auto hard = w.hard_faults();
+  const auto det = per_vector_detections(w.model, w.result.vectors, hard);
+  const auto curve = truncation_curve(det, hard.size());
+  ASSERT_EQ(curve.size(), det.size());
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i], curve[i - 1]);
+  }
+  if (!curve.empty()) {
+    const CompactionResult c =
+        compact_vectors(w.model, w.result.vectors, hard);
+    EXPECT_EQ(curve.back(), c.covered_full);
+  }
+}
+
+TEST(Compaction, FrontLoadedDetection) {
+  // The paper's Figure-5 observation: the first half of the set detects the
+  // large majority.
+  World w(94);
+  const auto hard = w.hard_faults();
+  const auto det = per_vector_detections(w.model, w.result.vectors, hard);
+  const auto curve = truncation_curve(det, hard.size());
+  if (curve.size() >= 4 && curve.back() > 0) {
+    EXPECT_GE(curve[curve.size() / 2] * 10, curve.back() * 5)
+        << "first half detects under 50% — not front-loaded";
+  }
+}
+
+TEST(Compaction, EmptyInputsAreFine) {
+  World w(95);
+  const auto hard = w.hard_faults();
+  const CompactionResult c = compact_vectors(w.model, {}, hard);
+  EXPECT_TRUE(c.kept.empty());
+  EXPECT_EQ(c.covered_full, 0u);
+  const auto curve = truncation_curve({}, hard.size());
+  EXPECT_TRUE(curve.empty());
+}
+
+}  // namespace
+}  // namespace fsct

@@ -1,0 +1,145 @@
+#include "core/grouping.h"
+
+#include <gtest/gtest.h>
+
+namespace fsct {
+namespace {
+
+FaultWindow fw(std::size_t idx, int chain, int lo, int hi) {
+  FaultWindow w;
+  w.fault_index = idx;
+  w.chains = {{chain, lo, hi}};
+  return w;
+}
+
+TEST(Grouping, DistanceParamsFromMaxsize) {
+  // Small chains: floors kick in.
+  DistanceParams p = DistanceParams::from_maxsize(10);
+  EXPECT_EQ(p.large_dist, 50);
+  EXPECT_EQ(p.med_dist, 25);
+  EXPECT_EQ(p.dist, 20);
+  // Long chains: fractions kick in.
+  p = DistanceParams::from_maxsize(200);
+  EXPECT_EQ(p.large_dist, 120);
+  EXPECT_EQ(p.med_dist, 50);
+  EXPECT_EQ(p.dist, 30);
+}
+
+TEST(Grouping, MakeFaultWindowMergesPerChain) {
+  ChainFaultInfo info;
+  info.locations = {{0, 2}, {0, 5}, {1, 3}};
+  const FaultWindow w = make_fault_window(7, info);
+  EXPECT_EQ(w.fault_index, 7u);
+  ASSERT_EQ(w.chains.size(), 2u);
+  EXPECT_EQ(w.chains[0].min_seg, 2);
+  EXPECT_EQ(w.chains[0].max_seg, 5);
+  EXPECT_TRUE(w.multi_chain());
+  EXPECT_EQ(w.spread(), 3);
+}
+
+// The paper's Figure 4 example: 7 flip-flops, LARGE_DIST=4, MED_DIST=3,
+// DIST=2.  With FFs numbered 1..7 and our 0-based capture locations,
+// "between FFi and FFi+1" is location i.
+TEST(Grouping, PaperFigure4Example) {
+  DistanceParams p;
+  p.large_dist = 4;
+  p.med_dist = 3;
+  p.dist = 2;
+  std::vector<FaultWindow> faults = {
+      fw(1, 0, 1, 5),  // fault1: FF1-FF2 and FF5-FF6 -> spread 4 -> group 1
+      fw(2, 0, 2, 5),  // fault2: spread 3 -> group 2 seed
+      fw(3, 0, 3, 4),  // fault3: inside fault2's window -> absorbed
+      fw(4, 0, 2, 4),  // fault4: inside fault2's window -> absorbed
+      fw(5, 0, 0, 0),  // fault5 \  clustered: window [0,1] <= DIST
+      fw(6, 0, 1, 1),  // fault6 /  (outside fault2's window)
+      fw(7, 0, 6, 6),  // fault7 \  clustered: window [6,6]
+      fw(8, 0, 6, 6),  // fault8 /
+  };
+  const auto groups = make_groups(faults, p);
+  ASSERT_EQ(groups.size(), 4u);
+
+  EXPECT_EQ(groups[0].kind, 1);
+  EXPECT_EQ(groups[0].fault_indices, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(groups[0].window.front().min_seg, 1);
+  EXPECT_EQ(groups[0].window.front().max_seg, 5);
+
+  EXPECT_EQ(groups[1].kind, 2);
+  EXPECT_EQ(groups[1].fault_indices, (std::vector<std::size_t>{2, 3, 4}));
+
+  EXPECT_EQ(groups[2].kind, 3);
+  EXPECT_EQ(groups[2].fault_indices, (std::vector<std::size_t>{5, 6}));
+  EXPECT_EQ(groups[2].window.front().min_seg, 0);
+  EXPECT_EQ(groups[2].window.front().max_seg, 1);
+
+  EXPECT_EQ(groups[3].kind, 3);
+  EXPECT_EQ(groups[3].fault_indices, (std::vector<std::size_t>{7, 8}));
+}
+
+TEST(Grouping, MultiChainFaultsGoToGroup1) {
+  DistanceParams p;
+  FaultWindow w;
+  w.fault_index = 0;
+  w.chains = {{0, 1, 1}, {1, 4, 4}};
+  const auto groups = make_groups({w}, p);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].kind, 1);
+  EXPECT_EQ(groups[0].window.size(), 2u);
+}
+
+TEST(Grouping, Group3ClustersPerChain) {
+  DistanceParams p;
+  p.dist = 5;
+  p.med_dist = 100;
+  p.large_dist = 200;
+  std::vector<FaultWindow> faults = {
+      fw(0, 0, 1, 1), fw(1, 0, 3, 3),   // chain 0 cluster
+      fw(2, 1, 1, 1), fw(3, 1, 2, 2),   // chain 1 cluster (no mixing!)
+  };
+  const auto groups = make_groups(faults, p);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].window.front().chain, 0);
+  EXPECT_EQ(groups[1].window.front().chain, 1);
+}
+
+TEST(Grouping, Group3SplitsWhenSpanExceedsDist) {
+  DistanceParams p;
+  p.dist = 2;
+  p.med_dist = 100;
+  p.large_dist = 200;
+  std::vector<FaultWindow> faults = {
+      fw(0, 0, 0, 0), fw(1, 0, 1, 1), fw(2, 0, 2, 2),
+      fw(3, 0, 3, 3), fw(4, 0, 4, 4),
+  };
+  const auto groups = make_groups(faults, p);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].fault_indices.size(), 3u);  // 0,1,2 (span 2)
+  EXPECT_EQ(groups[1].fault_indices.size(), 2u);  // 3,4
+}
+
+TEST(Grouping, EveryFaultAppearsExactlyOnce) {
+  DistanceParams p;
+  p.large_dist = 8;
+  p.med_dist = 4;
+  p.dist = 3;
+  std::vector<FaultWindow> faults;
+  for (std::size_t i = 0; i < 40; ++i) {
+    const int lo = static_cast<int>(i % 13);
+    const int hi = lo + static_cast<int>(i % 7);
+    faults.push_back(fw(i, static_cast<int>(i % 2), lo, hi));
+  }
+  const auto groups = make_groups(faults, p);
+  std::vector<std::size_t> seen;
+  for (const auto& g : groups) {
+    for (std::size_t fi : g.fault_indices) seen.push_back(fi);
+  }
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), 40u);
+  for (std::size_t i = 0; i < 40; ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(Grouping, EmptyInputYieldsNoGroups) {
+  EXPECT_TRUE(make_groups({}, DistanceParams{}).empty());
+}
+
+}  // namespace
+}  // namespace fsct

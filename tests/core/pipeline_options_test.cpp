@@ -1,0 +1,122 @@
+// Option coverage for the screening pipeline: every knob must keep the
+// accounting invariants, and the verified-sequence bookkeeping must line up.
+#include <gtest/gtest.h>
+
+#include "bench_circuits/generator.h"
+#include "core/pipeline.h"
+#include "scan/tpi.h"
+
+namespace fsct {
+namespace {
+
+struct World {
+  Netlist nl;
+  ScanDesign design;
+  Levelizer lv;
+  ScanModeModel model;
+  std::vector<Fault> faults;
+  explicit World(std::uint64_t seed)
+      : nl(make(seed)), design(run_tpi(nl)), lv(nl), model(lv, design),
+        faults(collapsed_fault_list(nl)) {}
+  static Netlist make(std::uint64_t seed) {
+    RandomCircuitSpec spec;
+    spec.num_gates = 220;
+    spec.num_ffs = 16;
+    spec.num_pis = 7;
+    spec.num_pos = 5;
+    spec.seed = seed;
+    return make_random_sequential(spec);
+  }
+};
+
+void check_invariants(const PipelineResult& r) {
+  EXPECT_EQ(r.affecting(), r.easy + r.hard);
+  EXPECT_EQ(r.hard, r.s2_detected + r.s2_undetectable + r.s2_undetected);
+  EXPECT_EQ(r.s2_undetected,
+            r.s3_detected + r.s3_undetectable + r.s3_undetected);
+}
+
+TEST(PipelineOptions, NoRandomPatternsPureAtpg) {
+  World w(500);
+  PipelineOptions opt;
+  opt.random_patterns = 0;
+  const PipelineResult r = run_fsct_pipeline(w.model, w.faults, opt);
+  check_invariants(r);
+  // Pure deterministic step 2 can now prove faults undetectable.
+  EXPECT_GT(r.s2_detected + r.s2_undetectable, 0u);
+}
+
+TEST(PipelineOptions, WithAndWithoutPoObservation) {
+  World w(501);
+  PipelineOptions with;
+  PipelineOptions without;
+  without.observe_pos = false;
+  const PipelineResult a = run_fsct_pipeline(w.model, w.faults, with);
+  const PipelineResult b = run_fsct_pipeline(w.model, w.faults, without);
+  check_invariants(a);
+  check_invariants(b);
+  // Dropping the PO observation can only lose step-3 coverage.
+  EXPECT_LE(b.s3_detected, a.s3_detected + a.s3_undetectable +
+                               a.s3_undetected);
+}
+
+TEST(PipelineOptions, ManualDistanceParams) {
+  World w(502);
+  PipelineOptions opt;
+  opt.auto_dist = false;
+  opt.dist.large_dist = 4;
+  opt.dist.med_dist = 2;
+  opt.dist.dist = 1;
+  const PipelineResult r = run_fsct_pipeline(w.model, w.faults, opt);
+  check_invariants(r);
+}
+
+TEST(PipelineOptions, VerifiedSequencesAlignWithDetections) {
+  World w(503);
+  PipelineOptions opt;
+  opt.verify_seq = true;
+  const PipelineResult r = run_fsct_pipeline(w.model, w.faults, opt);
+  EXPECT_EQ(r.s3_sequences.size(), r.s3_sequence_fault.size());
+  EXPECT_EQ(r.s3_sequences.size(), r.s3_detected);
+  for (std::size_t k = 0; k < r.s3_sequence_fault.size(); ++k) {
+    const FaultOutcome o = r.outcome[r.s3_sequence_fault[k]];
+    EXPECT_TRUE(o == FaultOutcome::DetectedSeq ||
+                o == FaultOutcome::DetectedFinal);
+    EXPECT_FALSE(r.s3_sequences[k].empty());
+  }
+}
+
+TEST(PipelineOptions, TinyFrameCapDegradesGracefully) {
+  World w(504);
+  PipelineOptions opt;
+  opt.frame_cap = 3;
+  const PipelineResult r = run_fsct_pipeline(w.model, w.faults, opt);
+  check_invariants(r);  // fewer frames may cost coverage, never consistency
+}
+
+TEST(PipelineOptions, ZeroTimeBudgetsStillTerminate) {
+  World w(505);
+  PipelineOptions opt;
+  opt.comb_time_limit_ms = 1;
+  opt.seq_time_limit_ms = 1;
+  opt.final_time_limit_ms = 1;
+  const PipelineResult r = run_fsct_pipeline(w.model, w.faults, opt);
+  check_invariants(r);
+}
+
+TEST(PipelineOptions, ExplicitObserveCyclesRespected) {
+  World w(506);
+  PipelineOptions a;
+  a.observe_cycles = 1;  // too short to flush everything out
+  PipelineOptions b;
+  b.observe_cycles = 2 * w.model.max_chain_length();
+  const PipelineResult ra = run_fsct_pipeline(w.model, w.faults, a);
+  const PipelineResult rb = run_fsct_pipeline(w.model, w.faults, b);
+  check_invariants(ra);
+  check_invariants(rb);
+  // Longer observation windows never reduce step-2 coverage.
+  EXPECT_LE(ra.s2_detected, rb.s2_detected);
+}
+
+}  // namespace
+}  // namespace fsct

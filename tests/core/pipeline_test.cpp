@@ -1,0 +1,140 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "bench_circuits/generator.h"
+#include "bench_circuits/paper_examples.h"
+#include "core/report.h"
+#include "scan/tpi.h"
+
+namespace fsct {
+namespace {
+
+struct Built {
+  Netlist nl;
+  ScanDesign design;
+  Levelizer lv;
+  ScanModeModel model;
+  std::vector<Fault> faults;
+  explicit Built(Netlist n, TpiOptions topt = {})
+      : nl(std::move(n)),
+        design(run_tpi(nl, topt)),
+        lv(nl),
+        model(lv, design),
+        faults(collapsed_fault_list(nl)) {}
+  Built(ExampleDesign e)
+      : nl(std::move(e.nl)),
+        design(std::move(e.design)),
+        lv(nl),
+        model(lv, design),
+        faults(collapsed_fault_list(nl)) {}
+};
+
+TEST(Pipeline, Figure2EndToEnd) {
+  Built b(paper_figure2());
+  PipelineOptions opt;
+  opt.verify_easy = true;
+  const PipelineResult r = run_fsct_pipeline(b.model, b.faults, opt);
+  EXPECT_EQ(r.total_faults, b.faults.size());
+  EXPECT_GT(r.easy, 0u);
+  EXPECT_GT(r.hard, 0u);
+  // Everything classified Easy is really caught by the alternating flush.
+  EXPECT_EQ(r.easy_verified, r.easy);
+  // The headline fault (en s-a-0) ends up detected by step 2 or 3.
+  std::size_t en_idx = b.faults.size();
+  const Fault en_fault = paper_figure2_fault(b.nl);
+  for (std::size_t i = 0; i < b.faults.size(); ++i) {
+    if (b.faults[i] == en_fault) en_idx = i;
+  }
+  ASSERT_LT(en_idx, b.faults.size());
+  EXPECT_TRUE(r.outcome[en_idx] == FaultOutcome::DetectedComb ||
+              r.outcome[en_idx] == FaultOutcome::DetectedSeq ||
+              r.outcome[en_idx] == FaultOutcome::DetectedFinal)
+      << static_cast<int>(r.outcome[en_idx]);
+  EXPECT_EQ(r.final_undetected(), 0u);
+}
+
+TEST(Pipeline, AccountingAddsUp) {
+  Built b(small_pipeline());
+  const PipelineResult r = run_fsct_pipeline(b.model, b.faults);
+  EXPECT_EQ(r.affecting(), r.easy + r.hard);
+  EXPECT_EQ(r.hard,
+            r.s2_detected + r.s2_undetectable + r.s2_undetected);
+  EXPECT_EQ(r.s2_undetected, r.s3_detected + r.s3_undetectable +
+                                 r.s3_undetected);
+  // Outcomes agree with counters.
+  std::size_t det2 = 0, det3 = 0, undetectable = 0, undetected = 0;
+  for (FaultOutcome o : r.outcome) {
+    det2 += (o == FaultOutcome::DetectedComb);
+    det3 += (o == FaultOutcome::DetectedSeq || o == FaultOutcome::DetectedFinal);
+    undetectable += (o == FaultOutcome::Undetectable);
+    undetected += (o == FaultOutcome::Undetected);
+  }
+  EXPECT_EQ(det2, r.s2_detected);
+  EXPECT_EQ(det3, r.s3_detected);
+  EXPECT_EQ(undetectable, r.s2_undetectable + r.s3_undetectable);
+  EXPECT_EQ(undetected, r.s3_undetected);
+}
+
+TEST(Pipeline, DetectionCurveMonotone) {
+  Built b(small_counter());
+  const PipelineResult r = run_fsct_pipeline(b.model, b.faults);
+  EXPECT_EQ(r.detection_curve.size(), r.s2_vectors);
+  for (std::size_t i = 1; i < r.detection_curve.size(); ++i) {
+    EXPECT_GE(r.detection_curve[i], r.detection_curve[i - 1]);
+  }
+  if (!r.detection_curve.empty()) {
+    EXPECT_EQ(r.detection_curve.back(), r.s2_detected);
+  }
+}
+
+class PipelineRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineRandom, HighCoverageOnRandomCircuits) {
+  RandomCircuitSpec spec;
+  spec.num_gates = 300;
+  spec.num_ffs = 24;
+  spec.num_pis = 8;
+  spec.num_pos = 6;
+  spec.seed = GetParam();
+  Built b(make_random_sequential(spec));
+  PipelineOptions opt;
+  opt.verify_easy = true;
+  const PipelineResult r = run_fsct_pipeline(b.model, b.faults, opt);
+  EXPECT_GT(r.affecting(), 0u);
+  // The paper reaches ~99.98% of chain-affecting faults; demand >= 95% here.
+  EXPECT_LE(r.final_undetected() * 20, r.affecting())
+      << "undetected " << r.s3_undetected << " of " << r.affecting();
+  // Alternating covers all classified-easy faults.
+  EXPECT_EQ(r.easy_verified, r.easy) << "a category-1 fault escaped the flush";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineRandom,
+                         ::testing::Values(101ull, 202ull, 303ull));
+
+TEST(Pipeline, ReportRowsMatchResult) {
+  Built b(small_pipeline());
+  const PipelineResult r = run_fsct_pipeline(b.model, b.faults);
+  const Table2Row t2 = to_table2("x", r);
+  EXPECT_EQ(t2.easy, r.easy);
+  EXPECT_EQ(t2.hard, r.hard);
+  const Table3Row t3 = to_table3("x", r);
+  EXPECT_EQ(t3.s2_det, r.s2_detected);
+  EXPECT_EQ(t3.s3_undetected, r.s3_undetected);
+}
+
+TEST(Pipeline, MultiChainCircuit) {
+  RandomCircuitSpec spec;
+  spec.num_gates = 260;
+  spec.num_ffs = 20;
+  spec.seed = 404;
+  TpiOptions topt;
+  topt.num_chains = 2;
+  Built b(make_random_sequential(spec), topt);
+  const PipelineResult r = run_fsct_pipeline(b.model, b.faults);
+  EXPECT_GT(r.affecting(), 0u);
+  EXPECT_LE(r.final_undetected() * 10, r.affecting());
+}
+
+}  // namespace
+}  // namespace fsct

@@ -1,0 +1,88 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fsct {
+namespace {
+
+TEST(Report, Table1RowFormats) {
+  std::ostringstream os;
+  print_table1_header(os);
+  print_table1_row(os, {"s1423", 657, 74, 1515, 1});
+  const std::string s = os.str();
+  EXPECT_NE(s.find("s1423"), std::string::npos);
+  EXPECT_NE(s.find("657"), std::string::npos);
+  EXPECT_NE(s.find("#chains"), std::string::npos);
+}
+
+TEST(Report, Table2PercentagesAgainstTotal) {
+  std::ostringstream os;
+  Table2Row r;
+  r.name = "x";
+  r.total_faults = 200;
+  r.easy = 50;
+  r.hard = 10;
+  r.seconds = 1.5;
+  print_table2_row(os, r);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("(25.0%)"), std::string::npos);
+  EXPECT_NE(s.find("(5.0%)"), std::string::npos);
+  EXPECT_NE(s.find("1.50s"), std::string::npos);
+}
+
+TEST(Report, Table2ZeroTotalIsSafe) {
+  std::ostringstream os;
+  Table2Row r;
+  r.name = "empty";
+  print_table2_row(os, r);
+  EXPECT_NE(os.str().find("(0.0%)"), std::string::npos);
+}
+
+TEST(Report, Table3RowCarriesBothHalves) {
+  std::ostringstream os;
+  Table3Row r;
+  r.name = "y";
+  r.s2_det = 123;
+  r.s2_undetectable = 4;
+  r.s2_undetected = 5;
+  r.circ_group = 6;
+  r.circ_final = 7;
+  r.s3_det = 3;
+  r.s3_undetectable = 1;
+  r.s3_undetected = 1;
+  print_table3_header(os);
+  print_table3_row(os, r);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("123"), std::string::npos);
+  EXPECT_NE(s.find("6,7"), std::string::npos);
+  EXPECT_NE(s.find("#undetectable"), std::string::npos);
+}
+
+TEST(Report, ConversionFromPipelineResult) {
+  PipelineResult pr;
+  pr.total_faults = 100;
+  pr.easy = 20;
+  pr.hard = 10;
+  pr.classify_seconds = 0.5;
+  pr.s2_detected = 8;
+  pr.s2_undetectable = 1;
+  pr.s2_undetected = 1;
+  pr.s3_circuits_group = 2;
+  pr.s3_circuits_final = 1;
+  pr.s3_detected = 1;
+
+  const Table2Row t2 = to_table2("c", pr);
+  EXPECT_EQ(t2.total_faults, 100u);
+  EXPECT_EQ(t2.easy, 20u);
+  EXPECT_EQ(t2.seconds, 0.5);
+
+  const Table3Row t3 = to_table3("c", pr);
+  EXPECT_EQ(t3.s2_det, 8u);
+  EXPECT_EQ(t3.circ_group, 2u);
+  EXPECT_EQ(t3.s3_det, 1u);
+}
+
+}  // namespace
+}  // namespace fsct

@@ -1,0 +1,118 @@
+#include "core/test_export.h"
+
+#include <gtest/gtest.h>
+
+#include "bench_circuits/generator.h"
+#include "bench_circuits/paper_examples.h"
+#include "core/classify.h"
+#include "scan/scan_sequences.h"
+#include "scan/tpi.h"
+
+namespace fsct {
+namespace {
+
+struct World {
+  Netlist nl;
+  ScanDesign design;
+  Levelizer lv;
+  ScanModeModel model;
+  explicit World(std::uint64_t seed)
+      : nl(make(seed)), design(run_tpi(nl)), lv(nl), model(lv, design) {}
+  static Netlist make(std::uint64_t seed) {
+    RandomCircuitSpec spec;
+    spec.num_gates = 180;
+    spec.num_ffs = 12;
+    spec.num_pis = 6;
+    spec.num_pos = 4;
+    spec.seed = seed;
+    return make_random_sequential(spec);
+  }
+  TestSequence stimulus() const {
+    const ScanSequenceBuilder sb(nl, design);
+    return sb.alternating(2 * model.max_chain_length() + 8);
+  }
+};
+
+TEST(TestExport, ProgramRecordsGoodResponses) {
+  World w(80);
+  const TestProgram p = make_test_program(w.model, w.stimulus());
+  EXPECT_EQ(p.circuit, w.nl.name());
+  EXPECT_EQ(p.input_names.size(), w.nl.inputs().size());
+  ASSERT_EQ(p.stimulus.size(), p.expected.size());
+  // A healthy device must pass its own program.
+  EXPECT_EQ(run_test_program(w.lv, p), 0u);
+}
+
+TEST(TestExport, RoundTripsThroughText) {
+  World w(81);
+  const TestProgram p = make_test_program(w.model, w.stimulus());
+  const std::string text = write_test_program_string(p);
+  const TestProgram q = read_test_program_string(text);
+  EXPECT_EQ(q.circuit, p.circuit);
+  EXPECT_EQ(q.input_names, p.input_names);
+  EXPECT_EQ(q.observe_names, p.observe_names);
+  EXPECT_EQ(q.stimulus, p.stimulus);
+  EXPECT_EQ(q.expected, p.expected);
+}
+
+TEST(TestExport, FaultyDeviceFailsTheProgram) {
+  World w(82);
+  const TestProgram p = make_test_program(w.model, w.stimulus());
+  ChainFaultClassifier cls(w.model);
+  const auto faults = collapsed_fault_list(w.nl);
+  int easy_checked = 0;
+  for (const Fault& f : faults) {
+    if (cls.classify(f).category != ChainFaultCategory::Easy) continue;
+    EXPECT_GT(run_test_program(w.lv, p, &f), 0u) << fault_name(w.nl, f);
+    if (++easy_checked >= 10) break;
+  }
+  EXPECT_GE(easy_checked, 3);
+}
+
+TEST(TestExport, BindReordersInputsByName) {
+  World w(83);
+  TestProgram p = make_test_program(w.model, w.stimulus());
+  // Shuffle the input columns; binding must undo it.
+  std::reverse(p.input_names.begin(), p.input_names.end());
+  for (auto& row : p.stimulus) std::reverse(row.begin(), row.end());
+  EXPECT_EQ(run_test_program(w.lv, p), 0u);
+}
+
+TEST(TestExport, BindRejectsUnknownNames) {
+  World w(84);
+  TestProgram p = make_test_program(w.model, w.stimulus());
+  p.observe_names.push_back("ghost_net");
+  for (auto& row : p.expected) row.push_back(Val::X);
+  EXPECT_THROW(bind_test_program(w.nl, p), std::runtime_error);
+}
+
+TEST(TestExport, ParserRejectsMalformedInput) {
+  EXPECT_THROW(read_test_program_string("nonsense"), std::runtime_error);
+  EXPECT_THROW(read_test_program_string("FSCT-TEST 1\ncycles 1\n"),
+               std::runtime_error);
+  EXPECT_THROW(read_test_program_string(
+                   "FSCT-TEST 1\ninputs a\nobserve y\ncycles 1\nv 01 | 0\n"),
+               std::runtime_error);  // stimulus width mismatch
+}
+
+TEST(TestExport, CommentsAndBlankLinesIgnored) {
+  World w(85);
+  const TestProgram p = make_test_program(w.model, w.stimulus());
+  std::string text = "# tester program\n\n" + write_test_program_string(p);
+  const TestProgram q = read_test_program_string(text);
+  EXPECT_EQ(q.stimulus, p.stimulus);
+}
+
+TEST(TestExport, Figure2ProgramFromPipelineVectors) {
+  ExampleDesign e = paper_figure2();
+  const Levelizer lv(e.nl);
+  const ScanModeModel model(lv, e.design);
+  const ScanSequenceBuilder sb(e.nl, e.design);
+  const TestProgram p = make_test_program(model, sb.alternating(20));
+  EXPECT_EQ(run_test_program(lv, p), 0u);
+  const Fault f{e.nl.find("a"), -1, true};  // category-1 chain fault
+  EXPECT_GT(run_test_program(lv, p, &f), 0u);
+}
+
+}  // namespace
+}  // namespace fsct

@@ -1,0 +1,158 @@
+#include "fault/comb_fault_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bench_circuits/generator.h"
+#include "bench_circuits/paper_examples.h"
+#include "sim/comb_sim.h"
+
+namespace fsct {
+namespace {
+
+constexpr Val k0 = Val::Zero;
+constexpr Val k1 = Val::One;
+
+// Reference: scalar full simulation, good vs faulty, per pattern.
+std::vector<int> reference_detect(const Levelizer& lv,
+                                  const std::vector<NodeId>& observe,
+                                  std::span<const CombPattern> patterns,
+                                  std::span<const Fault> faults) {
+  const Netlist& nl = lv.netlist();
+  CombSim sim(lv);
+  std::vector<int> out(faults.size(), -1);
+  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    const Injection inj[1] = {to_injection(faults[fi])};
+    for (std::size_t p = 0; p < patterns.size() && out[fi] < 0; ++p) {
+      std::vector<Val> good(nl.size(), Val::X);
+      std::vector<Val> bad(nl.size(), Val::X);
+      for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+        good[nl.inputs()[i]] = bad[nl.inputs()[i]] = patterns[p][i];
+      }
+      for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
+        good[nl.dffs()[i]] = bad[nl.dffs()[i]] =
+            patterns[p][nl.inputs().size() + i];
+      }
+      sim.run(good);
+      sim.run(bad, inj);
+      for (NodeId o : observe) {
+        Val g, b;
+        if (nl.type(o) == GateType::Dff) {
+          g = sim.d_value(o, good);
+          b = sim.d_value(o, bad, inj);
+        } else {
+          g = good[o];
+          b = bad[o];
+        }
+        if (g != Val::X && b != Val::X && g != b) {
+          out[fi] = static_cast<int>(p);
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TEST(CombFaultSim, DetectsSimpleFault) {
+  Netlist nl("c");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g = nl.add_gate(GateType::And, {a, b}, "g");
+  nl.mark_output(g);
+  const Levelizer lv(nl);
+  CombFaultSim sim(lv, nl.outputs());
+  const std::vector<CombPattern> pats = {{k1, k1}, {k0, k1}};
+  const std::vector<Fault> faults = {{g, -1, false}, {g, -1, true}};
+  const auto r = sim.run(pats, faults);
+  EXPECT_EQ(r.detect_pattern[0], 0);  // s-a-0 seen with 11
+  EXPECT_EQ(r.detect_pattern[1], 1);  // s-a-1 seen with 01
+}
+
+TEST(CombFaultSim, ObservesDffDPins) {
+  Netlist nl("c");
+  const NodeId a = nl.add_input("a");
+  const NodeId g = nl.add_gate(GateType::Not, {a}, "g");
+  const NodeId q = nl.add_dff(g, "q");
+  const Levelizer lv(nl);
+  CombFaultSim sim(lv, {q});
+  const std::vector<CombPattern> pats = {{k0, k0}};  // a=0, q=0
+  const std::vector<Fault> faults = {{g, -1, false}};
+  const auto r = sim.run(pats, faults);
+  EXPECT_EQ(r.detect_pattern[0], 0);
+}
+
+TEST(CombFaultSim, DffPinFaultDetectedAtItsCapture) {
+  Netlist nl("c");
+  const NodeId a = nl.add_input("a");
+  const NodeId q = nl.add_dff(a, "q");
+  const NodeId q2 = nl.add_dff(a, "q2");
+  nl.mark_output(q);
+  nl.mark_output(q2);
+  const Levelizer lv(nl);
+  CombFaultSim sim(lv, {q, q2});
+  const std::vector<CombPattern> pats = {{k1, k0, k0}};  // a=1
+  const std::vector<Fault> faults = {{q, 0, false}};
+  const auto r = sim.run(pats, faults);
+  EXPECT_EQ(r.detect_pattern[0], 0);
+}
+
+TEST(CombFaultSim, XPatternValuesBlockDetection) {
+  Netlist nl("c");
+  const NodeId a = nl.add_input("a");
+  const NodeId g = nl.add_gate(GateType::Buf, {a}, "g");
+  nl.mark_output(g);
+  const Levelizer lv(nl);
+  CombFaultSim sim(lv, nl.outputs());
+  const std::vector<CombPattern> pats = {{Val::X}};
+  const std::vector<Fault> faults = {{g, -1, false}};
+  const auto r = sim.run(pats, faults);
+  EXPECT_EQ(r.detect_pattern[0], -1);
+}
+
+TEST(CombFaultSim, MatchesScalarReferenceOnRandomCircuits) {
+  std::mt19937_64 rng(17);
+  for (int trial = 0; trial < 3; ++trial) {
+    RandomCircuitSpec spec;
+    spec.num_gates = 140;
+    spec.num_ffs = 10;
+    spec.num_pis = 6;
+    spec.num_pos = 5;
+    spec.seed = 90 + static_cast<std::uint64_t>(trial);
+    const Netlist nl = make_random_sequential(spec);
+    const Levelizer lv(nl);
+
+    std::vector<NodeId> observe = nl.outputs();
+    for (NodeId ff : nl.dffs()) observe.push_back(ff);
+    CombFaultSim sim(lv, observe);
+
+    std::vector<CombPattern> pats(100);
+    for (auto& p : pats) {
+      p.resize(nl.inputs().size() + nl.dffs().size());
+      for (auto& v : p) v = (rng() & 1) ? k1 : k0;
+    }
+    const auto faults = collapsed_fault_list(nl);
+    std::vector<Fault> sample;
+    for (std::size_t i = 0; i < faults.size(); i += 1 + faults.size() / 120) {
+      sample.push_back(faults[i]);
+    }
+    const auto fast = sim.run(pats, sample);
+    const auto ref = reference_detect(lv, observe, pats, sample);
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      // The engine drops faults at the first detection within a 64-pattern
+      // block; both first-detections must agree exactly.
+      EXPECT_EQ(fast.detect_pattern[i], ref[i])
+          << fault_name(nl, sample[i]) << " trial " << trial;
+    }
+  }
+}
+
+TEST(CombFaultSim, NumDetectedHelper) {
+  CombFaultSimResult r;
+  r.detect_pattern = {-1, 0, 5, -1};
+  EXPECT_EQ(r.num_detected(), 2u);
+}
+
+}  // namespace
+}  // namespace fsct

@@ -1,0 +1,166 @@
+#include "fault/seq_fault_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bench_circuits/generator.h"
+#include "bench_circuits/paper_examples.h"
+
+namespace fsct {
+namespace {
+
+constexpr Val k0 = Val::Zero;
+constexpr Val k1 = Val::One;
+
+// 3-stage shift register with observable tail.
+Netlist shift3() {
+  Netlist nl("shift3");
+  const NodeId a = nl.add_input("a");
+  const NodeId q1 = nl.add_dff(a, "q1");
+  const NodeId q2 = nl.add_dff(q1, "q2");
+  const NodeId q3 = nl.add_dff(q2, "q3");
+  nl.mark_output(q3);
+  return nl;
+}
+
+TestSequence alternating_pis(std::size_t cycles) {
+  TestSequence seq;
+  for (std::size_t t = 0; t < cycles; ++t) {
+    seq.push_back({((t / 2) % 2) ? k1 : k0});
+  }
+  return seq;
+}
+
+TEST(SeqFaultSim, AlternatingDetectsStuckChain) {
+  const Netlist nl = shift3();
+  const Levelizer lv(nl);
+  SeqFaultSim sim(lv, {nl.find("q3")});
+  const std::vector<Fault> faults = {
+      {nl.find("q1"), -1, false},  // q1 s-a-0
+      {nl.find("q2"), -1, true},   // q2 s-a-1
+      {nl.find("a"), -1, false},   // scan-in s-a-0
+  };
+  const auto r = sim.run_serial(alternating_pis(12), faults);
+  EXPECT_EQ(r.num_detected(), 3u);
+  for (int c : r.detect_cycle) EXPECT_GE(c, 0);
+}
+
+TEST(SeqFaultSim, ConstantStreamMissesStuckAtSameValue) {
+  const Netlist nl = shift3();
+  const Levelizer lv(nl);
+  SeqFaultSim sim(lv, {nl.find("q3")});
+  const std::vector<Fault> faults = {{nl.find("q1"), -1, false}};
+  TestSequence zeros(12, {k0});
+  const auto r = sim.run_serial(zeros, faults);
+  EXPECT_EQ(r.num_detected(), 0u);  // all-zero stream can't see s-a-0
+}
+
+TEST(SeqFaultSim, DetectionCycleIsFirstDifference) {
+  const Netlist nl = shift3();
+  const Levelizer lv(nl);
+  SeqFaultSim sim(lv, {nl.find("q3")});
+  const std::vector<Fault> faults = {{nl.find("q3"), -1, true}};
+  TestSequence zeros(6, {k0});
+  const auto r = sim.run_serial(zeros, faults);
+  // q3 observed s-a-1 while good machine shows 0 as soon as the good value
+  // is binary: good q3 becomes 0 at cycle 3 (X before).
+  ASSERT_EQ(r.num_detected(), 1u);
+  EXPECT_EQ(r.detect_cycle[0], 3);
+}
+
+TEST(SeqFaultSim, XGoodValueNeverDetects) {
+  const Netlist nl = shift3();
+  const Levelizer lv(nl);
+  SeqFaultSim sim(lv, {nl.find("q3")});
+  const std::vector<Fault> faults = {{nl.find("q3"), -1, true}};
+  TestSequence two(2, {k0});  // good q3 still X at cycles 0..1
+  const auto r = sim.run_serial(two, faults);
+  EXPECT_EQ(r.num_detected(), 0u);
+}
+
+TEST(SeqFaultSim, ParallelMatchesSerialOnRandomCircuits) {
+  std::mt19937_64 rng(3);
+  for (int trial = 0; trial < 3; ++trial) {
+    RandomCircuitSpec spec;
+    spec.num_gates = 120;
+    spec.num_ffs = 12;
+    spec.num_pis = 5;
+    spec.num_pos = 4;
+    spec.seed = 40 + static_cast<std::uint64_t>(trial);
+    const Netlist nl = make_random_sequential(spec);
+    const Levelizer lv(nl);
+    SeqFaultSim sim(lv, nl.outputs());
+
+    TestSequence seq;
+    for (int t = 0; t < 20; ++t) {
+      std::vector<Val> v(nl.inputs().size());
+      for (auto& x : v) x = (rng() & 1) ? k1 : k0;
+      seq.push_back(std::move(v));
+    }
+    const auto faults = collapsed_fault_list(nl);
+    // Sample ~150 faults to keep the serial reference fast.
+    std::vector<Fault> sample;
+    for (std::size_t i = 0; i < faults.size(); i += 1 + faults.size() / 150) {
+      sample.push_back(faults[i]);
+    }
+    const auto rs = sim.run_serial(seq, sample);
+    const auto rp = sim.run(seq, sample);
+    ASSERT_EQ(rs.detect_cycle.size(), rp.detect_cycle.size());
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      EXPECT_EQ(rs.detect_cycle[i], rp.detect_cycle[i])
+          << fault_name(nl, sample[i]) << " trial " << trial;
+    }
+  }
+}
+
+TEST(SeqFaultSim, ParallelHandlesMoreThan63Faults) {
+  RandomCircuitSpec gspec;
+  gspec.num_gates = 60;
+  gspec.num_ffs = 8;
+  gspec.num_pis = 4;
+  gspec.num_pos = 4;
+  gspec.seed = 321;
+  const Netlist nl = make_random_sequential(gspec);
+  const Levelizer lv(nl);
+  SeqFaultSim sim(lv, nl.outputs());
+  std::mt19937_64 rng(11);
+  TestSequence seq;
+  for (int t = 0; t < 30; ++t) {
+    std::vector<Val> v(nl.inputs().size());
+    for (auto& x : v) x = (rng() & 1) ? k1 : k0;
+    seq.push_back(std::move(v));
+  }
+  const auto faults = all_faults(nl);  // > 63 faults
+  ASSERT_GT(faults.size(), 63u);
+  const auto rs = sim.run_serial(seq, faults);
+  const auto rp = sim.run(seq, faults);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_EQ(rs.detect_cycle[i], rp.detect_cycle[i])
+        << fault_name(nl, faults[i]);
+  }
+}
+
+TEST(SeqFaultSim, PinFaultDiffersFromStemFault) {
+  // a fans out to q1 and po buffer; pin fault on q1's D only breaks the FF.
+  Netlist nl("t");
+  const NodeId a = nl.add_input("a");
+  const NodeId q1 = nl.add_dff(a, "q1");
+  const NodeId buf = nl.add_gate(GateType::Buf, {a}, "buf");
+  nl.mark_output(q1);
+  nl.mark_output(buf);
+  const Levelizer lv(nl);
+  SeqFaultSim sim(lv, nl.outputs());
+  TestSequence ones(4, {k1});
+  const std::vector<Fault> faults = {
+      {q1, 0, false},   // branch into the FF
+      {a, -1, false},   // stem
+  };
+  const auto r = sim.run_serial(ones, faults);
+  // Both detected, but the stem is visible at `buf` a cycle earlier.
+  ASSERT_EQ(r.num_detected(), 2u);
+  EXPECT_GT(r.detect_cycle[0], r.detect_cycle[1]);
+}
+
+}  // namespace
+}  // namespace fsct

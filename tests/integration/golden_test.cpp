@@ -1,0 +1,64 @@
+// Golden regression pins: exact end-to-end numbers on fixed inputs.  These
+// WILL move when algorithms are intentionally changed — update them together
+// with a DESIGN.md note; unexpected movement means a behavioural regression.
+#include <gtest/gtest.h>
+
+#include "bench_circuits/paper_examples.h"
+#include "core/pipeline.h"
+#include "netlist/stats.h"
+#include "scan/tpi.h"
+
+namespace fsct {
+namespace {
+
+TEST(Golden, S27TpiShape) {
+  Netlist nl = iscas_s27();
+  TpiStats stats;
+  const ScanDesign d = run_tpi(nl, {}, &stats);
+  EXPECT_EQ(stats.functional_segments, 1);
+  EXPECT_EQ(stats.mux_segments, 2);
+  EXPECT_EQ(stats.test_points, 1);
+  ASSERT_EQ(d.chains.size(), 1u);
+  EXPECT_EQ(d.chains[0].length(), 3u);
+}
+
+TEST(Golden, S27PipelineNumbers) {
+  Netlist nl = iscas_s27();
+  const ScanDesign d = run_tpi(nl);
+  const Levelizer lv(nl);
+  const ScanModeModel model(lv, d);
+  const auto faults = collapsed_fault_list(nl);
+  EXPECT_EQ(faults.size(), 46u);
+
+  PipelineOptions opt;
+  opt.verify_easy = true;
+  opt.comb_time_limit_ms = 0;  // keep the run fully deterministic
+  opt.seq_time_limit_ms = 0;
+  opt.final_time_limit_ms = 0;
+  const PipelineResult r = run_fsct_pipeline(model, faults, opt);
+  EXPECT_EQ(r.easy, 11u);
+  EXPECT_EQ(r.hard, 4u);
+  EXPECT_EQ(r.easy_verified, 11u);
+  EXPECT_EQ(r.s2_detected, 4u);
+  EXPECT_EQ(r.s3_undetected, 0u);
+}
+
+TEST(Golden, Figure2Model) {
+  ExampleDesign e = paper_figure2();
+  const NetlistStats s = compute_stats(e.nl);
+  EXPECT_EQ(s.gates, 4u);
+  EXPECT_EQ(s.ffs, 6u);
+  const Levelizer lv(e.nl);
+  const ScanModeModel m(lv, e.design);
+  EXPECT_EQ(m.side_nets().size(), 2u);  // en and b
+}
+
+TEST(Golden, S27Stats) {
+  const NetlistStats s = compute_stats(iscas_s27());
+  EXPECT_EQ(s.nodes, 17u);
+  EXPECT_EQ(s.max_depth, 6);
+  EXPECT_EQ(s.max_fanout, 3u);
+}
+
+}  // namespace
+}  // namespace fsct

@@ -1,0 +1,119 @@
+#include "netlist/levelize.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bench_circuits/generator.h"
+#include "bench_circuits/paper_examples.h"
+
+namespace fsct {
+namespace {
+
+Netlist diamond() {
+  // a -> n1 -> n3; a -> n2 -> n3 (reconvergent)
+  Netlist nl("diamond");
+  const NodeId a = nl.add_input("a");
+  const NodeId n1 = nl.add_gate(GateType::Not, {a}, "n1");
+  const NodeId n2 = nl.add_gate(GateType::Buf, {a}, "n2");
+  nl.add_gate(GateType::And, {n1, n2}, "n3");
+  return nl;
+}
+
+TEST(Levelizer, LevelsAreFaninPlusOne) {
+  const Netlist nl = diamond();
+  const Levelizer lv(nl);
+  EXPECT_EQ(lv.level(nl.find("a")), 0);
+  EXPECT_EQ(lv.level(nl.find("n1")), 1);
+  EXPECT_EQ(lv.level(nl.find("n2")), 1);
+  EXPECT_EQ(lv.level(nl.find("n3")), 2);
+  EXPECT_EQ(lv.max_level(), 2);
+}
+
+TEST(Levelizer, TopoOrderRespectsDependencies) {
+  const Netlist nl = diamond();
+  const Levelizer lv(nl);
+  const auto& topo = lv.topo_order();
+  ASSERT_EQ(topo.size(), 3u);
+  std::vector<std::size_t> pos(nl.size());
+  for (std::size_t i = 0; i < topo.size(); ++i) pos[topo[i]] = i;
+  for (NodeId g : topo) {
+    for (NodeId f : nl.fanins(g)) {
+      if (is_combinational(nl.type(f))) EXPECT_LT(pos[f], pos[g]);
+    }
+  }
+}
+
+TEST(Levelizer, FanoutsSymmetricWithFanins) {
+  const Netlist nl = iscas_s27();
+  const Levelizer lv(nl);
+  for (NodeId id = 0; id < nl.size(); ++id) {
+    for (NodeId f : nl.fanins(id)) {
+      const auto& fo = lv.fanouts(f);
+      EXPECT_NE(std::find(fo.begin(), fo.end(), id), fo.end());
+    }
+  }
+}
+
+TEST(Levelizer, DffBreaksLevels) {
+  Netlist nl("seq");
+  const NodeId a = nl.add_input("a");
+  const NodeId q = nl.add_dff_floating("q");
+  const NodeId g = nl.add_gate(GateType::And, {a, q}, "g");
+  nl.set_fanin(q, 0, g);
+  const Levelizer lv(nl);
+  EXPECT_EQ(lv.level(q), 0);  // Q is a level-0 source
+  EXPECT_EQ(lv.level(g), 1);
+}
+
+TEST(Levelizer, ThrowsOnCombinationalCycle) {
+  Netlist nl("cyc");
+  const NodeId a = nl.add_input("a");
+  const NodeId q = nl.add_dff_floating("q");
+  const NodeId g1 = nl.add_gate(GateType::And, {a, q}, "g1");
+  const NodeId g2 = nl.add_gate(GateType::Or, {g1, a}, "g2");
+  nl.set_fanin(q, 0, g2);
+  nl.set_fanin(g1, 1, g2);
+  EXPECT_THROW(Levelizer{nl}, std::runtime_error);
+}
+
+TEST(Levelizer, ThrowsOnUnconnectedPin) {
+  Netlist nl("un");
+  nl.add_dff_floating("q");
+  EXPECT_THROW(Levelizer{nl}, std::runtime_error);
+}
+
+TEST(Levelizer, ForwardConeStopsAtDff) {
+  const Netlist nl = small_pipeline();
+  const Levelizer lv(nl);
+  const auto cone = lv.forward_cone(nl.find("f1"));
+  // f1 -> g1 -> f2 (stop; f2's fanouts not entered)
+  EXPECT_NE(std::find(cone.begin(), cone.end(), nl.find("g1")), cone.end());
+  EXPECT_NE(std::find(cone.begin(), cone.end(), nl.find("f2")), cone.end());
+  EXPECT_EQ(std::find(cone.begin(), cone.end(), nl.find("g2")), cone.end());
+}
+
+TEST(Levelizer, BackwardConeStopsAtSources) {
+  const Netlist nl = small_pipeline();
+  const Levelizer lv(nl);
+  const auto cone = lv.backward_cone(nl.find("g2"));
+  EXPECT_NE(std::find(cone.begin(), cone.end(), nl.find("f2")), cone.end());
+  EXPECT_NE(std::find(cone.begin(), cone.end(), nl.find("c2")), cone.end());
+  // does not cross the f2 boundary into g1
+  EXPECT_EQ(std::find(cone.begin(), cone.end(), nl.find("g1")), cone.end());
+}
+
+TEST(Levelizer, RandomCircuitsLevelize) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    RandomCircuitSpec spec;
+    spec.num_gates = 300;
+    spec.num_ffs = 20;
+    spec.seed = seed;
+    const Netlist nl = make_random_sequential(spec);
+    const Levelizer lv(nl);
+    EXPECT_EQ(lv.topo_order().size(), nl.num_gates());
+  }
+}
+
+}  // namespace
+}  // namespace fsct

@@ -1,0 +1,65 @@
+#include "netlist/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "bench_circuits/generator.h"
+#include "bench_circuits/paper_examples.h"
+
+namespace fsct {
+namespace {
+
+TEST(Stats, S27Counts) {
+  const NetlistStats s = compute_stats(iscas_s27());
+  EXPECT_EQ(s.pis, 4u);
+  EXPECT_EQ(s.pos, 1u);
+  EXPECT_EQ(s.ffs, 3u);
+  EXPECT_EQ(s.gates, 10u);
+  EXPECT_EQ(s.count(GateType::Not), 2u);
+  EXPECT_EQ(s.count(GateType::Nor), 3u);
+  EXPECT_EQ(s.count(GateType::Nand), 2u);
+  EXPECT_EQ(s.count(GateType::And), 1u);
+  EXPECT_EQ(s.count(GateType::Or), 2u);
+  EXPECT_EQ(s.inverting_gates, 7u);
+  EXPECT_GT(s.max_depth, 2);
+}
+
+TEST(Stats, FanoutAndFanin) {
+  Netlist nl("t");
+  const NodeId a = nl.add_input("a");
+  const NodeId g1 = nl.add_gate(GateType::Not, {a}, "g1");
+  const NodeId g2 = nl.add_gate(GateType::And, {a, g1}, "g2");
+  nl.mark_output(g2);
+  const NetlistStats s = compute_stats(nl);
+  EXPECT_EQ(s.max_fanout, 2u);  // a feeds g1 and g2
+  EXPECT_DOUBLE_EQ(s.avg_fanin, 1.5);  // (1 + 2) / 2
+}
+
+TEST(Stats, GeneratorMatchesRequestedMix) {
+  RandomCircuitSpec spec;
+  spec.num_gates = 500;
+  spec.num_ffs = 20;
+  spec.seed = 5;
+  const NetlistStats s = compute_stats(make_random_sequential(spec));
+  EXPECT_EQ(s.gates, 500u);
+  // NAND-dominant mapped-style mix.
+  EXPECT_GT(s.count(GateType::Nand), s.count(GateType::Xor));
+  EXPECT_GT(s.inverting_gates, s.gates / 3);
+}
+
+TEST(Stats, StringRenderingMentionsEverything) {
+  const std::string s = stats_string(compute_stats(iscas_s27()));
+  EXPECT_NE(s.find("gates 10"), std::string::npos);
+  EXPECT_NE(s.find("FFs 3"), std::string::npos);
+  EXPECT_NE(s.find("NAND=2"), std::string::npos);
+}
+
+TEST(Stats, InvalidNetlistSkipsDepth) {
+  Netlist nl("t");
+  nl.add_dff_floating("q");  // unconnected: not levelizable
+  const NetlistStats s = compute_stats(nl);
+  EXPECT_EQ(s.max_depth, 0);
+  EXPECT_EQ(s.ffs, 1u);
+}
+
+}  // namespace
+}  // namespace fsct

@@ -1,0 +1,116 @@
+#include "scan/mux_scan.h"
+
+#include <gtest/gtest.h>
+
+#include "bench_circuits/paper_examples.h"
+#include "netlist/levelize.h"
+#include "sim/seq_sim.h"
+
+namespace fsct {
+namespace {
+
+constexpr Val k0 = Val::Zero;
+constexpr Val k1 = Val::One;
+
+std::vector<Val> pi_vector(const Netlist& nl, const ScanDesign& d,
+                           Val scan_mode, std::vector<std::pair<NodeId, Val>>
+                                              extra = {}) {
+  std::vector<Val> v(nl.inputs().size(), k0);
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    if (nl.inputs()[i] == d.scan_mode) v[i] = scan_mode;
+    for (auto [n, val] : extra) {
+      if (nl.inputs()[i] == n) v[i] = val;
+    }
+  }
+  return v;
+}
+
+TEST(MuxScan, InsertsOneMuxPerFlipFlop) {
+  Netlist nl = small_counter();
+  const std::size_t gates_before = nl.num_gates();
+  const ScanDesign d = insert_mux_scan(nl);
+  EXPECT_EQ(d.scan_muxes, 4);
+  EXPECT_EQ(nl.num_gates(), gates_before + 4);
+  ASSERT_EQ(d.chains.size(), 1u);
+  EXPECT_EQ(d.chains[0].length(), 4u);
+  EXPECT_EQ(nl.validate(), "");
+}
+
+TEST(MuxScan, ChainShiftsInScanMode) {
+  Netlist nl = small_counter();
+  const ScanDesign d = insert_mux_scan(nl);
+  const Levelizer lv(nl);
+  SeqSim sim(lv);
+  sim.reset(k0);
+  const ScanChain& chain = d.chains[0];
+  // Shift in 1,0,1,1 and check the state afterwards.
+  const Val stream[] = {k1, k0, k1, k1};
+  for (Val bit : stream) {
+    sim.step(pi_vector(nl, d, k1, {{chain.scan_in, bit}}));
+  }
+  // After 4 shifts: first bit is deepest.
+  std::vector<Val> got;
+  for (NodeId ff : chain.ffs) {
+    for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
+      if (nl.dffs()[i] == ff) got.push_back(sim.state()[i]);
+    }
+  }
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0], k1);  // last bit shifted in
+  EXPECT_EQ(got[1], k1);
+  EXPECT_EQ(got[2], k0);
+  EXPECT_EQ(got[3], k1);  // first bit reached the end
+}
+
+TEST(MuxScan, NormalModeBehaviourUnchanged) {
+  // Reference counter vs scanned counter with scan_mode=0 must match.
+  Netlist ref = small_counter();
+  Netlist scanned = small_counter();
+  const ScanDesign d = insert_mux_scan(scanned);
+  const Levelizer rlv(ref), slv(scanned);
+  SeqSim rsim(rlv), ssim(slv);
+  rsim.reset(k0);
+  ssim.reset(k0);
+  for (int t = 0; t < 20; ++t) {
+    const Val en = (t % 3 == 0) ? k0 : k1;
+    rsim.step(std::vector<Val>{en});
+    ssim.step(pi_vector(scanned, d, k0, {{scanned.find("en"), en}}));
+    for (std::size_t i = 0; i < ref.dffs().size(); ++i) {
+      ASSERT_EQ(rsim.state()[i], ssim.state()[i]) << "cycle " << t;
+    }
+  }
+}
+
+TEST(MuxScan, MultipleChainsPartitionAllFlipFlops) {
+  Netlist nl = small_counter();
+  MuxScanOptions opt;
+  opt.num_chains = 2;
+  const ScanDesign d = insert_mux_scan(nl, opt);
+  ASSERT_EQ(d.chains.size(), 2u);
+  EXPECT_EQ(d.chains[0].length() + d.chains[1].length(), 4u);
+  // Scan-outs marked as POs.
+  for (const ScanChain& c : d.chains) {
+    EXPECT_TRUE(nl.is_output(c.scan_out()));
+  }
+}
+
+TEST(MuxScan, SegmentsAreDedicatedNonInverting) {
+  Netlist nl = small_pipeline();
+  const ScanDesign d = insert_mux_scan(nl);
+  for (const ScanSegment& s : d.chains[0].segments) {
+    EXPECT_FALSE(s.functional);
+    EXPECT_FALSE(s.inverting);
+    ASSERT_EQ(s.path.size(), 1u);
+    EXPECT_EQ(nl.type(s.path[0]), GateType::Mux);
+  }
+}
+
+TEST(MuxScan, RejectsBadChainCount) {
+  Netlist nl = small_counter();
+  MuxScanOptions opt;
+  opt.num_chains = 0;
+  EXPECT_THROW(insert_mux_scan(nl, opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fsct

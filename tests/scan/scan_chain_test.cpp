@@ -1,0 +1,66 @@
+#include "scan/scan_chain.h"
+
+#include <gtest/gtest.h>
+
+namespace fsct {
+namespace {
+
+ScanChain three_stage(bool inv0, bool inv1, bool inv2) {
+  ScanChain c;
+  c.scan_in = 0;
+  c.ffs = {10, 11, 12};
+  for (int k = 0; k < 3; ++k) {
+    ScanSegment s;
+    s.from = (k == 0) ? c.scan_in : c.ffs[static_cast<std::size_t>(k - 1)];
+    s.to = c.ffs[static_cast<std::size_t>(k)];
+    s.functional = true;
+    c.segments.push_back(s);
+  }
+  c.segments[0].inverting = inv0;
+  c.segments[1].inverting = inv1;
+  c.segments[2].inverting = inv2;
+  return c;
+}
+
+TEST(ScanChain, LengthAndScanOut) {
+  const ScanChain c = three_stage(false, false, false);
+  EXPECT_EQ(c.length(), 3u);
+  EXPECT_EQ(c.scan_out(), 12u);
+  ScanChain empty;
+  EXPECT_EQ(empty.length(), 0u);
+  EXPECT_EQ(empty.scan_out(), kNullNode);
+}
+
+TEST(ScanChain, ParityAccumulatesAlongSegments) {
+  const ScanChain c = three_stage(true, false, true);
+  EXPECT_TRUE(c.parity_to(0));    // one inversion
+  EXPECT_TRUE(c.parity_to(1));    // still one
+  EXPECT_FALSE(c.parity_to(2));   // two inversions cancel
+}
+
+TEST(ScanChain, ParityOfNonInvertingChainIsFalseEverywhere) {
+  const ScanChain c = three_stage(false, false, false);
+  for (std::size_t k = 0; k < c.length(); ++k) {
+    EXPECT_FALSE(c.parity_to(k));
+  }
+}
+
+TEST(ScanDesign, IsConstrainedChecksPinnedPis) {
+  ScanDesign d;
+  d.scan_mode = 5;
+  d.pi_constraints = {{5, Val::One}, {7, Val::Zero}};
+  EXPECT_TRUE(d.is_constrained(5));
+  EXPECT_TRUE(d.is_constrained(7));
+  EXPECT_FALSE(d.is_constrained(6));
+}
+
+TEST(ScanSegment, DefaultsAreDedicatedNonInverting) {
+  const ScanSegment s;
+  EXPECT_FALSE(s.functional);
+  EXPECT_FALSE(s.inverting);
+  EXPECT_TRUE(s.path.empty());
+  EXPECT_EQ(s.from, kNullNode);
+}
+
+}  // namespace
+}  // namespace fsct

@@ -1,0 +1,165 @@
+#include "scan/scan_sequences.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bench_circuits/generator.h"
+#include "bench_circuits/paper_examples.h"
+#include "netlist/levelize.h"
+#include "scan/tpi.h"
+#include "sim/seq_sim.h"
+
+namespace fsct {
+namespace {
+
+constexpr Val k0 = Val::Zero;
+constexpr Val k1 = Val::One;
+
+TEST(ScanSequences, BaseVectorHoldsConstraints) {
+  ExampleDesign e = paper_figure2();
+  const ScanSequenceBuilder sb(e.nl, e.design);
+  const auto v = sb.base_vector(k0);
+  ASSERT_EQ(v.size(), e.nl.inputs().size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (e.nl.inputs()[i] == e.nl.find("en") ||
+        e.nl.inputs()[i] == e.design.scan_mode) {
+      EXPECT_EQ(v[i], k1);
+    } else {
+      EXPECT_EQ(v[i], k0);
+    }
+  }
+}
+
+TEST(ScanSequences, AlternatingPatternPeriodFour) {
+  ExampleDesign e = paper_figure2();
+  const ScanSequenceBuilder sb(e.nl, e.design);
+  const TestSequence seq = sb.alternating(8);
+  ASSERT_EQ(seq.size(), 8u);
+  std::size_t si = 0;
+  for (std::size_t i = 0; i < e.nl.inputs().size(); ++i) {
+    if (e.nl.inputs()[i] == e.nl.find("si")) si = i;
+  }
+  const Val want[] = {k0, k0, k1, k1, k0, k0, k1, k1};
+  for (int t = 0; t < 8; ++t) EXPECT_EQ(seq[t][si], want[t]) << t;
+}
+
+TEST(ScanSequences, LoadStateReachesWantedState) {
+  ExampleDesign e = paper_figure2();
+  const ScanSequenceBuilder sb(e.nl, e.design);
+  const std::vector<std::vector<Val>> want = {{k1, k0, k1, k1, k0, k1}};
+  const TestSequence seq = sb.load_state(want);
+  EXPECT_EQ(seq.size(), 6u);
+  const Levelizer lv(e.nl);
+  SeqSim sim(lv);
+  sim.reset(k0);
+  for (const auto& v : seq) sim.step(v);
+  for (std::size_t k = 0; k < 6; ++k) {
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < e.nl.dffs().size(); ++i) {
+      if (e.nl.dffs()[i] == e.design.chains[0].ffs[k]) idx = i;
+    }
+    EXPECT_EQ(sim.state()[idx], want[0][k]) << "position " << k;
+  }
+}
+
+TEST(ScanSequences, LoadStateOnTpiCircuitWithInversions) {
+  // Random circuits produce inverting functional segments; the loader must
+  // compensate parity.
+  for (std::uint64_t seed : {3ull, 14ull, 15ull}) {
+    RandomCircuitSpec spec;
+    spec.num_gates = 220;
+    spec.num_ffs = 18;
+    spec.seed = seed;
+    Netlist nl = make_random_sequential(spec);
+    const ScanDesign d = run_tpi(nl);
+    const ScanSequenceBuilder sb(nl, d);
+    std::mt19937_64 rng(seed);
+    std::vector<std::vector<Val>> want(d.chains.size());
+    for (std::size_t c = 0; c < d.chains.size(); ++c) {
+      want[c].resize(d.chains[c].length());
+      for (auto& v : want[c]) v = (rng() & 1) ? k1 : k0;
+    }
+    const TestSequence seq = sb.load_state(want);
+    const Levelizer lv(nl);
+    SeqSim sim(lv);
+    sim.reset(k0);
+    for (const auto& v : seq) sim.step(v);
+    for (std::size_t c = 0; c < d.chains.size(); ++c) {
+      for (std::size_t k = 0; k < d.chains[c].length(); ++k) {
+        std::size_t idx = 0;
+        for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
+          if (nl.dffs()[i] == d.chains[c].ffs[k]) idx = i;
+        }
+        ASSERT_EQ(sim.state()[idx], want[c][k])
+            << "seed " << seed << " chain " << c << " pos " << k;
+      }
+    }
+  }
+}
+
+TEST(ScanSequences, ApplyCombVectorLoadsThenFlushes) {
+  ExampleDesign e = paper_figure2();
+  const ScanSequenceBuilder sb(e.nl, e.design);
+  std::vector<Val> ff_state(e.nl.dffs().size(), k1);
+  const TestSequence seq =
+      sb.apply_comb_vector(ff_state, sb.base_vector(k0), 4);
+  EXPECT_EQ(seq.size(), 6u + 4u);
+}
+
+TEST(ScanSequences, ChainPositionLookup) {
+  ExampleDesign e = paper_figure2();
+  const ScanSequenceBuilder sb(e.nl, e.design);
+  const auto [c, k] = sb.chain_position(e.nl.find("f3"));
+  EXPECT_EQ(c, 0);
+  EXPECT_EQ(k, 2);
+  const auto [c2, k2] = sb.chain_position(e.nl.find("en"));
+  EXPECT_EQ(c2, -1);
+  EXPECT_EQ(k2, -1);
+}
+
+TEST(ScanSequences, LoadStateSizeValidation) {
+  ExampleDesign e = paper_figure2();
+  const ScanSequenceBuilder sb(e.nl, e.design);
+  EXPECT_THROW(sb.load_state({}), std::invalid_argument);
+  std::vector<std::vector<Val>> want = {{k1}};
+  EXPECT_NO_THROW(sb.load_state(want));  // short state: rest is fill
+}
+
+TEST(ScanSequences, UnequalChainsAlignAtTheEnd) {
+  // Two chains of different lengths: both must hold their wanted state after
+  // max-length cycles.
+  RandomCircuitSpec spec;
+  spec.num_gates = 200;
+  spec.num_ffs = 15;
+  spec.seed = 8;
+  Netlist nl = make_random_sequential(spec);
+  TpiOptions topt;
+  topt.num_chains = 2;
+  const ScanDesign d = run_tpi(nl, topt);
+  ASSERT_EQ(d.chains.size(), 2u);
+  const ScanSequenceBuilder sb(nl, d);
+  std::vector<std::vector<Val>> want(2);
+  std::mt19937_64 rng(4);
+  for (std::size_t c = 0; c < 2; ++c) {
+    want[c].resize(d.chains[c].length());
+    for (auto& v : want[c]) v = (rng() & 1) ? k1 : k0;
+  }
+  const TestSequence seq = sb.load_state(want);
+  const Levelizer lv(nl);
+  SeqSim sim(lv);
+  sim.reset(k0);
+  for (const auto& v : seq) sim.step(v);
+  for (std::size_t c = 0; c < 2; ++c) {
+    for (std::size_t k = 0; k < d.chains[c].length(); ++k) {
+      std::size_t idx = 0;
+      for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
+        if (nl.dffs()[i] == d.chains[c].ffs[k]) idx = i;
+      }
+      ASSERT_EQ(sim.state()[idx], want[c][k]) << "chain " << c << " pos " << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fsct

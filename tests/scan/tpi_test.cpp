@@ -1,0 +1,220 @@
+#include "scan/tpi.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "bench_circuits/generator.h"
+#include "bench_circuits/paper_examples.h"
+#include "netlist/levelize.h"
+#include "scan/mux_scan.h"
+#include "sim/comb_sim.h"
+#include "sim/seq_sim.h"
+
+namespace fsct {
+namespace {
+
+constexpr Val k0 = Val::Zero;
+constexpr Val k1 = Val::One;
+
+std::vector<Val> scan_pi_vector(const Netlist& nl, const ScanDesign& d,
+                                const std::vector<std::pair<NodeId, Val>>&
+                                    scan_ins = {}) {
+  std::vector<Val> v(nl.inputs().size(), k0);
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    for (auto [pi, val] : d.pi_constraints) {
+      if (nl.inputs()[i] == pi) v[i] = val;
+    }
+    for (auto [pi, val] : scan_ins) {
+      if (nl.inputs()[i] == pi) v[i] = val;
+    }
+  }
+  return v;
+}
+
+// The central invariant: in scan mode, after TPI, each chain behaves as a
+// shift register (modulo recorded segment inversions).
+void check_shift_invariant(Netlist& nl, const ScanDesign& d) {
+  const Levelizer lv(nl);
+  SeqSim sim(lv);
+  sim.reset(k0);
+  std::vector<int> ff_index(nl.size(), -1);
+  for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
+    ff_index[nl.dffs()[i]] = static_cast<int>(i);
+  }
+  std::mt19937_64 rng(99);
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    // Random scan-in bits per chain.
+    std::vector<std::pair<NodeId, Val>> sin;
+    std::vector<Val> bits;
+    for (const ScanChain& c : d.chains) {
+      const Val b = (rng() & 1) ? k1 : k0;
+      sin.emplace_back(c.scan_in, b);
+      bits.push_back(b);
+    }
+    const std::vector<Val> before = sim.state();
+    sim.step(scan_pi_vector(nl, d, sin));
+    const std::vector<Val>& after = sim.state();
+    for (std::size_t ci = 0; ci < d.chains.size(); ++ci) {
+      const ScanChain& chain = d.chains[ci];
+      for (std::size_t k = 0; k < chain.length(); ++k) {
+        const Val prev = (k == 0)
+                             ? bits[ci]
+                             : before[static_cast<std::size_t>(
+                                   ff_index[chain.ffs[k - 1]])];
+        const Val expect = chain.segments[k].inverting ? !prev : prev;
+        ASSERT_EQ(after[static_cast<std::size_t>(ff_index[chain.ffs[k]])],
+                  expect)
+            << nl.name() << " chain " << ci << " pos " << k << " cycle "
+            << cycle;
+      }
+    }
+  }
+}
+
+TEST(Tpi, PipelineGetsFunctionalPaths) {
+  Netlist nl = small_pipeline();
+  TpiStats stats;
+  const ScanDesign d = run_tpi(nl, {}, &stats);
+  EXPECT_EQ(nl.validate(), "");
+  ASSERT_EQ(d.chains.size(), 1u);
+  EXPECT_EQ(d.chains[0].length(), 3u);
+  // f2 (through NAND) and f3 (through NOR) can be linked functionally.
+  EXPECT_GE(stats.functional_segments, 2);
+  EXPECT_LT(d.scan_muxes, 3);
+}
+
+TEST(Tpi, FunctionalSegmentsSaveMuxesVsFullScan) {
+  Netlist tpi_nl = small_pipeline();
+  TpiStats stats;
+  run_tpi(tpi_nl, {}, &stats);
+  Netlist mux_nl = small_pipeline();
+  const ScanDesign md = insert_mux_scan(mux_nl);
+  EXPECT_LT(stats.mux_segments, md.scan_muxes);
+}
+
+TEST(Tpi, ShiftInvariantOnPipeline) {
+  Netlist nl = small_pipeline();
+  const ScanDesign d = run_tpi(nl);
+  check_shift_invariant(nl, d);
+}
+
+TEST(Tpi, ShiftInvariantOnCounter) {
+  Netlist nl = small_counter();
+  const ScanDesign d = run_tpi(nl);
+  check_shift_invariant(nl, d);
+}
+
+TEST(Tpi, ShiftInvariantOnS27) {
+  Netlist nl = iscas_s27();
+  const ScanDesign d = run_tpi(nl);
+  check_shift_invariant(nl, d);
+}
+
+class TpiRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TpiRandom, ShiftInvariantOnRandomCircuits) {
+  RandomCircuitSpec spec;
+  spec.num_gates = 250;
+  spec.num_ffs = 24;
+  spec.num_pis = 8;
+  spec.num_pos = 6;
+  spec.seed = GetParam();
+  Netlist nl = make_random_sequential(spec);
+  const ScanDesign d = run_tpi(nl);
+  EXPECT_EQ(nl.validate(), "");
+  std::size_t total = 0;
+  for (const ScanChain& c : d.chains) total += c.length();
+  EXPECT_EQ(total, 24u);
+  check_shift_invariant(nl, d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TpiRandom,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull,
+                                           6ull, 7ull, 8ull));
+
+TEST(Tpi, NormalModeBehaviourUnchanged) {
+  Netlist ref = small_counter();
+  Netlist scanned = small_counter();
+  const ScanDesign d = run_tpi(scanned);
+  const Levelizer rlv(ref), slv(scanned);
+  SeqSim rsim(rlv), ssim(slv);
+  rsim.reset(k0);
+  ssim.reset(k0);
+  for (int t = 0; t < 20; ++t) {
+    const Val en = (t % 3 == 0) ? k0 : k1;
+    rsim.step(std::vector<Val>{en});
+    // scan_mode = 0, en as given, everything else 0.
+    std::vector<Val> v(scanned.inputs().size(), k0);
+    for (std::size_t i = 0; i < scanned.inputs().size(); ++i) {
+      if (scanned.inputs()[i] == scanned.find("en")) v[i] = en;
+    }
+    ssim.step(v);
+    for (std::size_t i = 0; i < ref.dffs().size(); ++i) {
+      ASSERT_EQ(rsim.state()[i], ssim.state()[i]) << "cycle " << t;
+    }
+  }
+}
+
+TEST(Tpi, MultipleChainsBalanced) {
+  RandomCircuitSpec spec;
+  spec.num_gates = 300;
+  spec.num_ffs = 30;
+  spec.seed = 77;
+  Netlist nl = make_random_sequential(spec);
+  TpiOptions opt;
+  opt.num_chains = 3;
+  const ScanDesign d = run_tpi(nl, opt);
+  ASSERT_EQ(d.chains.size(), 3u);
+  for (const ScanChain& c : d.chains) {
+    EXPECT_GE(c.length(), 5u);
+    EXPECT_LE(c.length(), 15u);
+  }
+  check_shift_invariant(nl, d);
+}
+
+TEST(Tpi, TestPointsTransparentInNormalMode) {
+  // Any inserted test point must compute identity when scan_mode=0.
+  Netlist nl = small_pipeline();
+  TpiStats stats;
+  const ScanDesign d = run_tpi(nl, {}, &stats);
+  (void)d;
+  const Levelizer lv(nl);
+  // Evaluate with scan_mode=0: every _tp gate output equals its pin-0 input.
+  std::vector<Val> v(nl.size(), Val::X);
+  std::mt19937_64 rng(5);
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    v[nl.inputs()[i]] = (rng() & 1) ? k1 : k0;
+  }
+  v[d.scan_mode] = k0;
+  for (NodeId q : nl.dffs()) v[q] = (rng() & 1) ? k1 : k0;
+  CombSim sim(lv);
+  sim.run(v);
+  for (NodeId id = 0; id < nl.size(); ++id) {
+    if (nl.node_name(id).rfind("_tp", 0) == 0) {
+      EXPECT_EQ(v[id], v[nl.fanins(id)[0]]) << nl.node_name(id);
+    }
+  }
+}
+
+TEST(Tpi, ChainsCoverEveryFlipFlopExactlyOnce) {
+  RandomCircuitSpec spec;
+  spec.num_gates = 200;
+  spec.num_ffs = 16;
+  spec.seed = 31;
+  Netlist nl = make_random_sequential(spec);
+  const std::vector<NodeId> ffs_before = nl.dffs();
+  const ScanDesign d = run_tpi(nl);
+  std::vector<NodeId> seen;
+  for (const ScanChain& c : d.chains) {
+    for (NodeId ff : c.ffs) seen.push_back(ff);
+  }
+  std::sort(seen.begin(), seen.end());
+  std::vector<NodeId> want = ffs_before;
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(seen, want);
+}
+
+}  // namespace
+}  // namespace fsct

@@ -1,0 +1,85 @@
+#include "scan/transparency.h"
+
+#include <gtest/gtest.h>
+
+#include "bench_circuits/generator.h"
+#include "bench_circuits/paper_examples.h"
+#include "scan/mux_scan.h"
+#include "scan/tpi.h"
+
+namespace fsct {
+namespace {
+
+TEST(Transparency, MuxScanIsTransparent) {
+  const Netlist ref = small_counter();
+  Netlist scanned = small_counter();
+  const ScanDesign d = insert_mux_scan(scanned);
+  const TransparencyResult r = check_dft_transparency(ref, scanned, d);
+  EXPECT_TRUE(r.equivalent) << r.diagnosis;
+  EXPECT_GT(r.cycles_checked, 0);
+}
+
+TEST(Transparency, TpiIsTransparent) {
+  const Netlist ref = iscas_s27();
+  Netlist scanned = iscas_s27();
+  const ScanDesign d = run_tpi(scanned);
+  const TransparencyResult r = check_dft_transparency(ref, scanned, d);
+  EXPECT_TRUE(r.equivalent) << r.diagnosis;
+}
+
+class TransparencySeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransparencySeeds, TpiTransparentOnRandomCircuits) {
+  RandomCircuitSpec spec;
+  spec.num_gates = 260;
+  spec.num_ffs = 20;
+  spec.num_pis = 8;
+  spec.num_pos = 6;
+  spec.seed = GetParam();
+  const Netlist ref = make_random_sequential(spec);
+  Netlist scanned = make_random_sequential(spec);
+  const ScanDesign d = run_tpi(scanned);
+  const TransparencyResult r = check_dft_transparency(ref, scanned, d);
+  EXPECT_TRUE(r.equivalent) << r.diagnosis;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransparencySeeds,
+                         ::testing::Values(600ull, 601ull, 602ull, 603ull));
+
+TEST(Transparency, PartialScanTransparentToo) {
+  RandomCircuitSpec spec;
+  spec.num_gates = 200;
+  spec.num_ffs = 16;
+  spec.seed = 604;
+  const Netlist ref = make_random_sequential(spec);
+  Netlist scanned = make_random_sequential(spec);
+  TpiOptions topt;
+  topt.scan_permille = 500;
+  const ScanDesign d = run_tpi(scanned, topt);
+  const TransparencyResult r = check_dft_transparency(ref, scanned, d);
+  EXPECT_TRUE(r.equivalent) << r.diagnosis;
+}
+
+TEST(Transparency, DetectsABrokenInsertion) {
+  // Sabotage: swap a flip-flop's D with constant logic after TPI and make
+  // sure the checker notices.
+  const Netlist ref = small_pipeline();
+  Netlist scanned = small_pipeline();
+  const ScanDesign d = run_tpi(scanned);
+  const NodeId f3 = scanned.find("f3");
+  const NodeId k = scanned.add_const(true, "sabotage");
+  scanned.set_fanin(f3, 0, k);
+  const TransparencyResult r = check_dft_transparency(ref, scanned, d);
+  EXPECT_FALSE(r.equivalent);
+  EXPECT_NE(r.diagnosis.find("f3"), std::string::npos);
+}
+
+TEST(Transparency, InterfaceMismatchThrows) {
+  const Netlist ref = small_counter();
+  Netlist other = small_pipeline();
+  const ScanDesign d = run_tpi(other);
+  EXPECT_THROW(check_dft_transparency(ref, other, d), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fsct

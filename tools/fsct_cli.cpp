@@ -1,0 +1,278 @@
+// fsct — command-line front end for the functional-scan-chain-testing
+// library.  The workflows a test engineer actually runs:
+//
+//   fsct stats    <circuit.bench>
+//       structural statistics of a netlist.
+//
+//   fsct scan     <circuit.bench> [--chains N] [--partial permille]
+//                 [-o scanned.bench]
+//       insert a TPI functional scan chain, report the overhead, optionally
+//       write the scanned netlist.
+//
+//   fsct test     <circuit.bench> [--chains N] [--partial permille]
+//                 [-o program.fsct]
+//       full flow: TPI + three-step screening pipeline; prints the paper's
+//       Table-2/3 style summary and (with -o) writes the complete chain test
+//       program (flush + vectors + verified sequential tests) plus the
+//       scanned netlist it applies to (<out>.bench).
+//
+//   fsct replay   <program.fsct> <circuit.bench> [--fault NET 0|1]
+//       run a test program against a (possibly faulty) device; exit status 1
+//       when strobes mismatch.
+//
+//   fsct diagnose <circuit.bench> --fault NET 0|1 [--chains N]
+//       inject a defect, apply the flush + marker loads, and rank suspects.
+//
+//   fsct selftest
+//       end-to-end smoke test on the embedded ISCAS'89 s27.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <string>
+
+#include "bench_circuits/paper_examples.h"
+#include "core/diagnose.h"
+#include "core/pipeline.h"
+#include "core/test_export.h"
+#include "netlist/bench_io.h"
+#include "netlist/stats.h"
+#include "scan/tpi.h"
+
+namespace {
+
+using namespace fsct;
+
+struct Args {
+  std::vector<std::string> positional;
+  int chains = 1;
+  int partial = 1000;
+  std::string out;
+  std::string fault_net;
+  int fault_value = -1;
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 2; i < argc; ++i) {
+    const std::string s = argv[i];
+    if (s == "--chains" && i + 1 < argc) {
+      a.chains = std::atoi(argv[++i]);
+    } else if (s == "--partial" && i + 1 < argc) {
+      a.partial = std::atoi(argv[++i]);
+    } else if (s == "-o" && i + 1 < argc) {
+      a.out = argv[++i];
+    } else if (s == "--fault" && i + 2 < argc) {
+      a.fault_net = argv[++i];
+      a.fault_value = std::atoi(argv[++i]);
+    } else {
+      a.positional.push_back(s);
+    }
+  }
+  return a;
+}
+
+void require_unscanned(const Netlist& nl) {
+  if (nl.find("scan_mode") != kNullNode) {
+    throw std::runtime_error(
+        "circuit already contains a scan_mode input — pass the pre-scan "
+        "netlist (this command inserts the scan chain itself)");
+  }
+}
+
+Fault find_fault(const Netlist& nl, const Args& a) {
+  const NodeId n = nl.find(a.fault_net);
+  if (n == kNullNode) {
+    throw std::runtime_error("unknown net: " + a.fault_net);
+  }
+  return Fault{n, -1, a.fault_value != 0};
+}
+
+int cmd_stats(const Args& a) {
+  const Netlist nl = read_bench_file(a.positional.at(0));
+  std::printf("%s\n%s", nl.name().c_str(),
+              stats_string(compute_stats(nl)).c_str());
+  return 0;
+}
+
+int cmd_scan(const Args& a) {
+  Netlist nl = read_bench_file(a.positional.at(0));
+  require_unscanned(nl);
+  TpiOptions topt;
+  topt.num_chains = a.chains;
+  topt.scan_permille = a.partial;
+  TpiStats stats;
+  const ScanDesign d = run_tpi(nl, topt, &stats);
+  std::printf("%s: %d functional links, %d scan muxes, %d test points, "
+              "%d pinned PIs\n",
+              nl.name().c_str(), stats.functional_segments,
+              stats.mux_segments, stats.test_points, stats.assigned_pis);
+  for (std::size_t c = 0; c < d.chains.size(); ++c) {
+    std::printf("chain %zu: scan_in=%s length=%zu scan_out=%s\n", c,
+                nl.node_name(d.chains[c].scan_in).c_str(),
+                d.chains[c].length(),
+                nl.node_name(d.chains[c].scan_out()).c_str());
+  }
+  if (!a.out.empty()) {
+    std::ofstream os(a.out);
+    write_bench(os, nl);
+    std::printf("wrote %s\n", a.out.c_str());
+  }
+  return 0;
+}
+
+int cmd_test(const Args& a) {
+  Netlist nl = read_bench_file(a.positional.at(0));
+  require_unscanned(nl);
+  TpiOptions topt;
+  topt.num_chains = a.chains;
+  topt.scan_permille = a.partial;
+  const ScanDesign d = run_tpi(nl, topt);
+  const Levelizer lv(nl);
+  const ScanModeModel model(lv, d);
+  if (const std::string err = model.check(); !err.empty()) {
+    std::printf("scan-mode invariant violated: %s\n", err.c_str());
+    return 2;
+  }
+  const auto faults = collapsed_fault_list(nl);
+  PipelineOptions opt;
+  opt.verify_easy = true;
+  const PipelineResult r = run_fsct_pipeline(model, faults, opt);
+
+  std::printf("%zu faults | affecting %zu (%.1f%%) | easy %zu (verified %zu) "
+              "| hard %zu\n",
+              r.total_faults, r.affecting(),
+              100.0 * static_cast<double>(r.affecting()) /
+                  static_cast<double>(r.total_faults ? r.total_faults : 1),
+              r.easy, r.easy_verified, r.hard);
+  std::printf("step 2: %zu detected with %zu vectors, %zu undetectable\n",
+              r.s2_detected, r.s2_vectors, r.s2_undetectable);
+  std::printf("step 3: %zu detected, %zu undetectable, %zu undetected "
+              "(%zu+%zu circuit models)\n",
+              r.s3_detected, r.s3_undetectable, r.s3_undetected,
+              r.s3_circuits_group, r.s3_circuits_final);
+
+  if (!a.out.empty()) {
+    const TestProgram p = make_chain_test_program(model, r);
+    std::ofstream os(a.out);
+    write_test_program(os, p);
+    // The program runs on the *scanned* device: ship that netlist alongside.
+    std::ofstream bos(a.out + ".bench");
+    write_bench(bos, nl);
+    std::printf("wrote %s (%zu cycles) and %s.bench\n", a.out.c_str(),
+                p.stimulus.size(), a.out.c_str());
+  }
+  return r.s3_undetected == 0 ? 0 : 1;
+}
+
+int cmd_replay(const Args& a) {
+  std::ifstream is(a.positional.at(0));
+  if (!is) throw std::runtime_error("cannot open " + a.positional.at(0));
+  const TestProgram p = read_test_program(is);
+  const Netlist nl = read_bench_file(a.positional.at(1));
+  const Levelizer lv(nl);
+  std::size_t mismatches;
+  if (!a.fault_net.empty()) {
+    const Fault f = find_fault(nl, a);
+    mismatches = run_test_program(lv, p, &f);
+    std::printf("with %s: ", fault_name(nl, f).c_str());
+  } else {
+    mismatches = run_test_program(lv, p);
+  }
+  std::printf("%zu strobe mismatches -> %s\n", mismatches,
+              mismatches ? "FAIL" : "PASS");
+  return mismatches ? 1 : 0;
+}
+
+int cmd_diagnose(const Args& a) {
+  Netlist nl = read_bench_file(a.positional.at(0));
+  require_unscanned(nl);
+  TpiOptions topt;
+  topt.num_chains = a.chains;
+  const ScanDesign d = run_tpi(nl, topt);
+  const Levelizer lv(nl);
+  const ScanModeModel model(lv, d);
+  const Fault defect = find_fault(nl, a);
+
+  ScanSequenceBuilder sb(nl, d);
+  TestSequence seq = sb.alternating(2 * model.max_chain_length() + 8);
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::vector<Val>> marker(d.chains.size());
+    for (std::size_t c = 0; c < d.chains.size(); ++c) {
+      marker[c].resize(d.chains[c].length());
+      for (auto& v : marker[c]) v = (rng() & 1) ? Val::One : Val::Zero;
+    }
+    const TestSequence load = sb.load_state(marker);
+    seq.insert(seq.end(), load.begin(), load.end());
+    for (std::size_t i = 0; i < model.max_chain_length() + 2; ++i) {
+      seq.push_back(sb.base_vector(Val::Zero));
+    }
+  }
+  ChainDiagnoser diag(model);
+  const ObservedResponse obs = diag.make_response(seq, defect);
+  const auto faults = collapsed_fault_list(nl);
+  const auto ranked = diag.diagnose(obs, faults, 8);
+  std::printf("%-4s %-30s %-10s %-12s\n", "#", "suspect", "explained",
+              "contradicts");
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    std::printf("%-4zu %-30s %-10d %-12d%s\n", i + 1,
+                fault_name(nl, ranked[i].fault).c_str(), ranked[i].explained,
+                ranked[i].contradictions,
+                ranked[i].fault == defect ? "  <-- injected" : "");
+  }
+  return 0;
+}
+
+int cmd_selftest() {
+  // End-to-end on the embedded s27: scan, test, export, replay, diagnose.
+  Netlist nl = iscas_s27();
+  const ScanDesign d = run_tpi(nl);
+  const Levelizer lv(nl);
+  const ScanModeModel model(lv, d);
+  if (!model.check().empty()) return 1;
+  const auto faults = collapsed_fault_list(nl);
+  PipelineOptions opt;
+  opt.verify_easy = true;
+  const PipelineResult r = run_fsct_pipeline(model, faults, opt);
+  if (r.easy_verified != r.easy || r.s3_undetected != 0) return 1;
+
+  const TestProgram p = make_chain_test_program(model, r);
+  if (run_test_program(lv, p) != 0) return 1;
+  std::size_t covered = 0, killed = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const FaultOutcome o = r.outcome[i];
+    if (o == FaultOutcome::EasyAlternating || o == FaultOutcome::DetectedComb ||
+        o == FaultOutcome::DetectedSeq || o == FaultOutcome::DetectedFinal) {
+      ++covered;
+      killed += (run_test_program(lv, p, &faults[i]) > 0);
+    }
+  }
+  std::printf("selftest: %zu/%zu covered faults killed by the program\n",
+              killed, covered);
+  return killed == covered ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::printf("usage: fsct <stats|scan|test|replay|diagnose|selftest> ...\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    const Args a = parse(argc, argv);
+    if (cmd == "stats") return cmd_stats(a);
+    if (cmd == "scan") return cmd_scan(a);
+    if (cmd == "test") return cmd_test(a);
+    if (cmd == "replay") return cmd_replay(a);
+    if (cmd == "diagnose") return cmd_diagnose(a);
+    if (cmd == "selftest") return cmd_selftest();
+    std::printf("unknown command '%s'\n", cmd.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::printf("error: %s\n", e.what());
+    return 2;
+  }
+}
