@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dist_params.dir/ablation_dist_params.cpp.o"
+  "CMakeFiles/ablation_dist_params.dir/ablation_dist_params.cpp.o.d"
+  "ablation_dist_params"
+  "ablation_dist_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dist_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_partial_scan.dir/ablation_partial_scan.cpp.o"
+  "CMakeFiles/ablation_partial_scan.dir/ablation_partial_scan.cpp.o.d"
+  "ablation_partial_scan"
+  "ablation_partial_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_partial_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_detection_curve.dir/fig5_detection_curve.cpp.o"
+  "CMakeFiles/fig5_detection_curve.dir/fig5_detection_curve.cpp.o.d"
+  "fig5_detection_curve"
+  "fig5_detection_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_detection_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

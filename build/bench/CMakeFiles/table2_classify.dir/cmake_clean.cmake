@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_classify.dir/table2_classify.cpp.o"
+  "CMakeFiles/table2_classify.dir/table2_classify.cpp.o.d"
+  "table2_classify"
+  "table2_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_pipeline.dir/table3_pipeline.cpp.o"
+  "CMakeFiles/table3_pipeline.dir/table3_pipeline.cpp.o.d"
+  "table3_pipeline"
+  "table3_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

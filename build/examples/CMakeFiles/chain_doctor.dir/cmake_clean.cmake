@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_doctor.dir/chain_doctor.cpp.o"
+  "CMakeFiles/chain_doctor.dir/chain_doctor.cpp.o.d"
+  "chain_doctor"
+  "chain_doctor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_doctor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnose_demo.dir/diagnose_demo.cpp.o"
+  "CMakeFiles/diagnose_demo.dir/diagnose_demo.cpp.o.d"
+  "diagnose_demo"
+  "diagnose_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnose_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_explorer.dir/overhead_explorer.cpp.o"
+  "CMakeFiles/overhead_explorer.dir/overhead_explorer.cpp.o.d"
+  "overhead_explorer"
+  "overhead_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

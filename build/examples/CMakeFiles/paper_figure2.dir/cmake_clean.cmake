@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_figure2.dir/paper_figure2.cpp.o"
+  "CMakeFiles/paper_figure2.dir/paper_figure2.cpp.o.d"
+  "paper_figure2"
+  "paper_figure2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_figure2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atpg/pair_sim.cpp" "src/atpg/CMakeFiles/fsct_atpg.dir/pair_sim.cpp.o" "gcc" "src/atpg/CMakeFiles/fsct_atpg.dir/pair_sim.cpp.o.d"
+  "/root/repo/src/atpg/podem.cpp" "src/atpg/CMakeFiles/fsct_atpg.dir/podem.cpp.o" "gcc" "src/atpg/CMakeFiles/fsct_atpg.dir/podem.cpp.o.d"
+  "/root/repo/src/atpg/scoap.cpp" "src/atpg/CMakeFiles/fsct_atpg.dir/scoap.cpp.o" "gcc" "src/atpg/CMakeFiles/fsct_atpg.dir/scoap.cpp.o.d"
+  "/root/repo/src/atpg/unroll.cpp" "src/atpg/CMakeFiles/fsct_atpg.dir/unroll.cpp.o" "gcc" "src/atpg/CMakeFiles/fsct_atpg.dir/unroll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fault/CMakeFiles/fsct_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fsct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/fsct_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsct_atpg.dir/pair_sim.cpp.o"
+  "CMakeFiles/fsct_atpg.dir/pair_sim.cpp.o.d"
+  "CMakeFiles/fsct_atpg.dir/podem.cpp.o"
+  "CMakeFiles/fsct_atpg.dir/podem.cpp.o.d"
+  "CMakeFiles/fsct_atpg.dir/scoap.cpp.o"
+  "CMakeFiles/fsct_atpg.dir/scoap.cpp.o.d"
+  "CMakeFiles/fsct_atpg.dir/unroll.cpp.o"
+  "CMakeFiles/fsct_atpg.dir/unroll.cpp.o.d"
+  "libfsct_atpg.a"
+  "libfsct_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsct_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsct_benchcircuits.dir/generator.cpp.o"
+  "CMakeFiles/fsct_benchcircuits.dir/generator.cpp.o.d"
+  "CMakeFiles/fsct_benchcircuits.dir/paper_examples.cpp.o"
+  "CMakeFiles/fsct_benchcircuits.dir/paper_examples.cpp.o.d"
+  "CMakeFiles/fsct_benchcircuits.dir/suite.cpp.o"
+  "CMakeFiles/fsct_benchcircuits.dir/suite.cpp.o.d"
+  "libfsct_benchcircuits.a"
+  "libfsct_benchcircuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsct_benchcircuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

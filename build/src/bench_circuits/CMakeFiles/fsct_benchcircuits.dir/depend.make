@@ -1,0 +1,2 @@
+# Empty dependencies file for fsct_benchcircuits.
+# This may be replaced when dependencies are built.

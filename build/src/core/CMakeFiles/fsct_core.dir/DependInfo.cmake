@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chain_reorder.cpp" "src/core/CMakeFiles/fsct_core.dir/chain_reorder.cpp.o" "gcc" "src/core/CMakeFiles/fsct_core.dir/chain_reorder.cpp.o.d"
+  "/root/repo/src/core/classify.cpp" "src/core/CMakeFiles/fsct_core.dir/classify.cpp.o" "gcc" "src/core/CMakeFiles/fsct_core.dir/classify.cpp.o.d"
+  "/root/repo/src/core/compaction.cpp" "src/core/CMakeFiles/fsct_core.dir/compaction.cpp.o" "gcc" "src/core/CMakeFiles/fsct_core.dir/compaction.cpp.o.d"
+  "/root/repo/src/core/diagnose.cpp" "src/core/CMakeFiles/fsct_core.dir/diagnose.cpp.o" "gcc" "src/core/CMakeFiles/fsct_core.dir/diagnose.cpp.o.d"
+  "/root/repo/src/core/grouping.cpp" "src/core/CMakeFiles/fsct_core.dir/grouping.cpp.o" "gcc" "src/core/CMakeFiles/fsct_core.dir/grouping.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/fsct_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/fsct_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/reduced_atpg.cpp" "src/core/CMakeFiles/fsct_core.dir/reduced_atpg.cpp.o" "gcc" "src/core/CMakeFiles/fsct_core.dir/reduced_atpg.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/fsct_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/fsct_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/test_export.cpp" "src/core/CMakeFiles/fsct_core.dir/test_export.cpp.o" "gcc" "src/core/CMakeFiles/fsct_core.dir/test_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/atpg/CMakeFiles/fsct_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/fsct_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/fsct_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fsct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/fsct_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsct_core.dir/chain_reorder.cpp.o"
+  "CMakeFiles/fsct_core.dir/chain_reorder.cpp.o.d"
+  "CMakeFiles/fsct_core.dir/classify.cpp.o"
+  "CMakeFiles/fsct_core.dir/classify.cpp.o.d"
+  "CMakeFiles/fsct_core.dir/compaction.cpp.o"
+  "CMakeFiles/fsct_core.dir/compaction.cpp.o.d"
+  "CMakeFiles/fsct_core.dir/diagnose.cpp.o"
+  "CMakeFiles/fsct_core.dir/diagnose.cpp.o.d"
+  "CMakeFiles/fsct_core.dir/grouping.cpp.o"
+  "CMakeFiles/fsct_core.dir/grouping.cpp.o.d"
+  "CMakeFiles/fsct_core.dir/pipeline.cpp.o"
+  "CMakeFiles/fsct_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/fsct_core.dir/reduced_atpg.cpp.o"
+  "CMakeFiles/fsct_core.dir/reduced_atpg.cpp.o.d"
+  "CMakeFiles/fsct_core.dir/report.cpp.o"
+  "CMakeFiles/fsct_core.dir/report.cpp.o.d"
+  "CMakeFiles/fsct_core.dir/test_export.cpp.o"
+  "CMakeFiles/fsct_core.dir/test_export.cpp.o.d"
+  "libfsct_core.a"
+  "libfsct_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsct_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

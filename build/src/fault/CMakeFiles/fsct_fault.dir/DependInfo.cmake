@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/comb_fault_sim.cpp" "src/fault/CMakeFiles/fsct_fault.dir/comb_fault_sim.cpp.o" "gcc" "src/fault/CMakeFiles/fsct_fault.dir/comb_fault_sim.cpp.o.d"
+  "/root/repo/src/fault/fault.cpp" "src/fault/CMakeFiles/fsct_fault.dir/fault.cpp.o" "gcc" "src/fault/CMakeFiles/fsct_fault.dir/fault.cpp.o.d"
+  "/root/repo/src/fault/seq_fault_sim.cpp" "src/fault/CMakeFiles/fsct_fault.dir/seq_fault_sim.cpp.o" "gcc" "src/fault/CMakeFiles/fsct_fault.dir/seq_fault_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fsct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/fsct_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsct_fault.dir/comb_fault_sim.cpp.o"
+  "CMakeFiles/fsct_fault.dir/comb_fault_sim.cpp.o.d"
+  "CMakeFiles/fsct_fault.dir/fault.cpp.o"
+  "CMakeFiles/fsct_fault.dir/fault.cpp.o.d"
+  "CMakeFiles/fsct_fault.dir/seq_fault_sim.cpp.o"
+  "CMakeFiles/fsct_fault.dir/seq_fault_sim.cpp.o.d"
+  "libfsct_fault.a"
+  "libfsct_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsct_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

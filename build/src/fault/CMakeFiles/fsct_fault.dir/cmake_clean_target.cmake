@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfsct_fault.a"
+)

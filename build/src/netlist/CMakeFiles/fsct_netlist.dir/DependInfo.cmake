@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/bench_io.cpp" "src/netlist/CMakeFiles/fsct_netlist.dir/bench_io.cpp.o" "gcc" "src/netlist/CMakeFiles/fsct_netlist.dir/bench_io.cpp.o.d"
+  "/root/repo/src/netlist/levelize.cpp" "src/netlist/CMakeFiles/fsct_netlist.dir/levelize.cpp.o" "gcc" "src/netlist/CMakeFiles/fsct_netlist.dir/levelize.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/fsct_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/fsct_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/stats.cpp" "src/netlist/CMakeFiles/fsct_netlist.dir/stats.cpp.o" "gcc" "src/netlist/CMakeFiles/fsct_netlist.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsct_netlist.dir/bench_io.cpp.o"
+  "CMakeFiles/fsct_netlist.dir/bench_io.cpp.o.d"
+  "CMakeFiles/fsct_netlist.dir/levelize.cpp.o"
+  "CMakeFiles/fsct_netlist.dir/levelize.cpp.o.d"
+  "CMakeFiles/fsct_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/fsct_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/fsct_netlist.dir/stats.cpp.o"
+  "CMakeFiles/fsct_netlist.dir/stats.cpp.o.d"
+  "libfsct_netlist.a"
+  "libfsct_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsct_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

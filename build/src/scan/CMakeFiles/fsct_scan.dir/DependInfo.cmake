@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scan/mux_scan.cpp" "src/scan/CMakeFiles/fsct_scan.dir/mux_scan.cpp.o" "gcc" "src/scan/CMakeFiles/fsct_scan.dir/mux_scan.cpp.o.d"
+  "/root/repo/src/scan/scan_mode_model.cpp" "src/scan/CMakeFiles/fsct_scan.dir/scan_mode_model.cpp.o" "gcc" "src/scan/CMakeFiles/fsct_scan.dir/scan_mode_model.cpp.o.d"
+  "/root/repo/src/scan/scan_sequences.cpp" "src/scan/CMakeFiles/fsct_scan.dir/scan_sequences.cpp.o" "gcc" "src/scan/CMakeFiles/fsct_scan.dir/scan_sequences.cpp.o.d"
+  "/root/repo/src/scan/tpi.cpp" "src/scan/CMakeFiles/fsct_scan.dir/tpi.cpp.o" "gcc" "src/scan/CMakeFiles/fsct_scan.dir/tpi.cpp.o.d"
+  "/root/repo/src/scan/transparency.cpp" "src/scan/CMakeFiles/fsct_scan.dir/transparency.cpp.o" "gcc" "src/scan/CMakeFiles/fsct_scan.dir/transparency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fsct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/fsct_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsct_scan.dir/mux_scan.cpp.o"
+  "CMakeFiles/fsct_scan.dir/mux_scan.cpp.o.d"
+  "CMakeFiles/fsct_scan.dir/scan_mode_model.cpp.o"
+  "CMakeFiles/fsct_scan.dir/scan_mode_model.cpp.o.d"
+  "CMakeFiles/fsct_scan.dir/scan_sequences.cpp.o"
+  "CMakeFiles/fsct_scan.dir/scan_sequences.cpp.o.d"
+  "CMakeFiles/fsct_scan.dir/tpi.cpp.o"
+  "CMakeFiles/fsct_scan.dir/tpi.cpp.o.d"
+  "CMakeFiles/fsct_scan.dir/transparency.cpp.o"
+  "CMakeFiles/fsct_scan.dir/transparency.cpp.o.d"
+  "libfsct_scan.a"
+  "libfsct_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsct_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsct_sim.dir/comb_sim.cpp.o"
+  "CMakeFiles/fsct_sim.dir/comb_sim.cpp.o.d"
+  "CMakeFiles/fsct_sim.dir/seq_sim.cpp.o"
+  "CMakeFiles/fsct_sim.dir/seq_sim.cpp.o.d"
+  "CMakeFiles/fsct_sim.dir/value.cpp.o"
+  "CMakeFiles/fsct_sim.dir/value.cpp.o.d"
+  "libfsct_sim.a"
+  "libfsct_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsct_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_reorder_test.dir/core/chain_reorder_test.cpp.o"
+  "CMakeFiles/chain_reorder_test.dir/core/chain_reorder_test.cpp.o.d"
+  "chain_reorder_test"
+  "chain_reorder_test.pdb"
+  "chain_reorder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_reorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

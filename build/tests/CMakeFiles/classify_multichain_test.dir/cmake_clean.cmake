@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_multichain_test.dir/core/classify_multichain_test.cpp.o"
+  "CMakeFiles/classify_multichain_test.dir/core/classify_multichain_test.cpp.o.d"
+  "classify_multichain_test"
+  "classify_multichain_test.pdb"
+  "classify_multichain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_multichain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

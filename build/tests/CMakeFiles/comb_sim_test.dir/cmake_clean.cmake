@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comb_sim_test.dir/sim/comb_sim_test.cpp.o"
+  "CMakeFiles/comb_sim_test.dir/sim/comb_sim_test.cpp.o.d"
+  "comb_sim_test"
+  "comb_sim_test.pdb"
+  "comb_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comb_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

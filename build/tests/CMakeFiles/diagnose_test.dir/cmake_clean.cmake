@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnose_test.dir/core/diagnose_test.cpp.o"
+  "CMakeFiles/diagnose_test.dir/core/diagnose_test.cpp.o.d"
+  "diagnose_test"
+  "diagnose_test.pdb"
+  "diagnose_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnose_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

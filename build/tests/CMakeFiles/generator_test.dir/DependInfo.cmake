@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bench_circuits/generator_test.cpp" "tests/CMakeFiles/generator_test.dir/bench_circuits/generator_test.cpp.o" "gcc" "tests/CMakeFiles/generator_test.dir/bench_circuits/generator_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fsct_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_circuits/CMakeFiles/fsct_benchcircuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/fsct_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/fsct_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/fsct_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fsct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/fsct_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

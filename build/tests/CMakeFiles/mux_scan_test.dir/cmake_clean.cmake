@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mux_scan_test.dir/scan/mux_scan_test.cpp.o"
+  "CMakeFiles/mux_scan_test.dir/scan/mux_scan_test.cpp.o.d"
+  "mux_scan_test"
+  "mux_scan_test.pdb"
+  "mux_scan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mux_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pair_sim_test.dir/atpg/pair_sim_test.cpp.o"
+  "CMakeFiles/pair_sim_test.dir/atpg/pair_sim_test.cpp.o.d"
+  "pair_sim_test"
+  "pair_sim_test.pdb"
+  "pair_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pair_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

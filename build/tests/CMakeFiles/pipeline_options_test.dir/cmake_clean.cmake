@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_options_test.dir/core/pipeline_options_test.cpp.o"
+  "CMakeFiles/pipeline_options_test.dir/core/pipeline_options_test.cpp.o.d"
+  "pipeline_options_test"
+  "pipeline_options_test.pdb"
+  "pipeline_options_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

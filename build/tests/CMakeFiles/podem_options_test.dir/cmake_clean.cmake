@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/podem_options_test.dir/atpg/podem_options_test.cpp.o"
+  "CMakeFiles/podem_options_test.dir/atpg/podem_options_test.cpp.o.d"
+  "podem_options_test"
+  "podem_options_test.pdb"
+  "podem_options_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/podem_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

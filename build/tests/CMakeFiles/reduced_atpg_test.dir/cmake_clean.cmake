@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduced_atpg_test.dir/core/reduced_atpg_test.cpp.o"
+  "CMakeFiles/reduced_atpg_test.dir/core/reduced_atpg_test.cpp.o.d"
+  "reduced_atpg_test"
+  "reduced_atpg_test.pdb"
+  "reduced_atpg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduced_atpg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

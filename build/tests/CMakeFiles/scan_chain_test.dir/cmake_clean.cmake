@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_chain_test.dir/scan/scan_chain_test.cpp.o"
+  "CMakeFiles/scan_chain_test.dir/scan/scan_chain_test.cpp.o.d"
+  "scan_chain_test"
+  "scan_chain_test.pdb"
+  "scan_chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_mode_model_test.dir/scan/scan_mode_model_test.cpp.o"
+  "CMakeFiles/scan_mode_model_test.dir/scan/scan_mode_model_test.cpp.o.d"
+  "scan_mode_model_test"
+  "scan_mode_model_test.pdb"
+  "scan_mode_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_mode_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_sequences_test.dir/scan/scan_sequences_test.cpp.o"
+  "CMakeFiles/scan_sequences_test.dir/scan/scan_sequences_test.cpp.o.d"
+  "scan_sequences_test"
+  "scan_sequences_test.pdb"
+  "scan_sequences_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_sequences_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

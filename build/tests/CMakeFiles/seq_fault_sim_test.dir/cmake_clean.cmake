@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_fault_sim_test.dir/fault/seq_fault_sim_test.cpp.o"
+  "CMakeFiles/seq_fault_sim_test.dir/fault/seq_fault_sim_test.cpp.o.d"
+  "seq_fault_sim_test"
+  "seq_fault_sim_test.pdb"
+  "seq_fault_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_fault_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_export_test.dir/core/test_export_test.cpp.o"
+  "CMakeFiles/test_export_test.dir/core/test_export_test.cpp.o.d"
+  "test_export_test"
+  "test_export_test.pdb"
+  "test_export_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

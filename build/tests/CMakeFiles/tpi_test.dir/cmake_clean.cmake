@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpi_test.dir/scan/tpi_test.cpp.o"
+  "CMakeFiles/tpi_test.dir/scan/tpi_test.cpp.o.d"
+  "tpi_test"
+  "tpi_test.pdb"
+  "tpi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

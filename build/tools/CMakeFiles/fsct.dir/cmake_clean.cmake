@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsct.dir/fsct_cli.cpp.o"
+  "CMakeFiles/fsct.dir/fsct_cli.cpp.o.d"
+  "fsct"
+  "fsct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
