@@ -1,16 +1,22 @@
 // Shared plumbing for the table/figure reproduction binaries: builds each
 // suite circuit, applies TPI with the paper's chain counts, and offers a
-// simple circuit filter:
+// simple circuit filter plus the cross-bench options:
 //   <bench> [circuit ...]        run only the named circuits
 //   <bench> --max-gates N        skip circuits above N gates
+//   <bench> --jobs N             executors for the fault-parallel phases
+//                                (0 = one per hardware thread, 1 = serial)
+//   <bench> --json <path>        also write one machine-readable JSON record
+//                                per circuit (BENCH_*.json trajectories)
 // With no arguments every suite circuit runs (paper configuration).
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_circuits/suite.h"
@@ -21,12 +27,20 @@
 
 namespace fsct::benchtool {
 
+/// True when argv[i] is an option that consumes the next argument.
+inline bool option_with_value(const char* s) {
+  return std::strcmp(s, "--max-gates") == 0 || std::strcmp(s, "--jobs") == 0 ||
+         std::strcmp(s, "--json") == 0;
+}
+
 inline std::vector<SuiteEntry> select_circuits(int argc, char** argv) {
   std::vector<std::string> names;
   int max_gates = 1 << 30;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--max-gates") == 0 && i + 1 < argc) {
       max_gates = std::atoi(argv[++i]);
+    } else if (option_with_value(argv[i]) && i + 1 < argc) {
+      ++i;  // not ours; skip its value so it is not taken for a circuit name
     } else if (argv[i][0] != '-') {
       names.emplace_back(argv[i]);
     }
@@ -43,6 +57,105 @@ inline std::vector<SuiteEntry> select_circuits(int argc, char** argv) {
   }
   return out;
 }
+
+/// --jobs value (default 0 = one executor per hardware thread).
+inline int select_jobs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) return std::atoi(argv[i + 1]);
+  }
+  return 0;
+}
+
+/// --json value, or empty when no JSON output was requested.
+inline std::string select_json_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  }
+  return {};
+}
+
+/// One JSON object, built field by field in insertion order.
+class JsonObject {
+ public:
+  JsonObject& set(const char* key, const std::string& v) {
+    return raw(key, "\"" + escape(v) + "\"");
+  }
+  JsonObject& set(const char* key, const char* v) {
+    return set(key, std::string(v));
+  }
+  JsonObject& set(const char* key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return raw(key, buf);
+  }
+  JsonObject& set(const char* key, std::size_t v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonObject& set(const char* key, int v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonObject& set(const char* key, unsigned v) {
+    return raw(key, std::to_string(v));
+  }
+  /// Nested object / array / preformatted literal.
+  JsonObject& raw(const char* key, const std::string& json) {
+    fields_.emplace_back(key, json);
+    return *this;
+  }
+
+  std::string render() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i) out += ", ";
+      out += "\"" + fields_[i].first + "\": " + fields_[i].second;
+    }
+    return out + "}";
+  }
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Collects one JSON record per circuit and writes them as an array.  With an
+/// empty path every call is a no-op, so benches can emit unconditionally.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string path) : path_(std::move(path)) {}
+
+  void add(const JsonObject& row) {
+    if (!path_.empty()) rows_.push_back(row.render());
+  }
+
+  /// Writes the array; returns false (with a message) on I/O failure.
+  bool write() const {
+    if (path_.empty()) return true;
+    std::ofstream os(path_);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return false;
+    }
+    os << "[\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      os << "  " << rows_[i] << (i + 1 < rows_.size() ? ",\n" : "\n");
+    }
+    os << "]\n";
+    std::printf("wrote %s (%zu records)\n", path_.c_str(), rows_.size());
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::string> rows_;
+};
 
 /// One fully prepared circuit: netlist + TPI scan design + scan-mode model.
 struct Prepared {

@@ -11,12 +11,42 @@
 
 int main(int argc, char** argv) {
   using namespace fsct;
+  benchtool::JsonReport json(benchtool::select_json_path(argc, argv));
+  PipelineOptions opt;
+  opt.jobs = benchtool::select_jobs(argc, argv);
   auto circuits = benchtool::select_circuits(argc, argv);
   // Default to the paper's circuit when none was named.
-  if (argc <= 1) circuits = {suite_entry("s38584")};
+  bool named = false;
+  for (int i = 1; i < argc; ++i) {
+    if (benchtool::option_with_value(argv[i])) {
+      ++i;
+    } else if (argv[i][0] != '-') {
+      named = true;
+    }
+  }
+  if (!named) circuits = {suite_entry("s38584")};
   for (const SuiteEntry& e : circuits) {
     const benchtool::Prepared p = benchtool::prepare(e);
-    const PipelineResult r = run_fsct_pipeline(*p.model, p.faults);
+    const PipelineResult r = run_fsct_pipeline(*p.model, p.faults, opt);
+    {
+      std::string curve = "[";
+      for (std::size_t i = 0; i < r.detection_curve.size(); ++i) {
+        if (i) curve += ",";
+        curve += std::to_string(r.detection_curve[i]);
+      }
+      curve += "]";
+      json.add(benchtool::JsonObject()
+                   .set("circuit", e.name)
+                   .set("jobs", r.jobs_used)
+                   .set("faults", r.total_faults)
+                   .set("detected", r.s2_detected + r.s3_detected)
+                   .raw("phase_seconds", benchtool::JsonObject()
+                                             .set("classify", r.classify_seconds)
+                                             .set("s2", r.s2_seconds)
+                                             .set("s3", r.s3_seconds)
+                                             .render())
+                   .raw("detection_curve", curve));
+    }
     std::printf("Figure 5: %s — detected faults vs simulated vectors\n",
                 e.name.c_str());
     std::printf("%-10s %-10s\n", "#vectors", "#detected");
@@ -37,5 +67,5 @@ int main(int argc, char** argv) {
               static_cast<double>(curve.back() ? curve.back() : 1));
     }
   }
-  return 0;
+  return json.write() ? 0 : 1;
 }

@@ -13,15 +13,36 @@
 
 int main(int argc, char** argv) {
   using namespace fsct;
+  benchtool::JsonReport json(benchtool::select_json_path(argc, argv));
+  PipelineOptions opt;
+  opt.jobs = benchtool::select_jobs(argc, argv);
   std::cout << "Table 3: detecting the faults in f_hard\n";
   print_table3_header(std::cout);
   Table3Row total{"total"};
   std::size_t total_faults = 0, total_affecting = 0;
   for (const SuiteEntry& e : benchtool::select_circuits(argc, argv)) {
     const benchtool::Prepared p = benchtool::prepare(e);
-    const PipelineResult r = run_fsct_pipeline(*p.model, p.faults);
+    const PipelineResult r = run_fsct_pipeline(*p.model, p.faults, opt);
     const Table3Row row = to_table3(e.name, r);
     print_table3_row(std::cout, row);
+    json.add(benchtool::JsonObject()
+                 .set("circuit", e.name)
+                 .set("jobs", r.jobs_used)
+                 .set("faults", r.total_faults)
+                 .set("easy", r.easy)
+                 .set("hard", r.hard)
+                 .set("detected", r.s2_detected + r.s3_detected)
+                 .set("s2_detected", r.s2_detected)
+                 .set("s2_vectors", r.s2_vectors)
+                 .set("s3_detected", r.s3_detected)
+                 .set("s3_undetectable", r.s3_undetectable)
+                 .set("s3_undetected", r.s3_undetected)
+                 .raw("phase_seconds",
+                      benchtool::JsonObject()
+                          .set("classify", r.classify_seconds)
+                          .set("s2", r.s2_seconds)
+                          .set("s3", r.s3_seconds)
+                          .render()));
     total.s2_det += row.s2_det;
     total.s2_undetectable += row.s2_undetectable;
     total.s2_undetected += row.s2_undetected;
@@ -49,5 +70,5 @@ int main(int argc, char** argv) {
                      static_cast<double>(total_affecting ? total_affecting : 1)
               << "% of chain-affecting faults (paper: 0.022%)\n";
   }
-  return 0;
+  return json.write() ? 0 : 1;
 }

@@ -195,4 +195,24 @@ std::vector<ChainFaultInfo> ChainFaultClassifier::classify_all(
   return out;
 }
 
+std::vector<ChainFaultInfo> ChainFaultClassifier::classify_all_parallel(
+    const ScanModeModel& model, std::span<const Fault> faults,
+    ThreadPool& pool) {
+  if (pool.jobs() <= 1) {
+    return ChainFaultClassifier(model).classify_all(faults);
+  }
+  std::vector<ChainFaultInfo> out(faults.size());
+  // Coarse chunks: each chunk pays one classifier construction (O(circuit)),
+  // so it should amortise over many faults.
+  const std::size_t grain = parallel_grain(faults.size(), pool.jobs(), 64);
+  parallel_for(pool, faults.size(), grain,
+               [&](std::size_t b, std::size_t e) {
+                 ChainFaultClassifier cls(model);
+                 for (std::size_t i = b; i < e; ++i) {
+                   out[i] = cls.classify(faults[i]);
+                 }
+               });
+  return out;
+}
+
 }  // namespace fsct

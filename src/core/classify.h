@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "core/parallel.h"
 #include "fault/fault.h"
 #include "scan/scan_mode_model.h"
 
@@ -43,6 +44,14 @@ class ChainFaultClassifier {
 
   /// Convenience: classify a whole list.
   std::vector<ChainFaultInfo> classify_all(std::span<const Fault> faults);
+
+  /// Classifies a whole list on `pool`, sharding the fault indices across the
+  /// executors (each shard gets its own classifier instance — the per-fault
+  /// forward implication is independent).  Results are written by fault index,
+  /// so the output is identical to classify_all at any job count.
+  static std::vector<ChainFaultInfo> classify_all_parallel(
+      const ScanModeModel& model, std::span<const Fault> faults,
+      ThreadPool& pool);
 
  private:
   void touch(NodeId id, Val v);

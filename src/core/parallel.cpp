@@ -1,0 +1,193 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <exception>
+#include <limits>
+#include <utility>
+
+namespace fsct {
+
+namespace {
+// Which pool (and which of its workers) the current thread belongs to; lets
+// submit() route nested submissions to the submitting worker's own deque.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local unsigned tls_worker = 0;
+}  // namespace
+
+unsigned resolve_jobs(int jobs) {
+  if (jobs > 0) return static_cast<unsigned>(jobs);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(int jobs) : jobs_(resolve_jobs(jobs)) {
+  workers_.reserve(jobs_ - 1);
+  for (unsigned i = 0; i + 1 < jobs_; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(workers_.size());
+  for (unsigned i = 0; i < workers_.size(); ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(sleep_m_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {  // serial pool: no worker would ever pop it
+    task();
+    return;
+  }
+  if (tls_pool == this) {
+    Worker& w = *workers_[tls_worker];
+    std::lock_guard<std::mutex> lk(w.m);
+    w.q.push_back(std::move(task));
+  } else {
+    std::lock_guard<std::mutex> lk(global_m_);
+    global_.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  // Empty critical section: pairs with the predicate check inside the
+  // workers' cv wait so the notify cannot be lost.
+  { std::lock_guard<std::mutex> lk(sleep_m_); }
+  sleep_cv_.notify_one();
+}
+
+bool ThreadPool::next_task(unsigned me, std::function<void()>& out) {
+  {  // own deque, newest first (cache-warm nested work)
+    Worker& w = *workers_[me];
+    std::lock_guard<std::mutex> lk(w.m);
+    if (!w.q.empty()) {
+      out = std::move(w.q.back());
+      w.q.pop_back();
+      return true;
+    }
+  }
+  {  // external submissions, FIFO
+    std::lock_guard<std::mutex> lk(global_m_);
+    if (!global_.empty()) {
+      out = std::move(global_.front());
+      global_.pop_front();
+      return true;
+    }
+  }
+  // Steal from the other workers, oldest first.
+  for (std::size_t k = 1; k < workers_.size(); ++k) {
+    Worker& v = *workers_[(me + k) % workers_.size()];
+    std::lock_guard<std::mutex> lk(v.m);
+    if (!v.q.empty()) {
+      out = std::move(v.q.front());
+      v.q.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(unsigned me) {
+  tls_pool = this;
+  tls_worker = me;
+  std::function<void()> task;
+  for (;;) {
+    if (next_task(me, task)) {
+      pending_.fetch_sub(1, std::memory_order_acquire);
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(sleep_m_);
+    sleep_cv_.wait(lk, [this] {
+      return stop_.load(std::memory_order_relaxed) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_relaxed) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(1, grain);
+  if (n <= grain) {
+    body(0, n);
+    return;
+  }
+  if (pool.jobs() <= 1) {
+    // Same chunking and error semantics as the parallel path: every chunk
+    // runs, and the error from the lowest chunk (here the first, since the
+    // chunks run in order) is what propagates.
+    std::exception_ptr err;
+    for (std::size_t b = 0; b < n; b += grain) {
+      try {
+        body(b, std::min(b + grain, n));
+      } catch (...) {
+        if (!err) err = std::current_exception();
+      }
+    }
+    if (err) std::rethrow_exception(err);
+    return;
+  }
+
+  struct State {
+    std::size_t n, grain, total_chunks;
+    const std::function<void(std::size_t, std::size_t)>* body;
+    std::atomic<std::size_t> next{0};
+    std::mutex m;
+    std::condition_variable cv;
+    std::size_t done_chunks = 0;
+    std::size_t err_index = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr err;
+  };
+  auto st = std::make_shared<State>();
+  st->n = n;
+  st->grain = grain;
+  st->total_chunks = (n + grain - 1) / grain;
+  st->body = &body;
+
+  // Claims and runs chunks until none are left.  Every chunk is executed by
+  // exactly the thread that claimed it, so done_chunks == total_chunks means
+  // every body() call has returned.
+  auto runner = [](const std::shared_ptr<State>& s) {
+    for (;;) {
+      const std::size_t b =
+          s->next.fetch_add(s->grain, std::memory_order_relaxed);
+      if (b >= s->n) break;
+      const std::size_t e = std::min(b + s->grain, s->n);
+      std::exception_ptr err;
+      try {
+        (*s->body)(b, e);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lk(s->m);
+      if (err && b < s->err_index) {
+        s->err_index = b;
+        s->err = err;
+      }
+      if (++s->done_chunks == s->total_chunks) s->cv.notify_all();
+    }
+  };
+
+  const std::size_t helpers =
+      std::min<std::size_t>(pool.jobs() - 1, st->total_chunks - 1);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    pool.submit([st, runner] { runner(st); });
+  }
+  runner(st);  // the caller participates and drains any unclaimed chunks
+
+  std::unique_lock<std::mutex> lk(st->m);
+  st->cv.wait(lk, [&] { return st->done_chunks == st->total_chunks; });
+  if (st->err) std::rethrow_exception(st->err);
+}
+
+}  // namespace fsct

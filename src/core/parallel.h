@@ -1,0 +1,88 @@
+// A small work-stealing thread pool for fault-parallel execution.
+//
+// Every hot phase of the screening flow is an embarrassingly parallel bag of
+// independent per-fault (or per-group) computations; this pool shards them
+// across `jobs` executors — `jobs - 1` worker threads plus the submitting
+// thread itself, so `jobs == 1` degenerates to the plain serial path with no
+// thread ever spawned.  Each worker owns a deque (owner pushes/pops at the
+// back, thieves take from the front); tasks submitted from outside the pool
+// land on a shared injection queue.
+//
+// Determinism contract: the pool only schedules; callers write results into
+// per-index slots (or merge per-shard partial results by index), so output is
+// bitwise identical at any job count.  parallel_for() hands out index chunks
+// dynamically, blocks until every chunk has run, and rethrows the exception
+// of the lowest failing chunk.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fsct {
+
+/// Resolves a user-facing `--jobs` value: 0 (or negative) means "one executor
+/// per hardware thread"; anything else is taken literally (minimum 1).
+unsigned resolve_jobs(int jobs);
+
+class ThreadPool {
+ public:
+  /// Spawns `resolve_jobs(jobs) - 1` worker threads.
+  explicit ThreadPool(int jobs = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total executors, including the submitting thread (>= 1).
+  unsigned jobs() const { return jobs_; }
+
+  /// Enqueues a task.  Thread-safe; a task may submit further tasks (nested
+  /// submission goes to the submitting worker's own deque).  With a serial
+  /// pool (jobs() == 1) the task runs inline.
+  void submit(std::function<void()> task);
+
+ private:
+  struct Worker {
+    std::mutex m;
+    std::deque<std::function<void()>> q;
+  };
+
+  void worker_loop(unsigned me);
+  bool next_task(unsigned me, std::function<void()>& out);
+
+  unsigned jobs_ = 1;
+  std::vector<std::unique_ptr<Worker>> workers_;  // size jobs_ - 1
+  std::vector<std::thread> threads_;
+  std::mutex global_m_;
+  std::deque<std::function<void()>> global_;  // external submissions
+  std::mutex sleep_m_;
+  std::condition_variable sleep_cv_;
+  std::atomic<std::size_t> pending_{0};  // queued, not yet popped
+  std::atomic<bool> stop_{false};
+};
+
+/// Runs `body(begin, end)` over [0, n) in chunks of `grain`, distributed
+/// dynamically over the pool's workers plus the calling thread.  Blocks until
+/// every chunk finished; if chunks threw, rethrows the exception of the
+/// lowest chunk start index.  Safe to nest (the caller always drains the
+/// remaining chunks itself, so nested calls cannot deadlock).
+void parallel_for(ThreadPool& pool, std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+/// Chunk size giving each executor ~`chunks_per_job` chunks (load-balancing
+/// slack for uneven work), but never below `min_grain`.
+inline std::size_t parallel_grain(std::size_t n, unsigned jobs,
+                                  std::size_t min_grain = 1,
+                                  std::size_t chunks_per_job = 4) {
+  const std::size_t target = static_cast<std::size_t>(jobs) * chunks_per_job;
+  return std::max(min_grain, (n + target - 1) / (target ? target : 1));
+}
+
+}  // namespace fsct

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <random>
 
+#include "core/parallel.h"
 #include "fault/comb_fault_sim.h"
 
 namespace fsct {
@@ -21,7 +23,9 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
                                  const PipelineOptions& opt) {
   const Levelizer& lv = model.levelizer();
   const Netlist& nl = lv.netlist();
+  ThreadPool pool(opt.jobs);
   PipelineResult res;
+  res.jobs_used = pool.jobs();
   res.total_faults = faults.size();
   res.outcome.assign(faults.size(), FaultOutcome::NotAffecting);
 
@@ -33,10 +37,7 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
 
   // ---- step 0: classification ---------------------------------------------
   auto t0 = std::chrono::steady_clock::now();
-  {
-    ChainFaultClassifier cls(model);
-    res.info = cls.classify_all(faults);
-  }
+  res.info = ChainFaultClassifier::classify_all_parallel(model, faults, pool);
   std::vector<std::size_t> hard_idx;
   for (std::size_t i = 0; i < faults.size(); ++i) {
     switch (res.info[i].category) {
@@ -76,7 +77,8 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
       }
     }
     SeqFaultSim sim(lv, observe);
-    const SeqFaultSimResult r = sim.run(sb.alternating(cycles), easy_faults);
+    const SeqFaultSimResult r =
+        sim.run(sb.alternating(cycles), easy_faults, Val::X, &pool);
     res.easy_verified = r.num_detected();
     res.alternating_seconds = seconds_since(t0);
   }
@@ -143,7 +145,7 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
           pat[i] = (rng() & 1) ? Val::One : Val::Zero;
         }
       }
-      const CombFaultSimResult fr = ppsfp.run(pats, open);
+      const CombFaultSimResult fr = ppsfp.run(pats, open, &pool);
       std::vector<char> pattern_useful(pats.size(), 0);
       for (std::size_t k = 0; k < open.size(); ++k) {
         if (fr.detect_pattern[k] >= 0) {
@@ -198,7 +200,7 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
       }
       CombPattern pat = v.pi_vals;
       pat.insert(pat.end(), v.ff_state.begin(), v.ff_state.end());
-      const CombFaultSimResult fr = ppsfp.run(std::span(&pat, 1), open);
+      const CombFaultSimResult fr = ppsfp.run(std::span(&pat, 1), open, &pool);
       for (std::size_t k = 0; k < open.size(); ++k) {
         if (fr.detect_pattern[k] >= 0) comb_covered[open_idx[k]] = 1;
       }
@@ -222,7 +224,7 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
       if (!open.empty()) {
         const TestSequence seq =
             sb.apply_comb_vector(v.ff_state, v.pi_vals, observe_cycles);
-        const SeqFaultSimResult r = ssim.run(seq, open);
+        const SeqFaultSimResult r = ssim.run(seq, open, Val::X, &pool);
         for (std::size_t k = 0; k < open.size(); ++k) {
           if (r.detect_cycle[k] >= 0) {
             res.outcome[open_idx[k]] = FaultOutcome::DetectedComb;
@@ -245,22 +247,20 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
 
   SeqFaultSim s3sim(lv, observe);
   // Realises an in-model detection and (optionally) verifies it end to end.
-  // Returns true when the detection stands.
-  auto accept_s3_detection = [&](const ReducedCircuitBuilder& bld,
-                                 const ReducedModel& rm, const AtpgResult& ar,
-                                 std::size_t fault_idx) {
+  // Returns the realised sequence when the detection stands, nullopt when it
+  // does not reproduce.  Pure w.r.t. shared state, so group/final tasks can
+  // call it concurrently; the caller merges into `res` serially.
+  auto realize_s3_detection =
+      [&](const ReducedCircuitBuilder& bld, const ReducedModel& rm,
+          const AtpgResult& ar,
+          std::size_t fault_idx) -> std::optional<TestSequence> {
     const SeqTest t = bld.extract_test(rm, ar);
     TestSequence seq = bld.realize(t, maxlen + 2);
     if (opt.verify_seq) {
       const Fault one[1] = {faults[fault_idx]};
-      if (s3sim.run_serial(seq, one).detect_cycle[0] < 0) {
-        ++res.s3_unverified;
-        return false;
-      }
+      if (s3sim.run_serial(seq, one).detect_cycle[0] < 0) return std::nullopt;
     }
-    res.s3_sequences.push_back(std::move(seq));
-    res.s3_sequence_fault.push_back(fault_idx);
-    return true;
+    return seq;
   };
 
   ReducedModelOptions ropt;
@@ -278,22 +278,49 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
       windows.push_back(make_fault_window(j, res.info[j]));
     }
     const std::vector<AtpgGroup> groups = make_groups(windows, dist);
-    for (const AtpgGroup& g : groups) {
+
+    // One task per group, each with its own reduced model and PODEM state.
+    // Tasks fill their slot of `done`; the merge below walks groups (and
+    // faults within a group) in order, so counters and the s3_sequences
+    // order are exactly the serial ones.
+    struct GroupOutcome {
+      std::vector<std::size_t> detected;   // fault indices, group order
+      std::vector<TestSequence> seqs;      // aligned with `detected`
+      std::size_t unverified = 0;
+    };
+    std::vector<GroupOutcome> done(groups.size());
+    auto run_group = [&](std::size_t gi) {
+      const AtpgGroup& g = groups[gi];
       std::vector<Fault> gf;
       for (std::size_t j : g.fault_indices) gf.push_back(faults[j]);
       const ReducedModel rm = builder.build(g, gf);
-      ++res.s3_circuits_group;
       for (std::size_t j : g.fault_indices) {
         const auto sites = rm.um.map_fault(faults[j]);
         if (sites.empty()) continue;  // pruned away: retried in final pass
         const AtpgResult r = rm.podem->generate(sites);
-        if (r.status == AtpgStatus::Detected &&
-            accept_s3_detection(builder, rm, r, j)) {
-          res.outcome[j] = FaultOutcome::DetectedSeq;
-          ++res.s3_detected;
-        }
+        if (r.status != AtpgStatus::Detected) continue;
         // Untestable in a *shared* window is not conclusive for absorbed
         // faults (they may have more ctrl/obs alone): final pass decides.
+        if (auto seq = realize_s3_detection(builder, rm, r, j)) {
+          done[gi].detected.push_back(j);
+          done[gi].seqs.push_back(std::move(*seq));
+        } else {
+          ++done[gi].unverified;
+        }
+      }
+    };
+    parallel_for(pool, groups.size(), 1, [&](std::size_t b, std::size_t e) {
+      for (std::size_t gi = b; gi < e; ++gi) run_group(gi);
+    });
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      ++res.s3_circuits_group;
+      res.s3_unverified += done[gi].unverified;
+      for (std::size_t k = 0; k < done[gi].detected.size(); ++k) {
+        const std::size_t j = done[gi].detected[k];
+        res.outcome[j] = FaultOutcome::DetectedSeq;
+        ++res.s3_detected;
+        res.s3_sequences.push_back(std::move(done[gi].seqs[k]));
+        res.s3_sequence_fault.push_back(j);
       }
     }
   }
@@ -303,8 +330,23 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
   fopt.atpg.backtrack_limit = opt.final_backtrack_limit;
   fopt.atpg.time_limit_ms = opt.final_time_limit_ms;
   ReducedCircuitBuilder final_builder(model, fopt);
+  std::vector<std::size_t> final_idx;
   for (std::size_t j : remaining) {
-    if (res.outcome[j] != FaultOutcome::Undetected) continue;
+    if (res.outcome[j] == FaultOutcome::Undetected) final_idx.push_back(j);
+  }
+
+  // One task per final fault, each building its own maximal-window model;
+  // merged in `final_idx` order (identical to the serial loop).
+  enum class FinalVerdict : std::uint8_t {
+    Detected, Unverified, Untestable, Aborted, NoSites,
+  };
+  struct FinalOutcome {
+    FinalVerdict verdict = FinalVerdict::NoSites;
+    TestSequence seq;
+  };
+  std::vector<FinalOutcome> fdone(final_idx.size());
+  auto run_final = [&](std::size_t k) {
+    const std::size_t j = final_idx[k];
     AtpgGroup g;
     g.kind = 1;
     g.fault_indices = {j};
@@ -312,25 +354,47 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
     const Fault f = faults[j];
     const ReducedModel rm =
         final_builder.build(g, std::span(&f, 1), opt.final_extra_frames);
-    ++res.s3_circuits_final;
     const auto sites = rm.um.map_fault(f);
-    if (sites.empty()) {
-      ++res.s3_undetected;
-      continue;
-    }
+    if (sites.empty()) return;  // NoSites
     const AtpgResult r = rm.podem->generate(sites);
     if (r.status == AtpgStatus::Detected) {
-      if (accept_s3_detection(final_builder, rm, r, j)) {
-        res.outcome[j] = FaultOutcome::DetectedFinal;
-        ++res.s3_detected;
+      if (auto seq = realize_s3_detection(final_builder, rm, r, j)) {
+        fdone[k].verdict = FinalVerdict::Detected;
+        fdone[k].seq = std::move(*seq);
       } else {
-        ++res.s3_undetected;  // in-model only; does not reproduce on silicon
+        fdone[k].verdict = FinalVerdict::Unverified;
       }
     } else if (r.status == AtpgStatus::Untestable) {
-      res.outcome[j] = FaultOutcome::Undetectable;
-      ++res.s3_undetectable;
+      fdone[k].verdict = FinalVerdict::Untestable;
     } else {
-      ++res.s3_undetected;
+      fdone[k].verdict = FinalVerdict::Aborted;
+    }
+  };
+  parallel_for(pool, final_idx.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t k = b; k < e; ++k) run_final(k);
+  });
+  for (std::size_t k = 0; k < final_idx.size(); ++k) {
+    const std::size_t j = final_idx[k];
+    ++res.s3_circuits_final;
+    switch (fdone[k].verdict) {
+      case FinalVerdict::Detected:
+        res.outcome[j] = FaultOutcome::DetectedFinal;
+        ++res.s3_detected;
+        res.s3_sequences.push_back(std::move(fdone[k].seq));
+        res.s3_sequence_fault.push_back(j);
+        break;
+      case FinalVerdict::Unverified:
+        ++res.s3_unverified;
+        ++res.s3_undetected;  // in-model only; does not reproduce on silicon
+        break;
+      case FinalVerdict::Untestable:
+        res.outcome[j] = FaultOutcome::Undetectable;
+        ++res.s3_undetectable;
+        break;
+      case FinalVerdict::Aborted:
+      case FinalVerdict::NoSites:
+        ++res.s3_undetected;
+        break;
     }
   }
   res.s3_seconds = seconds_since(t0);

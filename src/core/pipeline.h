@@ -32,6 +32,12 @@ struct PipelineOptions {
   DistanceParams dist;
   bool auto_dist = true;
 
+  /// Executors for the fault-parallel phases (classification, PPSFP,
+  /// parallel-fault sequential simulation, step-3 grouped/final ATPG).
+  /// 0 = one per hardware thread, 1 = serial.  Results are bitwise identical
+  /// at any value (see DESIGN.md "Concurrency architecture").
+  int jobs = 0;
+
   int comb_backtrack_limit = 1500;
   int seq_backtrack_limit = 3000;
   int final_backtrack_limit = 12000;
@@ -68,6 +74,7 @@ struct PipelineOptions {
 struct ScanVector {
   std::vector<Val> pi_vals;   ///< all PIs, netlist inputs() order
   std::vector<Val> ff_state;  ///< all FFs, netlist dffs() order
+  friend bool operator==(const ScanVector&, const ScanVector&) = default;
 };
 
 /// Per-fault final status.
@@ -82,6 +89,11 @@ enum class FaultOutcome : std::uint8_t {
 };
 
 struct PipelineResult {
+  /// Executors actually used (PipelineOptions::jobs resolved); together with
+  /// the per-phase *_seconds fields this is what the bench harness reports as
+  /// per-phase speedup across job counts.
+  unsigned jobs_used = 1;
+
   // Classification (Table 2).
   std::size_t total_faults = 0;
   std::size_t easy = 0;   ///< #faults detectable by the alternating sequence

@@ -18,8 +18,91 @@ CombFaultSim::CombFaultSim(const Levelizer& lv, std::vector<NodeId> observe)
   }
 }
 
+CombFaultSim::Scratch CombFaultSim::make_scratch(
+    const std::vector<PackedVal>& good) const {
+  Scratch s;
+  s.cur = good;
+  s.buckets.resize(static_cast<std::size_t>(lv_.max_level()) + 1);
+  s.queued.assign(lv_.netlist().size(), 0);
+  return s;
+}
+
+std::uint64_t CombFaultSim::simulate_fault(const Fault& f,
+                                           const std::vector<PackedVal>& good,
+                                           Scratch& s) const {
+  const Netlist& nl = lv_.netlist();
+  std::uint64_t det = 0;
+
+  PackedVal ins[64];
+  auto eval_cur = [&](NodeId id, const Fault* pin_fault) {
+    const auto fins = nl.fanins(id);
+    if (fins.size() > 64) throw std::runtime_error("gate arity > 64");
+    for (std::size_t p = 0; p < fins.size(); ++p) {
+      ins[p] = s.cur[fins[p]];
+      if (pin_fault && pin_fault->node == id &&
+          pin_fault->pin == static_cast<int>(p)) {
+        ins[p] = PackedVal::broadcast(pin_fault->stuck_one ? Val::One
+                                                           : Val::Zero);
+      }
+    }
+    return eval_gate_packed(nl.type(id), ins, fins.size());
+  };
+
+  // Seed the event queue with the fault site's effect.
+  auto touch = [&](NodeId id, PackedVal v) {
+    if (v == s.cur[id]) return;
+    s.cur[id] = v;
+    s.dirty.push_back(id);
+    if (observed_net_[id]) {
+      det |= (good[id].zero & v.one) | (good[id].one & v.zero);
+    }
+    for (NodeId n : lv_.fanouts(id)) {
+      if (is_combinational(nl.type(n)) && !s.queued[n]) {
+        s.queued[n] = 1;
+        s.buckets[static_cast<std::size_t>(lv_.level(n))].push_back(n);
+      }
+    }
+  };
+
+  const Val sv = f.stuck_one ? Val::One : Val::Zero;
+  if (f.pin == -1) {
+    touch(f.node, PackedVal::broadcast(sv));
+  } else if (!s.queued[f.node] && is_combinational(nl.type(f.node))) {
+    s.queued[f.node] = 1;
+    s.buckets[static_cast<std::size_t>(lv_.level(f.node))].push_back(f.node);
+  } else if (nl.type(f.node) == GateType::Dff) {
+    // D-pin fault of a DFF: the observed D net is healthy, but the value
+    // captured is stuck.  In the combinational view this is equivalent to
+    // observing a constant at that D pin; we model it by direct compare.
+    const NodeId dnet = nl.fanins(f.node)[0];
+    if (observed_net_[dnet]) {
+      const PackedVal g = good[dnet];
+      det |= (sv == Val::One) ? g.zero : g.one;
+    }
+  }
+
+  // Propagate level by level.
+  for (auto& bucket : s.buckets) {
+    for (std::size_t bi = 0; bi < bucket.size(); ++bi) {
+      const NodeId id = bucket[bi];
+      s.queued[id] = 0;
+      const bool site = (f.pin >= 0 && f.node == id);
+      PackedVal v = eval_cur(id, site ? &f : nullptr);
+      if (f.pin == -1 && f.node == id) v = PackedVal::broadcast(sv);
+      touch(id, v);
+    }
+    bucket.clear();
+  }
+
+  // Restore good values.
+  for (NodeId id : s.dirty) s.cur[id] = good[id];
+  s.dirty.clear();
+  return det;
+}
+
 CombFaultSimResult CombFaultSim::run(std::span<const CombPattern> patterns,
-                                     std::span<const Fault> faults) const {
+                                     std::span<const Fault> faults,
+                                     ThreadPool* pool) const {
   const Netlist& nl = lv_.netlist();
   const std::size_t n_pi = nl.inputs().size();
   const std::size_t n_ff = nl.dffs().size();
@@ -29,28 +112,6 @@ CombFaultSimResult CombFaultSim::run(std::span<const CombPattern> patterns,
 
   PackedCombSim psim(lv_);
   std::vector<PackedVal> good(nl.size());
-  std::vector<PackedVal> cur(nl.size());
-
-  // Level-bucketed event queue for forward propagation.
-  std::vector<std::vector<NodeId>> buckets(
-      static_cast<std::size_t>(lv_.max_level()) + 1);
-  std::vector<char> queued(nl.size(), 0);
-  std::vector<NodeId> dirty;
-
-  PackedVal ins[64];
-  auto eval_cur = [&](NodeId id, const Fault* pin_fault) {
-    const auto fins = nl.fanins(id);
-    if (fins.size() > 64) throw std::runtime_error("gate arity > 64");
-    for (std::size_t p = 0; p < fins.size(); ++p) {
-      ins[p] = cur[fins[p]];
-      if (pin_fault && pin_fault->node == id &&
-          pin_fault->pin == static_cast<int>(p)) {
-        ins[p] = PackedVal::broadcast(pin_fault->stuck_one ? Val::One
-                                                           : Val::Zero);
-      }
-    }
-    return eval_gate_packed(nl.type(id), ins, fins.size());
-  };
 
   for (std::size_t pbase = 0; pbase < patterns.size(); pbase += 64) {
     const std::size_t pchunk = std::min<std::size_t>(64, patterns.size() - pbase);
@@ -71,67 +132,32 @@ CombFaultSimResult CombFaultSim::run(std::span<const CombPattern> patterns,
       }
     }
     psim.run(good);
-    cur = good;
 
-    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
-      if (res.detect_pattern[fi] >= 0) continue;  // fault dropping
-      const Fault& f = faults[fi];
-      std::uint64_t det = 0;
-
-      // Seed the event queue with the fault site's effect.
-      auto touch = [&](NodeId id, PackedVal v) {
-        if (v == cur[id]) return;
-        cur[id] = v;
-        dirty.push_back(id);
-        if (observed_net_[id]) {
-          det |= (good[id].zero & v.one) | (good[id].one & v.zero);
-        }
-        for (NodeId s : lv_.fanouts(id)) {
-          if (is_combinational(nl.type(s)) && !queued[s]) {
-            queued[s] = 1;
-            buckets[static_cast<std::size_t>(lv_.level(s))].push_back(s);
-          }
-        }
-      };
-
-      const Val sv = f.stuck_one ? Val::One : Val::Zero;
-      if (f.pin == -1) {
-        touch(f.node, PackedVal::broadcast(sv));
-      } else if (!queued[f.node] && is_combinational(nl.type(f.node))) {
-        queued[f.node] = 1;
-        buckets[static_cast<std::size_t>(lv_.level(f.node))].push_back(f.node);
-      } else if (nl.type(f.node) == GateType::Dff) {
-        // D-pin fault of a DFF: the observed D net is healthy, but the value
-        // captured is stuck.  In the combinational view this is equivalent to
-        // observing a constant at that D pin; we model it by direct compare.
-        const NodeId dnet = nl.fanins(f.node)[0];
-        if (observed_net_[dnet]) {
-          const PackedVal g = good[dnet];
-          det |= (sv == Val::One) ? g.zero : g.one;
-        }
-      }
-
-      // Propagate level by level.
-      for (auto& bucket : buckets) {
-        for (std::size_t bi = 0; bi < bucket.size(); ++bi) {
-          const NodeId id = bucket[bi];
-          queued[id] = 0;
-          const bool site = (f.pin >= 0 && f.node == id);
-          PackedVal v = eval_cur(id, site ? &f : nullptr);
-          if (f.pin == -1 && f.node == id) v = PackedVal::broadcast(sv);
-          touch(id, v);
-        }
-        bucket.clear();
-      }
-
-      // Restore good values.
-      for (NodeId id : dirty) cur[id] = good[id];
-      dirty.clear();
-
-      det &= (pchunk == 64) ? ~0ull : ((1ull << pchunk) - 1);
+    const std::uint64_t valid =
+        (pchunk == 64) ? ~0ull : ((1ull << pchunk) - 1);
+    auto record = [&](std::size_t fi, std::uint64_t det) {
+      det &= valid;
       if (det != 0) {
         res.detect_pattern[fi] =
             static_cast<int>(pbase) + std::countr_zero(det);
+      }
+    };
+
+    if (pool != nullptr && pool->jobs() > 1) {
+      const std::size_t grain = parallel_grain(faults.size(), pool->jobs(), 16);
+      parallel_for(*pool, faults.size(), grain,
+                   [&](std::size_t b, std::size_t e) {
+                     Scratch s = make_scratch(good);
+                     for (std::size_t fi = b; fi < e; ++fi) {
+                       if (res.detect_pattern[fi] >= 0) continue;  // dropped
+                       record(fi, simulate_fault(faults[fi], good, s));
+                     }
+                   });
+    } else {
+      Scratch s = make_scratch(good);
+      for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+        if (res.detect_pattern[fi] >= 0) continue;  // fault dropping
+        record(fi, simulate_fault(faults[fi], good, s));
       }
     }
   }

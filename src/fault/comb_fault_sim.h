@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "core/parallel.h"
 #include "fault/fault.h"
 #include "sim/comb_sim.h"
 
@@ -37,13 +38,34 @@ class CombFaultSim {
   CombFaultSim(const Levelizer& lv, std::vector<NodeId> observe);
 
   /// Simulates all faults against all patterns.  Patterns must be
-  /// pis+dffs-sized (see CombPattern); X entries are allowed.
+  /// pis+dffs-sized (see CombPattern); X entries are allowed.  With a pool,
+  /// the fault list of each 64-pattern block is sharded across the executors,
+  /// each shard propagating through its own dirty-value scratch arena; the
+  /// result is identical to the serial run at any job count (per-fault slots,
+  /// first-detecting-pattern semantics preserved by the in-block minimum).
   CombFaultSimResult run(std::span<const CombPattern> patterns,
-                         std::span<const Fault> faults) const;
+                         std::span<const Fault> faults,
+                         ThreadPool* pool = nullptr) const;
 
   const std::vector<NodeId>& observe() const { return observe_; }
 
  private:
+  /// Per-executor event-propagation state (good values copied in, dirty nets
+  /// restored after every fault).
+  struct Scratch {
+    std::vector<PackedVal> cur;
+    std::vector<std::vector<NodeId>> buckets;  // level-indexed event queue
+    std::vector<char> queued;
+    std::vector<NodeId> dirty;
+  };
+
+  Scratch make_scratch(const std::vector<PackedVal>& good) const;
+  /// Propagates one fault over the current 64-pattern block; returns the
+  /// pattern mask on which an observed net differs from the good machine.
+  std::uint64_t simulate_fault(const Fault& f,
+                               const std::vector<PackedVal>& good,
+                               Scratch& s) const;
+
   const Levelizer& lv_;
   std::vector<NodeId> observe_;
   std::vector<char> observed_net_;  // net-level observation flags

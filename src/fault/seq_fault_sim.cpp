@@ -46,14 +46,17 @@ SeqFaultSimResult SeqFaultSim::run_serial(const TestSequence& seq,
 
 SeqFaultSimResult SeqFaultSim::run(const TestSequence& seq,
                                    std::span<const Fault> faults,
-                                   Val initial_state) const {
+                                   Val initial_state,
+                                   ThreadPool* pool) const {
   SeqFaultSimResult res;
   res.detect_cycle.assign(faults.size(), -1);
   const Netlist& nl = lv_.netlist();
 
-  std::vector<PackedVal> pi_packed(nl.inputs().size());
-  for (std::size_t base = 0; base < faults.size(); base += 63) {
+  // One packed pass: the good machine plus 63 faulty machines starting at
+  // fault index `base`, writing the pass's disjoint result slice.
+  auto packed_pass = [&](std::size_t base) {
     const std::size_t chunk = std::min<std::size_t>(63, faults.size() - base);
+    std::vector<PackedVal> pi_packed(nl.inputs().size());
     std::vector<PackedInjection> inj;
     inj.reserve(chunk);
     for (std::size_t k = 0; k < chunk; ++k) {
@@ -83,6 +86,15 @@ SeqFaultSimResult SeqFaultSim::run(const TestSequence& seq,
         }
       }
     }
+  };
+
+  const std::size_t passes = (faults.size() + 62) / 63;
+  if (pool != nullptr && pool->jobs() > 1 && passes > 1) {
+    parallel_for(*pool, passes, 1, [&](std::size_t b, std::size_t e) {
+      for (std::size_t p = b; p < e; ++p) packed_pass(p * 63);
+    });
+  } else {
+    for (std::size_t p = 0; p < passes; ++p) packed_pass(p * 63);
   }
   return res;
 }

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "core/parallel.h"
 #include "fault/fault.h"
 #include "sim/seq_sim.h"
 
@@ -45,9 +46,13 @@ class SeqFaultSim {
                                std::span<const Fault> faults,
                                Val initial_state = Val::X) const;
 
-  /// Parallel-fault engine (63 faults per packed pass).
+  /// Parallel-fault engine (63 faults per packed pass).  The packed passes
+  /// are mutually independent; with a pool they are dispatched concurrently,
+  /// each writing its own disjoint 63-fault slice of the result, so the
+  /// output is identical to the serial run at any job count.
   SeqFaultSimResult run(const TestSequence& seq, std::span<const Fault> faults,
-                        Val initial_state = Val::X) const;
+                        Val initial_state = Val::X,
+                        ThreadPool* pool = nullptr) const;
 
   const std::vector<NodeId>& observe() const { return observe_; }
 

@@ -73,6 +73,78 @@ TEST(Determinism, PipelineProducesIdenticalOutcomes) {
   EXPECT_EQ(r1.detection_curve, r2.detection_curve);
 }
 
+// The concurrency determinism contract (DESIGN.md "Concurrency
+// architecture"): the fault-parallel execution layer must produce bitwise
+// identical pipeline results at any worker count — same per-fault outcomes,
+// same detection curve, same step-2 vector set, same realised step-3
+// sequences, in the same order.
+TEST(Determinism, PipelineIdenticalAtAnyJobCount) {
+  Netlist nl1 = circuit();
+  Netlist nl2 = circuit();
+  const ScanDesign d1 = run_tpi(nl1);
+  const ScanDesign d2 = run_tpi(nl2);
+  const Levelizer lv1(nl1), lv2(nl2);
+  const ScanModeModel m1(lv1, d1), m2(lv2, d2);
+  const auto f1 = collapsed_fault_list(nl1);
+  const auto f2 = collapsed_fault_list(nl2);
+
+  PipelineOptions opt;
+  opt.comb_time_limit_ms = 0;
+  opt.seq_time_limit_ms = 0;
+  opt.final_time_limit_ms = 0;
+  opt.verify_easy = true;
+  opt.jobs = 1;
+  const PipelineResult serial = run_fsct_pipeline(m1, f1, opt);
+  opt.jobs = 4;
+  const PipelineResult parallel = run_fsct_pipeline(m2, f2, opt);
+
+  EXPECT_EQ(serial.jobs_used, 1u);
+  EXPECT_EQ(parallel.jobs_used, 4u);
+  EXPECT_EQ(serial.easy, parallel.easy);
+  EXPECT_EQ(serial.hard, parallel.hard);
+  EXPECT_EQ(serial.easy_verified, parallel.easy_verified);
+  EXPECT_EQ(serial.s2_detected, parallel.s2_detected);
+  EXPECT_EQ(serial.s2_undetectable, parallel.s2_undetectable);
+  EXPECT_EQ(serial.s2_undetected, parallel.s2_undetected);
+  EXPECT_EQ(serial.s2_vectors, parallel.s2_vectors);
+  EXPECT_EQ(serial.s3_detected, parallel.s3_detected);
+  EXPECT_EQ(serial.s3_undetectable, parallel.s3_undetectable);
+  EXPECT_EQ(serial.s3_undetected, parallel.s3_undetected);
+  EXPECT_EQ(serial.s3_unverified, parallel.s3_unverified);
+  EXPECT_EQ(serial.s3_circuits_group, parallel.s3_circuits_group);
+  EXPECT_EQ(serial.s3_circuits_final, parallel.s3_circuits_final);
+
+  // Per-fault outcomes.
+  ASSERT_EQ(serial.outcome.size(), parallel.outcome.size());
+  for (std::size_t i = 0; i < serial.outcome.size(); ++i) {
+    EXPECT_EQ(serial.outcome[i], parallel.outcome[i]) << fault_name(nl1, f1[i]);
+  }
+  // Figure-5 curve and the step-2 vector set, element for element.
+  EXPECT_EQ(serial.detection_curve, parallel.detection_curve);
+  EXPECT_EQ(serial.vectors, parallel.vectors);
+  // Realised step-3 sequences, including their order.
+  EXPECT_EQ(serial.s3_sequence_fault, parallel.s3_sequence_fault);
+  EXPECT_EQ(serial.s3_sequences, parallel.s3_sequences);
+}
+
+TEST(Determinism, ClassifierParallelMatchesSerial) {
+  Netlist nl = circuit();
+  const ScanDesign d = run_tpi(nl);
+  const Levelizer lv(nl);
+  const ScanModeModel m(lv, d);
+  const auto faults = collapsed_fault_list(nl);
+  const auto serial = ChainFaultClassifier(m).classify_all(faults);
+  ThreadPool pool(4);
+  const auto parallel =
+      ChainFaultClassifier::classify_all_parallel(m, faults, pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].category, parallel[i].category);
+    EXPECT_EQ(serial[i].locations, parallel[i].locations);
+    EXPECT_EQ(serial[i].multi_chain, parallel[i].multi_chain);
+  }
+}
+
 TEST(Determinism, ClassifierIsPureFunction) {
   Netlist nl = circuit();
   const ScanDesign d = run_tpi(nl);

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Build + test, then rebuild with ThreadSanitizer and re-run the tests that
+# drive the fault-parallel execution layer — the race detector must be clean
+# on the new parallel paths.
+#
+#   tools/check.sh              # full check (plain build + full ctest + TSan)
+#   tools/check.sh --tsan-only  # only the TSan build + concurrency tests
+#
+# Extra arguments after the flags are passed to both cmake configure steps.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TSAN_ONLY=0
+if [[ "${1:-}" == "--tsan-only" ]]; then
+  TSAN_ONLY=1
+  shift
+fi
+
+# Tests that exercise the thread pool and every pool-driven phase.
+CONCURRENCY_TESTS='Parallel\.|Determinism\.'
+
+if [[ "$TSAN_ONLY" == 0 ]]; then
+  cmake -B build -S . "$@"
+  cmake --build build -j
+  ctest --test-dir build --output-on-failure -j "$(nproc)"
+fi
+
+cmake -B build-tsan -S . -DFSCT_SANITIZE=thread "$@"
+cmake --build build-tsan -j \
+  --target parallel_test determinism_test pipeline_test \
+           seq_fault_sim_test comb_fault_sim_test classify_test
+TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
+  --output-on-failure -R "$CONCURRENCY_TESTS"
+echo "check.sh: OK (plain tests $( [[ $TSAN_ONLY == 1 ]] && echo skipped || echo passed ), TSan clean)"

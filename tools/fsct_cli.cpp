@@ -10,7 +10,7 @@
 //       write the scanned netlist.
 //
 //   fsct test     <circuit.bench> [--chains N] [--partial permille]
-//                 [-o program.fsct]
+//                 [--jobs N] [-o program.fsct]
 //       full flow: TPI + three-step screening pipeline; prints the paper's
 //       Table-2/3 style summary and (with -o) writes the complete chain test
 //       program (flush + vectors + verified sequential tests) plus the
@@ -47,6 +47,7 @@ struct Args {
   std::vector<std::string> positional;
   int chains = 1;
   int partial = 1000;
+  int jobs = 0;  // 0 = one executor per hardware thread
   std::string out;
   std::string fault_net;
   int fault_value = -1;
@@ -60,6 +61,8 @@ Args parse(int argc, char** argv) {
       a.chains = std::atoi(argv[++i]);
     } else if (s == "--partial" && i + 1 < argc) {
       a.partial = std::atoi(argv[++i]);
+    } else if (s == "--jobs" && i + 1 < argc) {
+      a.jobs = std::atoi(argv[++i]);
     } else if (s == "-o" && i + 1 < argc) {
       a.out = argv[++i];
     } else if (s == "--fault" && i + 2 < argc) {
@@ -137,8 +140,11 @@ int cmd_test(const Args& a) {
   const auto faults = collapsed_fault_list(nl);
   PipelineOptions opt;
   opt.verify_easy = true;
+  opt.jobs = a.jobs;
   const PipelineResult r = run_fsct_pipeline(model, faults, opt);
 
+  std::printf("jobs: %u | classify %.3fs | step 2 %.3fs | step 3 %.3fs\n",
+              r.jobs_used, r.classify_seconds, r.s2_seconds, r.s3_seconds);
   std::printf("%zu faults | affecting %zu (%.1f%%) | easy %zu (verified %zu) "
               "| hard %zu\n",
               r.total_faults, r.affecting(),
