@@ -16,6 +16,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -74,6 +75,29 @@ inline std::string select_json_path(int argc, char** argv) {
   return {};
 }
 
+/// Host hardware threads (0 when the runtime cannot tell).
+inline unsigned hardware_threads() { return std::thread::hardware_concurrency(); }
+
+/// True when `jobs_used` oversubscribes the host: more executors than
+/// hardware threads.  Timings are then wall-clock of time-sliced threads and
+/// speedup numbers are not meaningful (results are still correct).
+inline bool jobs_oversubscribed(unsigned jobs_used) {
+  const unsigned hc = hardware_threads();
+  return hc != 0 && jobs_used > hc;
+}
+
+/// Warns on stderr when the resolved job count oversubscribes the host.
+inline void warn_if_oversubscribed(unsigned jobs_used) {
+  if (jobs_oversubscribed(jobs_used)) {
+    std::fprintf(stderr,
+                 "warning: --jobs %u oversubscribes this host "
+                 "(%u hardware threads); timings will not reflect real "
+                 "parallel speedup\n",
+                 jobs_used, hardware_threads());
+  }
+}
+
+
 /// One JSON object, built field by field in insertion order.
 class JsonObject {
  public:
@@ -124,6 +148,14 @@ class JsonObject {
  private:
   std::vector<std::pair<std::string, std::string>> fields_;
 };
+
+/// Adds the standard job-accounting fields to a bench JSON row.
+inline JsonObject& add_jobs_fields(JsonObject& row, unsigned jobs_used) {
+  return row.set("jobs", jobs_used)
+      .set("hardware_concurrency", hardware_threads())
+      .raw("jobs_oversubscribed",
+           jobs_oversubscribed(jobs_used) ? "true" : "false");
+}
 
 /// Collects one JSON record per circuit and writes them as an array.  With an
 /// empty path every call is a no-op, so benches can emit unconditionally.

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   benchtool::JsonReport json(benchtool::select_json_path(argc, argv));
   PipelineOptions opt;
   opt.jobs = benchtool::select_jobs(argc, argv);
+  benchtool::warn_if_oversubscribed(resolve_jobs(opt.jobs));
   auto circuits = benchtool::select_circuits(argc, argv);
   // Default to the paper's circuit when none was named.
   bool named = false;
@@ -35,10 +36,10 @@ int main(int argc, char** argv) {
         curve += std::to_string(r.detection_curve[i]);
       }
       curve += "]";
-      json.add(benchtool::JsonObject()
-                   .set("circuit", e.name)
-                   .set("jobs", r.jobs_used)
-                   .set("faults", r.total_faults)
+      benchtool::JsonObject jrow;
+      jrow.set("circuit", e.name);
+      benchtool::add_jobs_fields(jrow, r.jobs_used);
+      json.add(jrow.set("faults", r.total_faults)
                    .set("detected", r.s2_detected + r.s3_detected)
                    .raw("phase_seconds", benchtool::JsonObject()
                                              .set("classify", r.classify_seconds)

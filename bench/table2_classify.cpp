@@ -9,21 +9,24 @@
 
 #include "bench/common.h"
 #include "core/classify.h"
+#include "core/obs.h"
 #include "core/report.h"
 
 int main(int argc, char** argv) {
   using namespace fsct;
   benchtool::JsonReport json(benchtool::select_json_path(argc, argv));
   ThreadPool pool(benchtool::select_jobs(argc, argv));
+  benchtool::warn_if_oversubscribed(pool.jobs());
   std::cout << "Table 2: finding easy and hard faults (jobs=" << pool.jobs()
             << ")\n";
   print_table2_header(std::cout);
   Table2Row total{"total", 0, 0, 0, 0};
   for (const SuiteEntry& e : benchtool::select_circuits(argc, argv)) {
     const benchtool::Prepared p = benchtool::prepare(e);
+    ObsRegistry reg;
     const auto t0 = std::chrono::steady_clock::now();
     const auto infos = ChainFaultClassifier::classify_all_parallel(
-        *p.model, p.faults, pool);
+        *p.model, p.faults, pool, &reg);
     Table2Row r{e.name, p.faults.size(), 0, 0, 0};
     for (const ChainFaultInfo& info : infos) {
       switch (info.category) {
@@ -36,16 +39,17 @@ int main(int argc, char** argv) {
                     std::chrono::steady_clock::now() - t0)
                     .count();
     print_table2_row(std::cout, r);
-    json.add(benchtool::JsonObject()
-                 .set("circuit", e.name)
-                 .set("jobs", pool.jobs())
-                 .set("faults", r.total_faults)
+    benchtool::JsonObject jrow;
+    jrow.set("circuit", e.name);
+    benchtool::add_jobs_fields(jrow, pool.jobs());
+    json.add(jrow.set("faults", r.total_faults)
                  .set("easy", r.easy)
                  .set("hard", r.hard)
                  .raw("phase_seconds",
                       benchtool::JsonObject()
                           .set("classify", r.seconds)
-                          .render()));
+                          .render())
+                 .raw("counters", reg.counters_json()));
     total.total_faults += r.total_faults;
     total.easy += r.easy;
     total.hard += r.hard;

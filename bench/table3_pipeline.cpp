@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "bench/common.h"
+#include "core/obs.h"
 #include "core/pipeline.h"
 #include "core/report.h"
 
@@ -16,19 +17,22 @@ int main(int argc, char** argv) {
   benchtool::JsonReport json(benchtool::select_json_path(argc, argv));
   PipelineOptions opt;
   opt.jobs = benchtool::select_jobs(argc, argv);
+  benchtool::warn_if_oversubscribed(resolve_jobs(opt.jobs));
   std::cout << "Table 3: detecting the faults in f_hard\n";
   print_table3_header(std::cout);
   Table3Row total{"total"};
   std::size_t total_faults = 0, total_affecting = 0;
   for (const SuiteEntry& e : benchtool::select_circuits(argc, argv)) {
     const benchtool::Prepared p = benchtool::prepare(e);
+    ObsRegistry reg;
+    opt.obs = &reg;
     const PipelineResult r = run_fsct_pipeline(*p.model, p.faults, opt);
     const Table3Row row = to_table3(e.name, r);
     print_table3_row(std::cout, row);
-    json.add(benchtool::JsonObject()
-                 .set("circuit", e.name)
-                 .set("jobs", r.jobs_used)
-                 .set("faults", r.total_faults)
+    benchtool::JsonObject jrow;
+    jrow.set("circuit", e.name);
+    benchtool::add_jobs_fields(jrow, r.jobs_used);
+    json.add(jrow.set("faults", r.total_faults)
                  .set("easy", r.easy)
                  .set("hard", r.hard)
                  .set("detected", r.s2_detected + r.s3_detected)
@@ -42,7 +46,8 @@ int main(int argc, char** argv) {
                           .set("classify", r.classify_seconds)
                           .set("s2", r.s2_seconds)
                           .set("s3", r.s3_seconds)
-                          .render()));
+                          .render())
+                 .raw("counters", reg.counters_json()));
     total.s2_det += row.s2_det;
     total.s2_undetectable += row.s2_undetectable;
     total.s2_undetected += row.s2_undetected;

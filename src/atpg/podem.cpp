@@ -4,6 +4,8 @@
 #include <chrono>
 #include <limits>
 
+#include "core/obs.h"
+
 namespace fsct {
 
 namespace {
@@ -300,6 +302,34 @@ bool Podem::backtrace(Objective obj, NodeId& pi, Val& pv) const {
 }
 
 AtpgResult Podem::generate(std::span<const FaultSite> sites) {
+  AtpgResult res = generate_impl(sites);
+  if (ObsRegistry* obs = opt_.obs) {
+    obs->add(Ctr::PodemCalls);
+    switch (res.status) {
+      case AtpgStatus::Detected: obs->add(Ctr::PodemDetected); break;
+      case AtpgStatus::Untestable: obs->add(Ctr::PodemUntestable); break;
+      case AtpgStatus::Aborted: obs->add(Ctr::PodemAborts); break;
+    }
+    if (res.hit_time_limit) {
+      // Work truncated by the wall-clock budget is not a function of the
+      // input (it depends on host speed and scheduling), so it stays out of
+      // the deterministic decision/backtrack counters; this counter records
+      // that truncation happened.
+      obs->add(Ctr::PodemTimeLimitHits);
+    } else {
+      obs->add(Ctr::PodemDecisions, static_cast<std::uint64_t>(res.decisions));
+      obs->add(Ctr::PodemBacktracks,
+               static_cast<std::uint64_t>(res.backtracks));
+      obs->observe(Hist::PodemDecisionDepth,
+                   static_cast<std::uint64_t>(res.decisions));
+      obs->observe(Hist::PodemBacktracksPerCall,
+                   static_cast<std::uint64_t>(res.backtracks));
+    }
+  }
+  return res;
+}
+
+AtpgResult Podem::generate_impl(std::span<const FaultSite> sites) {
   const Netlist& nl = lv_.netlist();
   sim_.init(sites);
 
@@ -321,6 +351,7 @@ AtpgResult Podem::generate(std::span<const FaultSite> sites) {
     if (opt_.time_limit_ms > 0 && (++ticks & 63) == 0 &&
         std::chrono::steady_clock::now() > deadline) {
       res.status = AtpgStatus::Aborted;
+      res.hit_time_limit = true;
       return res;
     }
     if (detected()) {

@@ -17,6 +17,8 @@
 
 namespace fsct {
 
+class ObsRegistry;
+
 enum class AtpgStatus : std::uint8_t {
   Detected,    ///< a test was found; see AtpgResult::assignment
   Untestable,  ///< decision space exhausted — no test exists in this model
@@ -31,6 +33,9 @@ struct AtpgOptions {
   /// D-frontier gates considered per objective round (closest-to-observation
   /// first); bounds per-iteration work on very wide cones.
   int frontier_cap = 16;
+  /// Observability sink (counters + decision-depth histogram, recorded once
+  /// per generate() call).  nullptr = record nothing.
+  ObsRegistry* obs = nullptr;
 };
 
 struct AtpgResult {
@@ -40,6 +45,9 @@ struct AtpgResult {
   std::vector<std::pair<NodeId, Val>> assignment;
   int decisions = 0;
   int backtracks = 0;
+  /// True when an Aborted status was caused by the wall-clock budget rather
+  /// than the backtrack limit.
+  bool hit_time_limit = false;
 };
 
 /// PODEM engine bound to one (unrolled) combinational model.  Reusable across
@@ -62,6 +70,7 @@ class Podem {
     Val val = Val::X;
   };
 
+  AtpgResult generate_impl(std::span<const FaultSite> sites);
   bool detected() const;
   void find_objectives(std::span<const FaultSite> sites,
                        std::vector<Objective>& out);

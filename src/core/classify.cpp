@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/obs.h"
+
 namespace fsct {
 
 namespace {
@@ -35,6 +37,7 @@ ChainFaultClassifier::ChainFaultClassifier(const ScanModeModel& model)
 
 void ChainFaultClassifier::touch(NodeId id, Val v) {
   if (cur_[id] == v) return;
+  ++events_;
   if (!in_dirty_[id]) {
     in_dirty_[id] = 1;
     dirty_.push_back(id);
@@ -197,9 +200,15 @@ std::vector<ChainFaultInfo> ChainFaultClassifier::classify_all(
 
 std::vector<ChainFaultInfo> ChainFaultClassifier::classify_all_parallel(
     const ScanModeModel& model, std::span<const Fault> faults,
-    ThreadPool& pool) {
+    ThreadPool& pool, ObsRegistry* obs) {
   if (pool.jobs() <= 1) {
-    return ChainFaultClassifier(model).classify_all(faults);
+    ChainFaultClassifier cls(model);
+    auto out = cls.classify_all(faults);
+    if (obs) {
+      obs->add(Ctr::ClassifyFaults, faults.size());
+      obs->add(Ctr::ClassifyEvents, cls.events());
+    }
+    return out;
   }
   std::vector<ChainFaultInfo> out(faults.size());
   // Coarse chunks: each chunk pays one classifier construction (O(circuit)),
@@ -207,9 +216,14 @@ std::vector<ChainFaultInfo> ChainFaultClassifier::classify_all_parallel(
   const std::size_t grain = parallel_grain(faults.size(), pool.jobs(), 64);
   parallel_for(pool, faults.size(), grain,
                [&](std::size_t b, std::size_t e) {
+                 const ObsSpan span(obs, "classify.chunk");
                  ChainFaultClassifier cls(model);
                  for (std::size_t i = b; i < e; ++i) {
                    out[i] = cls.classify(faults[i]);
+                 }
+                 if (obs) {
+                   obs->add(Ctr::ClassifyFaults, e - b);
+                   obs->add(Ctr::ClassifyEvents, cls.events());
                  }
                });
   return out;

@@ -20,6 +20,8 @@
 
 namespace fsct {
 
+class ObsRegistry;
+
 enum class ChainFaultCategory : std::uint8_t {
   NotAffecting,  ///< paper's category 3
   Easy,          ///< paper's category 1
@@ -48,13 +50,21 @@ class ChainFaultClassifier {
   /// Classifies a whole list on `pool`, sharding the fault indices across the
   /// executors (each shard gets its own classifier instance — the per-fault
   /// forward implication is independent).  Results are written by fault index,
-  /// so the output is identical to classify_all at any job count.
+  /// so the output is identical to classify_all at any job count.  `obs`
+  /// (optional) receives fault/implication-event counters and per-chunk
+  /// trace spans; per-fault work is state-restored between faults, so event
+  /// totals are chunk- and schedule-independent.
   static std::vector<ChainFaultInfo> classify_all_parallel(
       const ScanModeModel& model, std::span<const Fault> faults,
-      ThreadPool& pool);
+      ThreadPool& pool, ObsRegistry* obs = nullptr);
+
+  /// Net-value changes recorded by touch() since construction.
+  std::uint64_t events() const { return events_; }
 
  private:
   void touch(NodeId id, Val v);
+
+  std::uint64_t events_ = 0;
 
   const ScanModeModel& model_;
   const Levelizer& lv_;

@@ -1,0 +1,273 @@
+#include "core/obs.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <ostream>
+
+#include "core/pipeline.h"
+
+namespace fsct {
+
+namespace {
+
+constexpr const char* kCounterNames[kNumCounters] = {
+    "classify_faults",
+    "classify_implication_events",
+    "alternating_cycles",
+    "alternating_detected",
+    "podem_calls",
+    "podem_detected",
+    "podem_untestable",
+    "podem_aborts",
+    "podem_time_limit_hits",
+    "podem_decisions",
+    "podem_backtracks",
+    "ppsfp_blocks",
+    "ppsfp_fault_sims",
+    "ppsfp_events",
+    "ppsfp_faults_dropped",
+    "seqsim_packed_passes",
+    "seqsim_serial_runs",
+    "seqsim_cycles",
+    "seqsim_faults_dropped",
+    "s3_groups",
+    "s3_final_faults",
+};
+
+constexpr const char* kGaugeNames[kNumGauges] = {
+    "jobs",
+    "hardware_concurrency",
+    "total_faults",
+    "max_chain_length",
+};
+
+constexpr const char* kHistNames[kNumHists] = {
+    "podem_decision_depth",
+    "podem_backtracks_per_call",
+    "s3_group_size",
+};
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string fmt_ts(double us) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", us);
+  return buf;
+}
+
+/// Histogram as a JSON array, trailing empty buckets trimmed.
+std::string hist_json(const std::array<std::uint64_t, kHistBuckets>& b) {
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    if (b[i] != 0) last = i + 1;
+  }
+  std::string out = "[";
+  for (std::size_t i = 0; i < last; ++i) {
+    if (i) out += ", ";
+    out += std::to_string(b[i]);
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+const char* counter_name(Ctr c) {
+  return kCounterNames[static_cast<std::size_t>(c)];
+}
+const char* gauge_name(Gauge g) {
+  return kGaugeNames[static_cast<std::size_t>(g)];
+}
+const char* hist_name(Hist h) {
+  return kHistNames[static_cast<std::size_t>(h)];
+}
+
+ObsRegistry::ObsRegistry()
+    : shards_(new Shard[kShards]),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+ObsRegistry::~ObsRegistry() = default;
+
+std::size_t ObsRegistry::bucket(std::uint64_t value) {
+  return std::min<std::size_t>(std::bit_width(value), kHistBuckets - 1);
+}
+
+std::uint64_t ObsRegistry::total(Ctr c) const {
+  std::uint64_t sum = 0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    sum += shards_[s].counters[static_cast<std::size_t>(c)].load(
+        std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+std::array<std::uint64_t, kHistBuckets> ObsRegistry::hist_total(Hist h) const {
+  std::array<std::uint64_t, kHistBuckets> out{};
+  for (std::size_t s = 0; s < kShards; ++s) {
+    const auto& hb = shards_[s].hists[static_cast<std::size_t>(h)];
+    for (std::size_t i = 0; i < kHistBuckets; ++i) {
+      out[i] += hb[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+double ObsRegistry::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void ObsRegistry::add_trace_event(const char* name, unsigned tid, double t0_us,
+                                  double t1_us) {
+  std::lock_guard<std::mutex> lk(trace_m_);
+  trace_events_.push_back({name, tid, t0_us, t1_us});
+}
+
+std::size_t ObsRegistry::trace_event_count() const {
+  std::lock_guard<std::mutex> lk(trace_m_);
+  return trace_events_.size();
+}
+
+void ObsRegistry::write_trace(std::ostream& os) const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lk(trace_m_);
+    events = trace_events_;
+  }
+  os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+        "\"args\": {\"name\": \"fsct pipeline\"}}";
+  // One named track per executor seen in the events.
+  std::vector<unsigned> tids;
+  for (const TraceEvent& e : events) {
+    if (std::find(tids.begin(), tids.end(), e.tid) == tids.end()) {
+      tids.push_back(e.tid);
+    }
+  }
+  std::sort(tids.begin(), tids.end());
+  for (unsigned tid : tids) {
+    os << ",\n{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": "
+       << tid << ", \"args\": {\"name\": \""
+       << (tid == 0 ? "executor 0 (caller)"
+                    : "executor " + std::to_string(tid) + " (worker)")
+       << "\"}}";
+  }
+  for (const TraceEvent& e : events) {
+    os << ",\n{\"name\": \"" << e.name
+       << "\", \"ph\": \"B\", \"pid\": 1, \"tid\": " << e.tid
+       << ", \"ts\": " << fmt_ts(e.t0_us) << "}";
+    os << ",\n{\"name\": \"" << e.name
+       << "\", \"ph\": \"E\", \"pid\": 1, \"tid\": " << e.tid
+       << ", \"ts\": " << fmt_ts(e.t1_us) << "}";
+  }
+  os << "\n]\n}\n";
+}
+
+void ObsRegistry::capture_pool(const ThreadPool& pool) {
+  pool_stats_ = pool.worker_stats();
+}
+
+std::string ObsRegistry::counters_json() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    if (i) out += ", ";
+    out += "\"";
+    out += kCounterNames[i];
+    out += "\": ";
+    out += std::to_string(total(static_cast<Ctr>(i)));
+  }
+  out += ", \"histograms\": {";
+  for (std::size_t i = 0; i < kNumHists; ++i) {
+    if (i) out += ", ";
+    out += "\"";
+    out += kHistNames[i];
+    out += "\": ";
+    out += hist_json(hist_total(static_cast<Hist>(i)));
+  }
+  return out + "}}";
+}
+
+void ObsRegistry::write_run_report(std::ostream& os,
+                                   const PipelineResult& r) const {
+  os << "{\n\"schema\": \"fsct-run-report-v1\",\n";
+
+  // Every PipelineResult field; bulky vectors are reported as sizes plus the
+  // derived data a consumer actually plots (the detection curve, the per-
+  // outcome tally), never megabytes of raw test data.
+  os << "\"result\": {\n";
+  os << "  \"jobs_used\": " << r.jobs_used << ",\n";
+  os << "  \"total_faults\": " << r.total_faults << ",\n";
+  os << "  \"easy\": " << r.easy << ",\n";
+  os << "  \"hard\": " << r.hard << ",\n";
+  os << "  \"affecting\": " << r.affecting() << ",\n";
+  os << "  \"classify_seconds\": " << fmt_double(r.classify_seconds) << ",\n";
+  os << "  \"easy_verified\": " << r.easy_verified << ",\n";
+  os << "  \"alternating_seconds\": " << fmt_double(r.alternating_seconds)
+     << ",\n";
+  os << "  \"s2_detected\": " << r.s2_detected << ",\n";
+  os << "  \"s2_undetectable\": " << r.s2_undetectable << ",\n";
+  os << "  \"s2_undetected\": " << r.s2_undetected << ",\n";
+  os << "  \"s2_vectors\": " << r.s2_vectors << ",\n";
+  os << "  \"s2_seconds\": " << fmt_double(r.s2_seconds) << ",\n";
+  os << "  \"detection_curve\": [";
+  for (std::size_t i = 0; i < r.detection_curve.size(); ++i) {
+    os << (i ? ", " : "") << r.detection_curve[i];
+  }
+  os << "],\n";
+  os << "  \"s3_circuits_group\": " << r.s3_circuits_group << ",\n";
+  os << "  \"s3_circuits_final\": " << r.s3_circuits_final << ",\n";
+  os << "  \"s3_detected\": " << r.s3_detected << ",\n";
+  os << "  \"s3_undetectable\": " << r.s3_undetectable << ",\n";
+  os << "  \"s3_undetected\": " << r.s3_undetected << ",\n";
+  os << "  \"s3_unverified\": " << r.s3_unverified << ",\n";
+  os << "  \"s3_seconds\": " << fmt_double(r.s3_seconds) << ",\n";
+  os << "  \"s3_sequences\": " << r.s3_sequences.size() << ",\n";
+  os << "  \"s3_sequence_fault\": [";
+  for (std::size_t i = 0; i < r.s3_sequence_fault.size(); ++i) {
+    os << (i ? ", " : "") << r.s3_sequence_fault[i];
+  }
+  os << "],\n";
+  static constexpr const char* kOutcomeNames[] = {
+      "not_affecting", "easy_alternating", "detected_comb", "detected_seq",
+      "detected_final", "undetectable",    "undetected",
+  };
+  std::size_t tally[std::size(kOutcomeNames)] = {};
+  for (FaultOutcome o : r.outcome) ++tally[static_cast<std::size_t>(o)];
+  os << "  \"outcomes\": {";
+  for (std::size_t i = 0; i < std::size(kOutcomeNames); ++i) {
+    os << (i ? ", " : "") << "\"" << kOutcomeNames[i] << "\": " << tally[i];
+  }
+  os << "},\n";
+  os << "  \"info\": " << r.info.size() << "\n";
+  os << "},\n";
+
+  os << "\"counters\": " << counters_json() << ",\n";
+
+  os << "\"gauges\": {";
+  for (std::size_t i = 0; i < kNumGauges; ++i) {
+    os << (i ? ", " : "") << "\"" << kGaugeNames[i]
+       << "\": " << gauges_[i];
+  }
+  os << "},\n";
+
+  // Scheduler statistics: worker i here is executor i+1 in the trace (the
+  // submitting thread, executor 0, runs chunks inline and is not a worker).
+  os << "\"pool\": {\"workers\": [";
+  for (std::size_t i = 0; i < pool_stats_.size(); ++i) {
+    const ThreadPool::WorkerStats& w = pool_stats_[i];
+    os << (i ? ", " : "") << "{\"executor\": " << (i + 1)
+       << ", \"tasks\": " << w.tasks << ", \"steals\": " << w.steals
+       << ", \"global_pops\": " << w.global_pops
+       << ", \"idle_seconds\": " << fmt_double(w.idle_seconds) << "}";
+  }
+  os << "]},\n";
+
+  os << "\"trace_events\": " << trace_event_count() << "\n}\n";
+}
+
+}  // namespace fsct

@@ -1,0 +1,228 @@
+// Pipeline observability: a thread-safe, low-overhead metrics registry,
+// RAII scoped-span timers emitting Chrome trace-event JSON, and a structured
+// JSON run-report serializer.
+//
+// Three design rules keep it cheap and deterministic:
+//
+//  * **Null sink by default.**  Every producer holds an `ObsRegistry*` that
+//    defaults to nullptr; all record paths start with an inline null check,
+//    so a run without observability executes one predictable branch per
+//    *coarse* operation (per ATPG call, per fault-sim pass — never inside a
+//    simulation inner loop).
+//  * **Sharded counters, commutative merge.**  Counters and histogram buckets
+//    are relaxed atomics sharded by pool executor id (ThreadPool::
+//    current_executor()) to avoid cache-line ping-pong; reading merges shards
+//    by unsigned addition, which is order-independent, so the merged totals
+//    of the deterministic work counters are bitwise identical at any
+//    `--jobs N` (the same per-fault work runs, only on different executors).
+//    Scheduler statistics (tasks/steals/idle per worker) are inherently
+//    schedule-dependent and are reported separately, never merged into the
+//    deterministic counter set.
+//  * **Spans only where tasks are coarse.**  ObsSpan records begin/end pairs
+//    (ph "B"/"E") on the executor's own trace track; producers emit one span
+//    per phase / chunk / packed pass / ATPG group, so trace files stay small
+//    and the disabled path costs a single load.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/parallel.h"
+
+namespace fsct {
+
+struct PipelineResult;
+
+/// Deterministic work counters: totals depend only on the work performed,
+/// not on the schedule, so they are identical at any job count.
+enum class Ctr : std::uint16_t {
+  ClassifyFaults,        ///< faults pushed through forward implication
+  ClassifyEvents,        ///< net-value changes during implication
+  AlternatingCycles,     ///< cycles of the step-1 flush sequence simulated
+  AlternatingDetected,   ///< easy faults the flush sequence really detects
+  PodemCalls,            ///< Podem::generate invocations (comb + sequential)
+  PodemDetected,         ///< ... that returned Detected
+  PodemUntestable,       ///< ... that exhausted the decision space
+  PodemAborts,           ///< ... that gave up (backtrack or time budget)
+  PodemTimeLimitHits,    ///< aborts caused by the wall-clock budget
+  PodemDecisions,        ///< PI decisions across all calls
+  PodemBacktracks,       ///< backtracks across all calls
+  PpsfpBlocks,           ///< 64-pattern PPSFP blocks simulated
+  PpsfpFaultSims,        ///< single-fault propagations (fault x block)
+  PpsfpEvents,           ///< event-driven net updates during propagation
+  PpsfpFaultsDropped,    ///< faults first detected (dropped) per PPSFP run
+  SeqSimPackedPasses,    ///< 63-fault packed sequential passes
+  SeqSimSerialRuns,      ///< serial (verification) sequential runs
+  SeqSimCycles,          ///< machine-cycles simulated (packed + serial)
+  SeqSimFaultsDropped,   ///< faults detected (dropped) by sequential sim
+  S3Groups,              ///< reduced group models built in step 3
+  S3FinalFaults,         ///< individual final-pass models built in step 3
+  kCount,
+};
+
+/// Set-once run facts (serial writes from the pipeline thread only).
+enum class Gauge : std::uint16_t {
+  Jobs,                  ///< executors actually used
+  HardwareConcurrency,   ///< std::thread::hardware_concurrency of the host
+  TotalFaults,
+  MaxChainLength,
+  kCount,
+};
+
+/// Power-of-two histograms: bucket 0 counts value 0, bucket i >= 1 counts
+/// values in [2^(i-1), 2^i - 1]; the last bucket absorbs the tail.
+enum class Hist : std::uint16_t {
+  PodemDecisionDepth,    ///< decisions per Podem::generate call
+  PodemBacktracksPerCall,
+  S3GroupSize,           ///< faults per step-3 group model
+  kCount,
+};
+
+inline constexpr std::size_t kNumCounters = static_cast<std::size_t>(Ctr::kCount);
+inline constexpr std::size_t kNumGauges = static_cast<std::size_t>(Gauge::kCount);
+inline constexpr std::size_t kNumHists = static_cast<std::size_t>(Hist::kCount);
+inline constexpr std::size_t kHistBuckets = 20;
+
+const char* counter_name(Ctr c);
+const char* gauge_name(Gauge g);
+const char* hist_name(Hist h);
+
+/// The registry.  One instance observes one pipeline run (or any sequence of
+/// library calls); all record methods are safe to call concurrently from
+/// pool tasks.  Passing nullptr everywhere disables observation entirely.
+class ObsRegistry {
+ public:
+  ObsRegistry();
+  ~ObsRegistry();
+  ObsRegistry(const ObsRegistry&) = delete;
+  ObsRegistry& operator=(const ObsRegistry&) = delete;
+
+  // --- counters / gauges / histograms ------------------------------------
+  void add(Ctr c, std::uint64_t n = 1) {
+    shard().counters[static_cast<std::size_t>(c)].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void observe(Hist h, std::uint64_t value) {
+    shard().hists[static_cast<std::size_t>(h)][bucket(value)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  /// Last write wins; call from the coordinating thread only.
+  void set_gauge(Gauge g, std::int64_t v) {
+    gauges_[static_cast<std::size_t>(g)] = v;
+  }
+
+  /// Merged (schedule-independent) totals.
+  std::uint64_t total(Ctr c) const;
+  std::int64_t gauge(Gauge g) const {
+    return gauges_[static_cast<std::size_t>(g)];
+  }
+  std::array<std::uint64_t, kHistBuckets> hist_total(Hist h) const;
+
+  /// Log2 bucket index of a histogram sample.
+  static std::size_t bucket(std::uint64_t value);
+
+  // --- trace spans --------------------------------------------------------
+  void enable_trace(bool on = true) {
+    trace_on_.store(on, std::memory_order_relaxed);
+  }
+  bool trace_enabled() const {
+    return trace_on_.load(std::memory_order_relaxed);
+  }
+  /// Microseconds since registry construction (the trace time base).
+  double now_us() const;
+  /// Records one completed span on `tid`'s track (called by ObsSpan).
+  void add_trace_event(const char* name, unsigned tid, double t0_us,
+                       double t1_us);
+  std::size_t trace_event_count() const;
+  /// Chrome trace-event JSON ({"traceEvents": [...]}); loads in
+  /// chrome://tracing and Perfetto.  One track ("thread") per pool executor;
+  /// tid 0 is the submitting thread.
+  void write_trace(std::ostream& os) const;
+
+  // --- progress (-v) ------------------------------------------------------
+  /// When set, phase-completion lines are delivered here (pipeline thread
+  /// only); unset means no formatting work is done at all.
+  std::function<void(const std::string&)> progress;
+  bool progress_enabled() const { return static_cast<bool>(progress); }
+  void progress_line(const std::string& line) const {
+    if (progress) progress(line);
+  }
+
+  // --- pool scheduler statistics -----------------------------------------
+  /// Snapshots per-worker scheduler stats (call after the pool quiesced).
+  void capture_pool(const ThreadPool& pool);
+  const std::vector<ThreadPool::WorkerStats>& pool_stats() const {
+    return pool_stats_;
+  }
+
+  // --- serialization ------------------------------------------------------
+  /// The deterministic slice only — counters and histograms, no gauges, no
+  /// pool stats — as one JSON object; equal strings at any job count.
+  std::string counters_json() const;
+  /// Full structured run report: every PipelineResult field, the counters,
+  /// histograms, gauges, and the per-worker pool statistics.
+  void write_run_report(std::ostream& os, const PipelineResult& r) const;
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kNumCounters> counters{};
+    std::array<std::array<std::atomic<std::uint64_t>, kHistBuckets>, kNumHists>
+        hists{};
+  };
+
+  Shard& shard() {
+    const unsigned e = ThreadPool::current_executor();
+    return shards_[e < kShards ? e : kShards - 1];
+  }
+
+  struct TraceEvent {
+    const char* name;
+    unsigned tid;
+    double t0_us, t1_us;
+  };
+
+  // 1 submitting thread + up to 63 workers before shards are shared (sharing
+  // is still correct — the slots are atomics — just slower).
+  static constexpr std::size_t kShards = 64;
+  std::unique_ptr<Shard[]> shards_;
+  std::array<std::int64_t, kNumGauges> gauges_{};
+  std::atomic<bool> trace_on_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex trace_m_;
+  std::vector<TraceEvent> trace_events_;
+  std::vector<ThreadPool::WorkerStats> pool_stats_;
+};
+
+/// RAII scoped span: records a begin/end pair on the current executor's
+/// trace track.  With a null registry (or tracing disabled) construction and
+/// destruction are a pointer test each.
+class ObsSpan {
+ public:
+  ObsSpan(ObsRegistry* obs, const char* name)
+      : obs_(obs && obs->trace_enabled() ? obs : nullptr), name_(name) {
+    if (obs_) t0_us_ = obs_->now_us();
+  }
+  ~ObsSpan() {
+    if (obs_) {
+      obs_->add_trace_event(name_, ThreadPool::current_executor(), t0_us_,
+                            obs_->now_us());
+    }
+  }
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+ private:
+  ObsRegistry* obs_;
+  const char* name_;
+  double t0_us_ = 0;
+};
+
+}  // namespace fsct

@@ -1,6 +1,7 @@
 #include "core/parallel.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <limits>
 #include <utility>
@@ -13,6 +14,25 @@ namespace {
 thread_local const ThreadPool* tls_pool = nullptr;
 thread_local unsigned tls_worker = 0;
 }  // namespace
+
+unsigned ThreadPool::current_executor() {
+  return tls_pool != nullptr ? tls_worker + 1 : 0;
+}
+
+std::vector<ThreadPool::WorkerStats> ThreadPool::worker_stats() const {
+  std::vector<WorkerStats> out;
+  out.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    WorkerStats s;
+    s.tasks = w->tasks.load(std::memory_order_relaxed);
+    s.steals = w->steals.load(std::memory_order_relaxed);
+    s.global_pops = w->global_pops.load(std::memory_order_relaxed);
+    s.idle_seconds =
+        static_cast<double>(w->idle_ns.load(std::memory_order_relaxed)) * 1e-9;
+    out.push_back(s);
+  }
+  return out;
+}
 
 unsigned resolve_jobs(int jobs) {
   if (jobs > 0) return static_cast<unsigned>(jobs);
@@ -75,6 +95,7 @@ bool ThreadPool::next_task(unsigned me, std::function<void()>& out) {
     if (!global_.empty()) {
       out = std::move(global_.front());
       global_.pop_front();
+      workers_[me]->global_pops.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
@@ -85,6 +106,7 @@ bool ThreadPool::next_task(unsigned me, std::function<void()>& out) {
     if (!v.q.empty()) {
       out = std::move(v.q.front());
       v.q.pop_front();
+      workers_[me]->steals.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
@@ -98,15 +120,23 @@ void ThreadPool::worker_loop(unsigned me) {
   for (;;) {
     if (next_task(me, task)) {
       pending_.fetch_sub(1, std::memory_order_acquire);
+      workers_[me]->tasks.fetch_add(1, std::memory_order_relaxed);
       task();
       task = nullptr;
       continue;
     }
+    const auto idle0 = std::chrono::steady_clock::now();
     std::unique_lock<std::mutex> lk(sleep_m_);
     sleep_cv_.wait(lk, [this] {
       return stop_.load(std::memory_order_relaxed) ||
              pending_.load(std::memory_order_acquire) > 0;
     });
+    workers_[me]->idle_ns.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - idle0)
+                .count()),
+        std::memory_order_relaxed);
     if (stop_.load(std::memory_order_relaxed) &&
         pending_.load(std::memory_order_acquire) == 0) {
       return;

@@ -18,6 +18,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -43,6 +44,27 @@ class ThreadPool {
   /// Total executors, including the submitting thread (>= 1).
   unsigned jobs() const { return jobs_; }
 
+  /// Executor id of the calling thread *within its own pool*: 0 for any
+  /// thread that is not a pool worker (including the submitting thread),
+  /// i + 1 for worker thread i.  Used by the observability layer to shard
+  /// metrics and assign trace tracks.
+  static unsigned current_executor();
+
+  /// Per-worker scheduler statistics (always on; a few relaxed atomic
+  /// increments per *task*, so the cost is amortised over whole chunks).
+  /// Entry i describes worker thread i, i.e. executor i + 1; the submitting
+  /// thread runs chunks inline and has no entry.  Tasks/steals/global_pops
+  /// are exact; idle_seconds is the time spent parked on the sleep cv.
+  /// Inherently schedule-dependent — never part of the deterministic
+  /// counter set.
+  struct WorkerStats {
+    std::uint64_t tasks = 0;        ///< tasks executed by this worker
+    std::uint64_t steals = 0;       ///< ... of which stolen from a peer deque
+    std::uint64_t global_pops = 0;  ///< ... popped from the injection queue
+    double idle_seconds = 0;
+  };
+  std::vector<WorkerStats> worker_stats() const;
+
   /// Enqueues a task.  Thread-safe; a task may submit further tasks (nested
   /// submission goes to the submitting worker's own deque).  With a serial
   /// pool (jobs() == 1) the task runs inline.
@@ -52,6 +74,12 @@ class ThreadPool {
   struct Worker {
     std::mutex m;
     std::deque<std::function<void()>> q;
+    // Stats slots (written with relaxed ops by the owning worker only, read
+    // by worker_stats() at any time).
+    std::atomic<std::uint64_t> tasks{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> global_pops{0};
+    std::atomic<std::uint64_t> idle_ns{0};
   };
 
   void worker_loop(unsigned me);

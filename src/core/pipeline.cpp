@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <optional>
 #include <random>
+#include <thread>
 
+#include "core/obs.h"
 #include "core/parallel.h"
 #include "fault/comb_fault_sim.h"
 
@@ -24,12 +27,24 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
   const Levelizer& lv = model.levelizer();
   const Netlist& nl = lv.netlist();
   ThreadPool pool(opt.jobs);
+  ObsRegistry* const obs = opt.obs;
   PipelineResult res;
   res.jobs_used = pool.jobs();
   res.total_faults = faults.size();
   res.outcome.assign(faults.size(), FaultOutcome::NotAffecting);
 
   const std::size_t maxlen = model.max_chain_length();
+  if (obs) {
+    obs->set_gauge(Gauge::Jobs, static_cast<std::int64_t>(res.jobs_used));
+    obs->set_gauge(Gauge::HardwareConcurrency,
+                   static_cast<std::int64_t>(
+                       std::thread::hardware_concurrency()));
+    obs->set_gauge(Gauge::TotalFaults,
+                   static_cast<std::int64_t>(faults.size()));
+    obs->set_gauge(Gauge::MaxChainLength, static_cast<std::int64_t>(maxlen));
+  }
+  char pbuf[192];
+  const bool verbose = obs != nullptr && obs->progress_enabled();
   const DistanceParams dist =
       opt.auto_dist ? DistanceParams::from_maxsize(maxlen) : opt.dist;
   const std::size_t observe_cycles =
@@ -37,7 +52,11 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
 
   // ---- step 0: classification ---------------------------------------------
   auto t0 = std::chrono::steady_clock::now();
-  res.info = ChainFaultClassifier::classify_all_parallel(model, faults, pool);
+  {
+    const ObsSpan phase(obs, "classify");
+    res.info =
+        ChainFaultClassifier::classify_all_parallel(model, faults, pool, obs);
+  }
   std::vector<std::size_t> hard_idx;
   for (std::size_t i = 0; i < faults.size(); ++i) {
     switch (res.info[i].category) {
@@ -55,6 +74,12 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
     }
   }
   res.classify_seconds = seconds_since(t0);
+  if (verbose) {
+    std::snprintf(pbuf, sizeof pbuf,
+                  "classify: %zu faults -> %zu easy, %zu hard (%.3fs)",
+                  res.total_faults, res.easy, res.hard, res.classify_seconds);
+    obs->progress_line(pbuf);
+  }
 
   std::vector<NodeId> observe = nl.outputs();
   for (NodeId so : model.scan_outs()) {
@@ -67,6 +92,7 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
   // ---- step 1: alternating flush (optional verification) -------------------
   if (opt.verify_easy && res.easy > 0) {
     t0 = std::chrono::steady_clock::now();
+    const ObsSpan phase(obs, "step1.alternating");
     const std::size_t cycles = opt.alternating_cycles
                                    ? opt.alternating_cycles
                                    : 2 * maxlen + 8;
@@ -78,9 +104,19 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
     }
     SeqFaultSim sim(lv, observe);
     const SeqFaultSimResult r =
-        sim.run(sb.alternating(cycles), easy_faults, Val::X, &pool);
+        sim.run(sb.alternating(cycles), easy_faults, Val::X, &pool, obs);
     res.easy_verified = r.num_detected();
+    if (obs) {
+      obs->add(Ctr::AlternatingCycles, cycles);
+      obs->add(Ctr::AlternatingDetected, res.easy_verified);
+    }
     res.alternating_seconds = seconds_since(t0);
+    if (verbose) {
+      std::snprintf(pbuf, sizeof pbuf,
+                    "step1: alternating flush verified %zu/%zu easy (%.3fs)",
+                    res.easy_verified, res.easy, res.alternating_seconds);
+      obs->progress_line(pbuf);
+    }
   }
 
   // ---- step 2: combinational ATPG + sequential fault simulation ------------
@@ -89,6 +125,8 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
   std::vector<char> comb_covered(faults.size(), 0);  // PPSFP-screened
 
   if (!hard_idx.empty()) {
+    std::optional<ObsSpan> s2span;
+    s2span.emplace(obs, "step2.atpg");
     UnrollSpec cspec;
     cspec.base = &nl;
     cspec.frames = 1;
@@ -113,6 +151,7 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
     AtpgOptions aopt;
     aopt.backtrack_limit = opt.comb_backtrack_limit;
     aopt.time_limit_ms = opt.comb_time_limit_ms;
+    aopt.obs = obs;
     Podem podem(clv, cm.controllable, cm.observe, aopt);
 
     std::vector<NodeId> comb_observe = nl.outputs();
@@ -145,7 +184,7 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
           pat[i] = (rng() & 1) ? Val::One : Val::Zero;
         }
       }
-      const CombFaultSimResult fr = ppsfp.run(pats, open, &pool);
+      const CombFaultSimResult fr = ppsfp.run(pats, open, &pool, obs);
       std::vector<char> pattern_useful(pats.size(), 0);
       for (std::size_t k = 0; k < open.size(); ++k) {
         if (fr.detect_pattern[k] >= 0) {
@@ -200,7 +239,8 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
       }
       CombPattern pat = v.pi_vals;
       pat.insert(pat.end(), v.ff_state.begin(), v.ff_state.end());
-      const CombFaultSimResult fr = ppsfp.run(std::span(&pat, 1), open, &pool);
+      const CombFaultSimResult fr =
+          ppsfp.run(std::span(&pat, 1), open, &pool, obs);
       for (std::size_t k = 0; k < open.size(); ++k) {
         if (fr.detect_pattern[k] >= 0) comb_covered[open_idx[k]] = 1;
       }
@@ -211,6 +251,8 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
     // Sequential verification: the converting chain may be broken by the very
     // fault under test, so detection only counts after sequential fault
     // simulation of the full scan sequence (also yields the Figure 5 curve).
+    s2span.reset();
+    const ObsSpan verify_span(obs, "step2.seq_verify");
     SeqFaultSim ssim(lv, observe);
     for (const ScanVector& v : vectors) {
       std::vector<Fault> open;
@@ -224,7 +266,7 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
       if (!open.empty()) {
         const TestSequence seq =
             sb.apply_comb_vector(v.ff_state, v.pi_vals, observe_cycles);
-        const SeqFaultSimResult r = ssim.run(seq, open, Val::X, &pool);
+        const SeqFaultSimResult r = ssim.run(seq, open, Val::X, &pool, obs);
         for (std::size_t k = 0; k < open.size(); ++k) {
           if (r.detect_cycle[k] >= 0) {
             res.outcome[open_idx[k]] = FaultOutcome::DetectedComb;
@@ -237,6 +279,14 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
   }
   res.s2_undetected = res.hard - res.s2_detected - res.s2_undetectable;
   res.s2_seconds = seconds_since(t0);
+  if (verbose) {
+    std::snprintf(pbuf, sizeof pbuf,
+                  "step2: %zu vectors, %zu detected, %zu undetectable, "
+                  "%zu remaining (%.3fs)",
+                  res.s2_vectors, res.s2_detected, res.s2_undetectable,
+                  res.s2_undetected, res.s2_seconds);
+    obs->progress_line(pbuf);
+  }
 
   // ---- step 3: grouped sequential ATPG on reduced circuits -----------------
   t0 = std::chrono::steady_clock::now();
@@ -258,7 +308,9 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
     TestSequence seq = bld.realize(t, maxlen + 2);
     if (opt.verify_seq) {
       const Fault one[1] = {faults[fault_idx]};
-      if (s3sim.run_serial(seq, one).detect_cycle[0] < 0) return std::nullopt;
+      if (s3sim.run_serial(seq, one, Val::X, obs).detect_cycle[0] < 0) {
+        return std::nullopt;
+      }
     }
     return seq;
   };
@@ -269,6 +321,7 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
   ropt.observe_pos = opt.observe_pos;
   ropt.atpg.backtrack_limit = opt.seq_backtrack_limit;
   ropt.atpg.time_limit_ms = opt.seq_time_limit_ms;
+  ropt.atpg.obs = obs;
   ReducedCircuitBuilder builder(model, ropt);
 
   if (!remaining.empty()) {
@@ -290,6 +343,7 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
     };
     std::vector<GroupOutcome> done(groups.size());
     auto run_group = [&](std::size_t gi) {
+      const ObsSpan span(obs, "s3.group");
       const AtpgGroup& g = groups[gi];
       std::vector<Fault> gf;
       for (std::size_t j : g.fault_indices) gf.push_back(faults[j]);
@@ -309,11 +363,18 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
         }
       }
     };
-    parallel_for(pool, groups.size(), 1, [&](std::size_t b, std::size_t e) {
-      for (std::size_t gi = b; gi < e; ++gi) run_group(gi);
-    });
+    {
+      const ObsSpan phase(obs, "step3.groups");
+      parallel_for(pool, groups.size(), 1, [&](std::size_t b, std::size_t e) {
+        for (std::size_t gi = b; gi < e; ++gi) run_group(gi);
+      });
+    }
     for (std::size_t gi = 0; gi < groups.size(); ++gi) {
       ++res.s3_circuits_group;
+      if (obs) {
+        obs->add(Ctr::S3Groups);
+        obs->observe(Hist::S3GroupSize, groups[gi].fault_indices.size());
+      }
       res.s3_unverified += done[gi].unverified;
       for (std::size_t k = 0; k < done[gi].detected.size(); ++k) {
         const std::size_t j = done[gi].detected[k];
@@ -346,6 +407,7 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
   };
   std::vector<FinalOutcome> fdone(final_idx.size());
   auto run_final = [&](std::size_t k) {
+    const ObsSpan span(obs, "s3.final");
     const std::size_t j = final_idx[k];
     AtpgGroup g;
     g.kind = 1;
@@ -370,12 +432,16 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
       fdone[k].verdict = FinalVerdict::Aborted;
     }
   };
-  parallel_for(pool, final_idx.size(), 1, [&](std::size_t b, std::size_t e) {
-    for (std::size_t k = b; k < e; ++k) run_final(k);
-  });
+  {
+    const ObsSpan phase(obs, "step3.final");
+    parallel_for(pool, final_idx.size(), 1, [&](std::size_t b, std::size_t e) {
+      for (std::size_t k = b; k < e; ++k) run_final(k);
+    });
+  }
   for (std::size_t k = 0; k < final_idx.size(); ++k) {
     const std::size_t j = final_idx[k];
     ++res.s3_circuits_final;
+    if (obs) obs->add(Ctr::S3FinalFaults);
     switch (fdone[k].verdict) {
       case FinalVerdict::Detected:
         res.outcome[j] = FaultOutcome::DetectedFinal;
@@ -398,6 +464,16 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
     }
   }
   res.s3_seconds = seconds_since(t0);
+  if (verbose) {
+    std::snprintf(pbuf, sizeof pbuf,
+                  "step3: %zu group + %zu final models, %zu detected, "
+                  "%zu undetectable, %zu undetected (%.3fs)",
+                  res.s3_circuits_group, res.s3_circuits_final,
+                  res.s3_detected, res.s3_undetectable, res.s3_undetected,
+                  res.s3_seconds);
+    obs->progress_line(pbuf);
+  }
+  if (obs) obs->capture_pool(pool);
   return res;
 }
 

@@ -26,6 +26,8 @@
 
 namespace fsct {
 
+class ObsRegistry;
+
 struct PipelineOptions {
   /// Distance parameters; when auto_dist is true they are derived from the
   /// longest chain as in the paper's experiments.
@@ -67,6 +69,11 @@ struct PipelineOptions {
   /// Extra shift-out cycles appended to each converted step-2 vector;
   /// 0 = auto (maxlen + 2).
   std::size_t observe_cycles = 0;
+
+  /// Optional observability sink (counters, trace spans, -v progress lines);
+  /// nullptr disables all observation.  The deterministic counters it
+  /// collects are identical at any `jobs` value; see core/obs.h.
+  ObsRegistry* obs = nullptr;
 };
 
 /// One scan-mode test vector of the step-2 set: free-PI values plus the

@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "core/obs.h"
+
 namespace fsct {
 
 CombFaultSim::CombFaultSim(const Levelizer& lv, std::vector<NodeId> observe)
@@ -51,6 +53,7 @@ std::uint64_t CombFaultSim::simulate_fault(const Fault& f,
   // Seed the event queue with the fault site's effect.
   auto touch = [&](NodeId id, PackedVal v) {
     if (v == s.cur[id]) return;
+    ++s.events;
     s.cur[id] = v;
     s.dirty.push_back(id);
     if (observed_net_[id]) {
@@ -102,7 +105,9 @@ std::uint64_t CombFaultSim::simulate_fault(const Fault& f,
 
 CombFaultSimResult CombFaultSim::run(std::span<const CombPattern> patterns,
                                      std::span<const Fault> faults,
-                                     ThreadPool* pool) const {
+                                     ThreadPool* pool,
+                                     ObsRegistry* obs) const {
+  const ObsSpan run_span(obs, "ppsfp.run");
   const Netlist& nl = lv_.netlist();
   const std::size_t n_pi = nl.inputs().size();
   const std::size_t n_ff = nl.dffs().size();
@@ -133,6 +138,7 @@ CombFaultSimResult CombFaultSim::run(std::span<const CombPattern> patterns,
     }
     psim.run(good);
 
+    if (obs) obs->add(Ctr::PpsfpBlocks);
     const std::uint64_t valid =
         (pchunk == 64) ? ~0ull : ((1ull << pchunk) - 1);
     auto record = [&](std::size_t fi, std::uint64_t det) {
@@ -140,24 +146,41 @@ CombFaultSimResult CombFaultSim::run(std::span<const CombPattern> patterns,
       if (det != 0) {
         res.detect_pattern[fi] =
             static_cast<int>(pbase) + std::countr_zero(det);
+        return true;
       }
+      return false;
     };
 
     if (pool != nullptr && pool->jobs() > 1) {
       const std::size_t grain = parallel_grain(faults.size(), pool->jobs(), 16);
       parallel_for(*pool, faults.size(), grain,
                    [&](std::size_t b, std::size_t e) {
+                     const ObsSpan span(obs, "ppsfp.chunk");
                      Scratch s = make_scratch(good);
+                     std::uint64_t sims = 0, dropped = 0;
                      for (std::size_t fi = b; fi < e; ++fi) {
                        if (res.detect_pattern[fi] >= 0) continue;  // dropped
-                       record(fi, simulate_fault(faults[fi], good, s));
+                       ++sims;
+                       dropped += record(fi, simulate_fault(faults[fi], good, s));
+                     }
+                     if (obs) {
+                       obs->add(Ctr::PpsfpFaultSims, sims);
+                       obs->add(Ctr::PpsfpEvents, s.events);
+                       obs->add(Ctr::PpsfpFaultsDropped, dropped);
                      }
                    });
     } else {
       Scratch s = make_scratch(good);
+      std::uint64_t sims = 0, dropped = 0;
       for (std::size_t fi = 0; fi < faults.size(); ++fi) {
         if (res.detect_pattern[fi] >= 0) continue;  // fault dropping
-        record(fi, simulate_fault(faults[fi], good, s));
+        ++sims;
+        dropped += record(fi, simulate_fault(faults[fi], good, s));
+      }
+      if (obs) {
+        obs->add(Ctr::PpsfpFaultSims, sims);
+        obs->add(Ctr::PpsfpEvents, s.events);
+        obs->add(Ctr::PpsfpFaultsDropped, dropped);
       }
     }
   }

@@ -7,6 +7,7 @@
 // through its forward cone only, with dirty-value restore between faults.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -15,6 +16,8 @@
 #include "sim/comb_sim.h"
 
 namespace fsct {
+
+class ObsRegistry;
 
 /// One fully specified combinational pattern: values for all PIs (netlist
 /// inputs() order) followed by values for all DFF Qs (netlist dffs() order).
@@ -43,9 +46,13 @@ class CombFaultSim {
   /// each shard propagating through its own dirty-value scratch arena; the
   /// result is identical to the serial run at any job count (per-fault slots,
   /// first-detecting-pattern semantics preserved by the in-block minimum).
+  /// `obs` (optional) receives block/propagation/event/drop counters and
+  /// per-chunk trace spans; totals are schedule-independent because each
+  /// (fault, block) propagation does identical work at any job count.
   CombFaultSimResult run(std::span<const CombPattern> patterns,
                          std::span<const Fault> faults,
-                         ThreadPool* pool = nullptr) const;
+                         ThreadPool* pool = nullptr,
+                         ObsRegistry* obs = nullptr) const;
 
   const std::vector<NodeId>& observe() const { return observe_; }
 
@@ -57,6 +64,7 @@ class CombFaultSim {
     std::vector<std::vector<NodeId>> buckets;  // level-indexed event queue
     std::vector<char> queued;
     std::vector<NodeId> dirty;
+    std::uint64_t events = 0;  // net updates, flushed to obs per chunk
   };
 
   Scratch make_scratch(const std::vector<PackedVal>& good) const;

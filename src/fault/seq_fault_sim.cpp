@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "core/obs.h"
+
 namespace fsct {
 
 SeqFaultSim::SeqFaultSim(const Levelizer& lv, std::vector<NodeId> observe)
@@ -9,7 +11,8 @@ SeqFaultSim::SeqFaultSim(const Levelizer& lv, std::vector<NodeId> observe)
 
 SeqFaultSimResult SeqFaultSim::run_serial(const TestSequence& seq,
                                           std::span<const Fault> faults,
-                                          Val initial_state) const {
+                                          Val initial_state,
+                                          ObsRegistry* obs) const {
   SeqFaultSimResult res;
   res.detect_cycle.assign(faults.size(), -1);
 
@@ -25,11 +28,13 @@ SeqFaultSimResult SeqFaultSim::run_serial(const TestSequence& seq,
     }
   }
 
+  std::uint64_t cycles = 0;
   for (std::size_t fi = 0; fi < faults.size(); ++fi) {
     const Injection inj[1] = {to_injection(faults[fi])};
     SeqSim faulty(lv_);
     faulty.reset(initial_state);
     for (std::size_t t = 0; t < seq.size() && res.detect_cycle[fi] < 0; ++t) {
+      ++cycles;
       const auto& v = faulty.step(seq[t], inj);
       for (std::size_t o = 0; o < observe_.size(); ++o) {
         const Val g = good_obs[t][o];
@@ -41,13 +46,19 @@ SeqFaultSimResult SeqFaultSim::run_serial(const TestSequence& seq,
       }
     }
   }
+  if (obs) {
+    obs->add(Ctr::SeqSimSerialRuns);
+    obs->add(Ctr::SeqSimCycles, cycles);
+    obs->add(Ctr::SeqSimFaultsDropped, res.num_detected());
+  }
   return res;
 }
 
 SeqFaultSimResult SeqFaultSim::run(const TestSequence& seq,
                                    std::span<const Fault> faults,
                                    Val initial_state,
-                                   ThreadPool* pool) const {
+                                   ThreadPool* pool,
+                                   ObsRegistry* obs) const {
   SeqFaultSimResult res;
   res.detect_cycle.assign(faults.size(), -1);
   const Netlist& nl = lv_.netlist();
@@ -55,6 +66,7 @@ SeqFaultSimResult SeqFaultSim::run(const TestSequence& seq,
   // One packed pass: the good machine plus 63 faulty machines starting at
   // fault index `base`, writing the pass's disjoint result slice.
   auto packed_pass = [&](std::size_t base) {
+    const ObsSpan span(obs, "seqsim.pass");
     const std::size_t chunk = std::min<std::size_t>(63, faults.size() - base);
     std::vector<PackedVal> pi_packed(nl.inputs().size());
     std::vector<PackedInjection> inj;
@@ -65,8 +77,10 @@ SeqFaultSimResult SeqFaultSim::run(const TestSequence& seq,
 
     PackedSeqSim sim(lv_);
     sim.reset(initial_state);
+    std::uint64_t cycles = 0, dropped = 0;
     std::uint64_t undet = ((chunk == 63) ? ~1ull : ((1ull << (chunk + 1)) - 2));
     for (std::size_t t = 0; t < seq.size() && undet != 0; ++t) {
+      ++cycles;
       for (std::size_t i = 0; i < pi_packed.size(); ++i) {
         pi_packed[i] = PackedVal::broadcast(seq[t][i]);
       }
@@ -83,8 +97,14 @@ SeqFaultSimResult SeqFaultSim::run(const TestSequence& seq,
           det &= det - 1;
           undet &= ~(1ull << bit);
           res.detect_cycle[base + bit - 1] = static_cast<int>(t);
+          ++dropped;
         }
       }
+    }
+    if (obs) {
+      obs->add(Ctr::SeqSimPackedPasses);
+      obs->add(Ctr::SeqSimCycles, cycles);
+      obs->add(Ctr::SeqSimFaultsDropped, dropped);
     }
   };
 

@@ -19,6 +19,8 @@
 
 namespace fsct {
 
+class ObsRegistry;
+
 /// One PI assignment per clock cycle, each indexed in netlist inputs() order.
 using TestSequence = std::vector<std::vector<Val>>;
 
@@ -41,18 +43,24 @@ class SeqFaultSim {
  public:
   SeqFaultSim(const Levelizer& lv, std::vector<NodeId> observe);
 
-  /// Serial reference engine.
+  /// Serial reference engine.  `obs` (optional) receives run/cycle/drop
+  /// counters.
   SeqFaultSimResult run_serial(const TestSequence& seq,
                                std::span<const Fault> faults,
-                               Val initial_state = Val::X) const;
+                               Val initial_state = Val::X,
+                               ObsRegistry* obs = nullptr) const;
 
   /// Parallel-fault engine (63 faults per packed pass).  The packed passes
   /// are mutually independent; with a pool they are dispatched concurrently,
   /// each writing its own disjoint 63-fault slice of the result, so the
-  /// output is identical to the serial run at any job count.
+  /// output is identical to the serial run at any job count.  `obs`
+  /// (optional) receives pass/cycle/drop counters and one trace span per
+  /// packed pass; pass counters depend only on the fault partition (fixed
+  /// 63-fault slices), so they too are schedule-independent.
   SeqFaultSimResult run(const TestSequence& seq, std::span<const Fault> faults,
                         Val initial_state = Val::X,
-                        ThreadPool* pool = nullptr) const;
+                        ThreadPool* pool = nullptr,
+                        ObsRegistry* obs = nullptr) const;
 
   const std::vector<NodeId>& observe() const { return observe_; }
 

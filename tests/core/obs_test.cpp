@@ -1,0 +1,200 @@
+#include "core/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "bench_circuits/paper_examples.h"
+#include "core/pipeline.h"
+#include "scan/tpi.h"
+
+namespace fsct {
+namespace {
+
+struct Built {
+  Netlist nl;
+  ScanDesign design;
+  Levelizer lv;
+  ScanModeModel model;
+  std::vector<Fault> faults;
+  explicit Built(Netlist n)
+      : nl(std::move(n)),
+        design(run_tpi(nl)),
+        lv(nl),
+        model(lv, design),
+        faults(collapsed_fault_list(nl)) {}
+  Built(ExampleDesign e)
+      : nl(std::move(e.nl)),
+        design(std::move(e.design)),
+        lv(nl),
+        model(lv, design),
+        faults(collapsed_fault_list(nl)) {}
+};
+
+PipelineResult run_with(ObsRegistry* obs, int jobs, Built& b) {
+  PipelineOptions opt;
+  opt.verify_easy = true;
+  opt.jobs = jobs;
+  opt.obs = obs;
+  // No random-pattern warm-up: every hard fault goes through PODEM, so the
+  // ATPG counters are exercised even on tiny circuits.
+  opt.random_patterns = 0;
+  return run_fsct_pipeline(b.model, b.faults, opt);
+}
+
+std::size_t count_occurrences(const std::string& hay, const std::string& pat) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(pat); pos != std::string::npos;
+       pos = hay.find(pat, pos + pat.size())) {
+    ++n;
+  }
+  return n;
+}
+
+// Minimal structural JSON check: quotes paired, braces/brackets balanced and
+// properly nested outside strings.
+bool json_well_formed(const std::string& s) {
+  std::vector<char> stack;
+  bool in_str = false, esc = false;
+  for (char c : s) {
+    if (esc) { esc = false; continue; }
+    if (in_str) {
+      if (c == '\\') esc = true;
+      else if (c == '"') in_str = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_str = true; break;
+      case '{': case '[': stack.push_back(c); break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return !in_str && stack.empty();
+}
+
+TEST(Obs, CountersMergeExactSumsAcrossExecutors) {
+  ObsRegistry reg;
+  ThreadPool pool(4);
+  const std::size_t n = 10000;
+  parallel_for(pool, n, 16, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      reg.add(Ctr::PpsfpEvents);
+      reg.add(Ctr::PodemDecisions, 3);
+      reg.observe(Hist::PodemDecisionDepth, i % 37);
+    }
+  });
+  EXPECT_EQ(reg.total(Ctr::PpsfpEvents), n);
+  EXPECT_EQ(reg.total(Ctr::PodemDecisions), 3 * n);
+  EXPECT_EQ(reg.total(Ctr::PodemBacktracks), 0u);
+  std::uint64_t hist_sum = 0;
+  for (std::uint64_t c : reg.hist_total(Hist::PodemDecisionDepth)) {
+    hist_sum += c;
+  }
+  EXPECT_EQ(hist_sum, n);
+}
+
+TEST(Obs, LogBucketScheme) {
+  EXPECT_EQ(ObsRegistry::bucket(0), 0u);
+  EXPECT_EQ(ObsRegistry::bucket(1), 1u);
+  EXPECT_EQ(ObsRegistry::bucket(2), 2u);
+  EXPECT_EQ(ObsRegistry::bucket(3), 2u);
+  EXPECT_EQ(ObsRegistry::bucket(4), 3u);
+  EXPECT_EQ(ObsRegistry::bucket(7), 3u);
+  EXPECT_EQ(ObsRegistry::bucket(8), 4u);
+  // The tail clamps into the last bucket.
+  EXPECT_EQ(ObsRegistry::bucket(~0ull), kHistBuckets - 1);
+}
+
+TEST(Obs, PipelineCountersIdenticalAcrossJobCounts) {
+  Built b1(small_pipeline());
+  Built b4(small_pipeline());
+  ObsRegistry r1, r4;
+  const PipelineResult p1 = run_with(&r1, 1, b1);
+  const PipelineResult p4 = run_with(&r4, 4, b4);
+  ASSERT_EQ(p1.total_faults, p4.total_faults);
+  // The deterministic slice is bitwise identical, as one string compare.
+  EXPECT_EQ(r1.counters_json(), r4.counters_json());
+  // And it actually observed the run.
+  EXPECT_EQ(r1.total(Ctr::ClassifyFaults), p1.total_faults);
+  EXPECT_GT(r1.total(Ctr::ClassifyEvents), 0u);
+  EXPECT_GT(r1.total(Ctr::PodemCalls), 0u);
+  EXPECT_GT(r1.total(Ctr::SeqSimCycles), 0u);
+}
+
+TEST(Obs, TraceJsonBalancedAndWellFormed) {
+  Built b(small_pipeline());
+  ObsRegistry reg;
+  reg.enable_trace();
+  run_with(&reg, 2, b);
+  EXPECT_GT(reg.trace_event_count(), 0u);
+  std::ostringstream os;
+  reg.write_trace(os);
+  const std::string t = os.str();
+  EXPECT_TRUE(json_well_formed(t)) << t.substr(0, 400);
+  EXPECT_NE(t.find("\"traceEvents\""), std::string::npos);
+  const std::size_t begins = count_occurrences(t, "\"ph\": \"B\"");
+  const std::size_t ends = count_occurrences(t, "\"ph\": \"E\"");
+  EXPECT_GT(begins, 0u);
+  EXPECT_EQ(begins, ends);
+  EXPECT_EQ(begins, reg.trace_event_count());
+  // Named tracks: the submitting thread plus at least one worker.
+  EXPECT_NE(t.find("executor 0 (caller)"), std::string::npos);
+}
+
+TEST(Obs, DisabledSinkRecordsNothing) {
+  Built b(small_pipeline());
+  ObsRegistry reg;  // never handed to the pipeline
+  PipelineOptions opt;
+  opt.verify_easy = true;
+  opt.jobs = 2;
+  run_fsct_pipeline(b.model, b.faults, opt);
+  for (std::size_t c = 0; c < kNumCounters; ++c) {
+    EXPECT_EQ(reg.total(static_cast<Ctr>(c)), 0u) << counter_name(static_cast<Ctr>(c));
+  }
+  EXPECT_EQ(reg.trace_event_count(), 0u);
+  // Spans against a null registry are inert too.
+  { const ObsSpan s(nullptr, "noop"); }
+  // Spans with tracing off record nothing.
+  { const ObsSpan s(&reg, "off"); }
+  EXPECT_EQ(reg.trace_event_count(), 0u);
+}
+
+TEST(Obs, RunReportCoversResultCountersAndPool) {
+  Built b(small_pipeline());
+  ObsRegistry reg;
+  const PipelineResult r = run_with(&reg, 2, b);
+  std::ostringstream os;
+  reg.write_run_report(os, r);
+  const std::string rep = os.str();
+  EXPECT_TRUE(json_well_formed(rep)) << rep.substr(0, 400);
+  for (const char* key :
+       {"fsct-run-report-v1", "total_faults", "easy_verified", "s2_detected",
+        "detection_curve", "outcomes", "podem_backtracks",
+        "podem_decision_depth", "histograms", "gauges",
+        "hardware_concurrency", "pool", "workers", "idle_seconds"}) {
+    EXPECT_NE(rep.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(Obs, ProgressLinesDeliveredPerPhase) {
+  Built b(small_pipeline());
+  ObsRegistry reg;
+  std::vector<std::string> lines;
+  reg.progress = [&](const std::string& l) { lines.push_back(l); };
+  run_with(&reg, 1, b);
+  ASSERT_GE(lines.size(), 3u);  // classify, step1, step2, step3
+  EXPECT_NE(lines.front().find("classify:"), std::string::npos);
+  EXPECT_NE(lines.back().find("step3:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fsct

@@ -16,19 +16,50 @@ if [[ "${1:-}" == "--tsan-only" ]]; then
   shift
 fi
 
-# Tests that exercise the thread pool and every pool-driven phase.
-CONCURRENCY_TESTS='Parallel\.|Determinism\.'
+# Tests that exercise the thread pool and every pool-driven phase (the obs
+# registry records from every executor, so its tests belong in the TSan set).
+CONCURRENCY_TESTS='Parallel\.|Determinism\.|Obs\.'
 
 if [[ "$TSAN_ONLY" == 0 ]]; then
   cmake -B build -S . "$@"
   cmake --build build -j
   ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+  # Observability smoke: a real CLI run must emit parseable trace/metrics JSON.
+  OBS_TMP="$(mktemp -d)"
+  trap 'rm -rf "$OBS_TMP"' EXIT
+  cat > "$OBS_TMP/s27.bench" <<'EOF'
+# ISCAS'89 s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+EOF
+  ./build/tools/fsct test "$OBS_TMP/s27.bench" --jobs 2 -v \
+    --trace "$OBS_TMP/trace.json" --metrics "$OBS_TMP/metrics.json"
+  python3 -m json.tool "$OBS_TMP/trace.json" > /dev/null
+  python3 -m json.tool "$OBS_TMP/metrics.json" > /dev/null
+  echo "check.sh: observability smoke OK (trace + metrics JSON parse)"
 fi
 
 cmake -B build-tsan -S . -DFSCT_SANITIZE=thread "$@"
 cmake --build build-tsan -j \
   --target parallel_test determinism_test pipeline_test \
-           seq_fault_sim_test comb_fault_sim_test classify_test
+           seq_fault_sim_test comb_fault_sim_test classify_test obs_test
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
   --output-on-failure -R "$CONCURRENCY_TESTS"
 echo "check.sh: OK (plain tests $( [[ $TSAN_ONLY == 1 ]] && echo skipped || echo passed ), TSan clean)"

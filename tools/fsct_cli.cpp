@@ -10,11 +10,14 @@
 //       write the scanned netlist.
 //
 //   fsct test     <circuit.bench> [--chains N] [--partial permille]
-//                 [--jobs N] [-o program.fsct]
+//                 [--jobs N] [-o program.fsct] [--trace t.json]
+//                 [--metrics m.json] [-v]
 //       full flow: TPI + three-step screening pipeline; prints the paper's
 //       Table-2/3 style summary and (with -o) writes the complete chain test
 //       program (flush + vectors + verified sequential tests) plus the
-//       scanned netlist it applies to (<out>.bench).
+//       scanned netlist it applies to (<out>.bench).  --trace writes a
+//       Chrome trace-event JSON of the run, --metrics a structured JSON run
+//       report, -v streams per-phase progress to stderr.
 //
 //   fsct replay   <program.fsct> <circuit.bench> [--fault NET 0|1]
 //       run a test program against a (possibly faulty) device; exit status 1
@@ -33,6 +36,7 @@
 
 #include "bench_circuits/paper_examples.h"
 #include "core/diagnose.h"
+#include "core/obs.h"
 #include "core/pipeline.h"
 #include "core/test_export.h"
 #include "netlist/bench_io.h"
@@ -51,6 +55,9 @@ struct Args {
   std::string out;
   std::string fault_net;
   int fault_value = -1;
+  std::string trace_path;    // --trace: Chrome trace-event JSON
+  std::string metrics_path;  // --metrics: structured run report JSON
+  bool verbose = false;      // -v: per-phase progress on stderr
 };
 
 Args parse(int argc, char** argv) {
@@ -68,6 +75,12 @@ Args parse(int argc, char** argv) {
     } else if (s == "--fault" && i + 2 < argc) {
       a.fault_net = argv[++i];
       a.fault_value = std::atoi(argv[++i]);
+    } else if (s == "--trace" && i + 1 < argc) {
+      a.trace_path = argv[++i];
+    } else if (s == "--metrics" && i + 1 < argc) {
+      a.metrics_path = argv[++i];
+    } else if (s == "-v" || s == "--verbose") {
+      a.verbose = true;
     } else {
       a.positional.push_back(s);
     }
@@ -141,7 +154,34 @@ int cmd_test(const Args& a) {
   PipelineOptions opt;
   opt.verify_easy = true;
   opt.jobs = a.jobs;
+
+  ObsRegistry reg;
+  const bool want_obs =
+      !a.trace_path.empty() || !a.metrics_path.empty() || a.verbose;
+  if (want_obs) {
+    opt.obs = &reg;
+    reg.enable_trace(!a.trace_path.empty());
+    if (a.verbose) {
+      reg.progress = [](const std::string& line) {
+        std::fprintf(stderr, "[fsct] %s\n", line.c_str());
+      };
+    }
+  }
   const PipelineResult r = run_fsct_pipeline(model, faults, opt);
+
+  if (!a.trace_path.empty()) {
+    std::ofstream ts(a.trace_path);
+    if (!ts) throw std::runtime_error("cannot open " + a.trace_path);
+    reg.write_trace(ts);
+    std::printf("wrote trace %s (%zu spans)\n", a.trace_path.c_str(),
+                reg.trace_event_count());
+  }
+  if (!a.metrics_path.empty()) {
+    std::ofstream ms(a.metrics_path);
+    if (!ms) throw std::runtime_error("cannot open " + a.metrics_path);
+    reg.write_run_report(ms, r);
+    std::printf("wrote metrics %s\n", a.metrics_path.c_str());
+  }
 
   std::printf("jobs: %u | classify %.3fs | step 2 %.3fs | step 3 %.3fs\n",
               r.jobs_used, r.classify_seconds, r.s2_seconds, r.s3_seconds);
@@ -259,14 +299,45 @@ int cmd_selftest() {
   return killed == covered ? 0 : 1;
 }
 
+void print_usage() {
+  std::printf(
+      "usage: fsct <command> [args] [options]\n"
+      "\n"
+      "commands:\n"
+      "  stats    <circuit.bench>                netlist statistics\n"
+      "  scan     <circuit.bench> [-o out.bench] insert a TPI scan chain\n"
+      "  test     <circuit.bench> [-o prog.fsct] full screening pipeline\n"
+      "  replay   <prog.fsct> <circuit.bench>    run a program on a device\n"
+      "  diagnose <circuit.bench> --fault NET V  rank chain-defect suspects\n"
+      "  selftest                                end-to-end check on s27\n"
+      "\n"
+      "options:\n"
+      "  --chains N        number of scan chains to insert (default 1)\n"
+      "  --partial M       permille of flip-flops scanned (default 1000)\n"
+      "  --jobs N          parallel executors; 0 = one per hardware thread\n"
+      "                    (default), 1 = serial — results are identical\n"
+      "  -o FILE           output file (scan: netlist, test: program +\n"
+      "                    FILE.bench)\n"
+      "  --fault NET 0|1   stuck-at fault to inject (replay, diagnose)\n"
+      "  --trace FILE      write a Chrome trace-event JSON of the run;\n"
+      "                    load in chrome://tracing or Perfetto (test)\n"
+      "  --metrics FILE    write a structured JSON run report: results,\n"
+      "                    counters, histograms, pool stats (test)\n"
+      "  -v, --verbose     per-phase progress lines on stderr (test)\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::printf("usage: fsct <stats|scan|test|replay|diagnose|selftest> ...\n");
+    print_usage();
     return 2;
   }
   const std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    print_usage();
+    return 0;
+  }
   try {
     const Args a = parse(argc, argv);
     if (cmd == "stats") return cmd_stats(a);
@@ -276,6 +347,7 @@ int main(int argc, char** argv) {
     if (cmd == "diagnose") return cmd_diagnose(a);
     if (cmd == "selftest") return cmd_selftest();
     std::printf("unknown command '%s'\n", cmd.c_str());
+    print_usage();
     return 2;
   } catch (const std::exception& e) {
     std::printf("error: %s\n", e.what());
