@@ -112,7 +112,19 @@ TestProgram read_test_program(std::istream& is) {
       p.observe_names.assign(toks.begin() + 1, toks.end());
     } else if (toks[0] == "cycles") {
       if (toks.size() != 2) fail(ln, "cycles takes one number");
-      cycles = static_cast<std::size_t>(std::stoul(toks[1]));
+      // std::stoul alone would accept "12abc" and throw context-free
+      // exceptions on overflow or garbage.
+      std::size_t pos = 0;
+      unsigned long v = 0;
+      try {
+        v = std::stoul(toks[1], &pos);
+      } catch (const std::exception&) {
+        fail(ln, "invalid cycle count '" + toks[1] + "'");
+      }
+      if (pos != toks[1].size() || v > 100000000) {
+        fail(ln, "invalid cycle count '" + toks[1] + "'");
+      }
+      cycles = static_cast<std::size_t>(v);
       have_cycles = true;
     } else {
       fail(ln, "unknown directive '" + toks[0] + "'");
@@ -131,8 +143,12 @@ TestProgram read_test_program(std::istream& is) {
       fail(ln, "expected-response width != #observe");
     }
     std::vector<Val> stim, exp;
-    for (char c : toks[1]) stim.push_back(val_from_char(c));
-    for (char c : toks[3]) exp.push_back(val_from_char(c));
+    try {
+      for (char c : toks[1]) stim.push_back(val_from_char(c));
+      for (char c : toks[3]) exp.push_back(val_from_char(c));
+    } catch (const std::invalid_argument&) {
+      fail(ln, "vector contains a character other than 0/1/X");
+    }
     p.stimulus.push_back(std::move(stim));
     p.expected.push_back(std::move(exp));
   }

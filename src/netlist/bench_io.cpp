@@ -57,12 +57,21 @@ GateType parse_type(const std::string& kw, int line) {
 
 Netlist read_bench(std::istream& in, std::string circuit_name) {
   std::vector<std::string> input_names;
-  std::vector<std::string> output_names;
-  std::vector<std::pair<std::string, Def>> defs;  // in file order
+  std::vector<std::pair<std::string, int>> output_names;  // name, line
+  std::vector<std::pair<std::string, Def>> defs;          // in file order
   std::unordered_map<std::string, std::size_t> def_index;
+  // Every signal-defining line (INPUT or gate), for duplicate reporting.
+  std::unordered_map<std::string, int> first_def_line;
 
   std::string raw;
   int line_no = 0;
+  auto define = [&](const std::string& name) {
+    const auto [it, fresh] = first_def_line.emplace(name, line_no);
+    if (!fresh) {
+      fail(line_no, "redefinition of '" + name + "' (first defined at line " +
+                        std::to_string(it->second) + ")");
+    }
+  };
   while (std::getline(in, raw)) {
     ++line_no;
     if (auto h = raw.find('#'); h != std::string::npos) raw.erase(h);
@@ -81,9 +90,10 @@ Netlist read_bench(std::istream& in, std::string circuit_name) {
       const std::string arg = trim(line.substr(lp + 1, rp - lp - 1));
       if (arg.empty()) fail(line_no, "empty signal name");
       if (kw == "INPUT") {
+        define(arg);
         input_names.push_back(arg);
       } else if (kw == "OUTPUT") {
-        output_names.push_back(arg);
+        output_names.emplace_back(arg, line_no);
       } else {
         fail(line_no, "unknown directive '" + kw + "'");
       }
@@ -108,20 +118,35 @@ Netlist read_bench(std::istream& in, std::string circuit_name) {
       if (t.empty()) fail(line_no, "empty fanin name");
       d.fanins.push_back(t);
     }
-    if (def_index.contains(lhs)) fail(line_no, "redefinition of " + lhs);
+    if ((d.type == GateType::Const0 || d.type == GateType::Const1) &&
+        !d.fanins.empty()) {
+      fail(line_no, "constant takes no fanins");
+    }
+    define(lhs);
     def_index.emplace(lhs, defs.size());
     defs.emplace_back(lhs, std::move(d));
   }
 
   Netlist nl(std::move(circuit_name));
+  // Netlist mutators throw std::invalid_argument (bad arity, bad names);
+  // re-throw those with the defining line attached.
+  auto guarded = [&](int line, auto&& fn) {
+    try {
+      fn();
+    } catch (const std::invalid_argument& e) {
+      fail(line, e.what());
+    }
+  };
 
   // Pass 1: sources.
-  for (const std::string& n : input_names) nl.add_input(n);
+  for (const std::string& n : input_names) {
+    guarded(first_def_line.at(n), [&] { nl.add_input(n); });
+  }
   for (const auto& [name, d] : defs) {
     if (d.type == GateType::Dff) {
-      nl.add_dff_floating(name);
+      guarded(d.line, [&] { nl.add_dff_floating(name); });
     } else if (d.type == GateType::Const0 || d.type == GateType::Const1) {
-      nl.add_const(d.type == GateType::Const1, name);
+      guarded(d.line, [&] { nl.add_const(d.type == GateType::Const1, name); });
     }
   }
 
@@ -139,7 +164,11 @@ Netlist read_bench(std::istream& in, std::string circuit_name) {
       if (std::all_of(d.fanins.begin(), d.fanins.end(), resolved)) {
         std::vector<NodeId> fins;
         for (const std::string& f : d.fanins) fins.push_back(nl.find(f));
-        nl.add_gate(d.type, std::move(fins), name);
+        try {
+          nl.add_gate(d.type, std::move(fins), name);
+        } catch (const std::invalid_argument& e) {
+          fail(d.line, e.what());
+        }
         progress = true;
       } else {
         next.push_back(i);
@@ -166,11 +195,10 @@ Netlist read_bench(std::istream& in, std::string circuit_name) {
     if (dn == kNullNode) fail(d.line, "undefined signal '" + d.fanins[0] + "'");
     nl.set_fanin(nl.find(name), 0, dn);
   }
-  for (const std::string& n : output_names) {
+  for (const auto& [n, out_line] : output_names) {
     const NodeId id = nl.find(n);
     if (id == kNullNode) {
-      throw std::runtime_error("bench parse error: OUTPUT(" + n +
-                               ") references undefined signal");
+      fail(out_line, "OUTPUT(" + n + ") references undefined signal");
     }
     nl.mark_output(id);
   }

@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# CLI edge cases: bad numeric operands, missing operands, unknown options,
+# malformed input files.  Every case must fail with exit code 2 and a
+# specific message on stderr — never exit 0, never crash, never print the
+# error to stdout.  Usage: cli_edge_test.sh <path-to-fsct>
+set -u
+
+FSCT=${1:?usage: cli_edge_test.sh <path-to-fsct>}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+FAILURES=0
+
+# expect_fail <expected-exit> <stderr-pattern> -- <args...>
+expect_fail() {
+  local want_code=$1 pattern=$2
+  shift 3
+  local out err code
+  out=$("$FSCT" "$@" 2>"$TMP/err")
+  code=$?
+  err=$(cat "$TMP/err")
+  if [[ $code -ne $want_code ]]; then
+    echo "FAIL: fsct $* -> exit $code, want $want_code"
+    FAILURES=$((FAILURES + 1))
+  elif ! grep -q "$pattern" "$TMP/err"; then
+    echo "FAIL: fsct $* -> stderr missing /$pattern/: $err"
+    FAILURES=$((FAILURES + 1))
+  elif [[ -n "$out" && $want_code -eq 2 ]]; then
+    echo "FAIL: fsct $* -> error case wrote to stdout: $out"
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok: fsct $* -> $code, '$err'"
+  fi
+}
+
+cat > "$TMP/good.bench" <<'EOF'
+INPUT(a)
+INPUT(b)
+OUTPUT(g)
+f = DFF(g)
+g = AND(a, b)
+EOF
+
+# --- numeric operand validation ------------------------------------------
+expect_fail 2 "invalid integer 'banana'" -- test "$TMP/good.bench" --jobs banana
+expect_fail 2 "invalid integer '1x'"     -- test "$TMP/good.bench" --jobs 1x
+expect_fail 2 "out of range"             -- test "$TMP/good.bench" --jobs -1
+expect_fail 2 "out of range"             -- scan "$TMP/good.bench" --chains 0
+expect_fail 2 "out of range"             -- scan "$TMP/good.bench" --partial -1
+expect_fail 2 "out of range"             -- scan "$TMP/good.bench" --partial 1001
+expect_fail 2 "out of range"             -- scan "$TMP/good.bench" --partial 99999999999999999999
+expect_fail 2 "invalid integer"          -- replay x y --fault net two
+
+# --- missing operands ------------------------------------------------------
+expect_fail 2 "requires a value" -- test "$TMP/good.bench" --jobs
+expect_fail 2 "requires a value" -- scan "$TMP/good.bench" -o
+expect_fail 2 "requires a value" -- fuzz --seed
+expect_fail 2 "missing <circuit.bench> operand" -- stats
+expect_fail 2 "missing <circuit.bench> operand" -- replay prog.fsct
+
+# --- unknown options / commands -------------------------------------------
+expect_fail 2 "unknown option '--frobnicate'" -- test "$TMP/good.bench" --frobnicate
+expect_fail 2 "unknown command" -- frobnicate
+expect_fail 2 "unknown oracle 'bogus'" -- fuzz --iters 1 --oracles bogus
+
+# --- missing / malformed files ---------------------------------------------
+expect_fail 2 "cannot open" -- stats "$TMP/does_not_exist.bench"
+
+cat > "$TMP/badgate.bench" <<'EOF'
+INPUT(a)
+OUTPUT(g)
+g = FROB(a)
+EOF
+expect_fail 2 "line 3: unknown gate type 'FROB'" -- stats "$TMP/badgate.bench"
+
+cat > "$TMP/dup.bench" <<'EOF'
+INPUT(a)
+INPUT(a)
+OUTPUT(a)
+EOF
+expect_fail 2 "line 2: redefinition of 'a' (first defined at line 1)" -- stats "$TMP/dup.bench"
+
+cat > "$TMP/dupgate.bench" <<'EOF'
+INPUT(a)
+OUTPUT(g)
+g = NOT(a)
+g = AND(a, a)
+EOF
+expect_fail 2 "line 4: redefinition of 'g'" -- stats "$TMP/dupgate.bench"
+
+cat > "$TMP/undriven.bench" <<'EOF'
+INPUT(a)
+OUTPUT(ghost)
+g = NOT(a)
+EOF
+expect_fail 2 "line 2: OUTPUT(ghost) references undefined signal" -- stats "$TMP/undriven.bench"
+
+cat > "$TMP/undef_fanin.bench" <<'EOF'
+INPUT(a)
+OUTPUT(g)
+g = AND(a, nosuch)
+EOF
+expect_fail 2 "line 3: undefined signal 'nosuch'" -- stats "$TMP/undef_fanin.bench"
+
+cat > "$TMP/badmux.bench" <<'EOF'
+INPUT(a)
+OUTPUT(g)
+g = MUX(a)
+EOF
+expect_fail 2 "line 3: bad fanin count" -- stats "$TMP/badmux.bench"
+
+cat > "$TMP/badprog.fsct" <<'EOF'
+FSCT-TEST 1
+circuit c
+inputs a b
+observe g
+cycles 12abc
+EOF
+expect_fail 2 "line 5: invalid cycle count '12abc'" -- replay "$TMP/badprog.fsct" "$TMP/good.bench"
+
+# --- happy paths still work ------------------------------------------------
+if ! "$FSCT" stats "$TMP/good.bench" >/dev/null 2>&1; then
+  echo "FAIL: fsct stats on a good circuit should succeed"
+  FAILURES=$((FAILURES + 1))
+fi
+if ! "$FSCT" fuzz --seed 1 --iters 3 -o "$TMP/fz" >/dev/null 2>&1; then
+  echo "FAIL: fsct fuzz smoke should succeed"
+  FAILURES=$((FAILURES + 1))
+fi
+
+if [[ $FAILURES -ne 0 ]]; then
+  echo "$FAILURES case(s) failed"
+  exit 1
+fi
+echo "all CLI edge cases passed"

@@ -18,7 +18,7 @@ fi
 
 # Tests that exercise the thread pool and every pool-driven phase (the obs
 # registry records from every executor, so its tests belong in the TSan set).
-CONCURRENCY_TESTS='Parallel\.|Determinism\.|Obs\.'
+CONCURRENCY_TESTS='Parallel\.|Determinism\.|Obs\.|Selfcheck\.'
 
 if [[ "$TSAN_ONLY" == 0 ]]; then
   cmake -B build -S . "$@"
@@ -54,12 +54,19 @@ EOF
   python3 -m json.tool "$OBS_TMP/trace.json" > /dev/null
   python3 -m json.tool "$OBS_TMP/metrics.json" > /dev/null
   echo "check.sh: observability smoke OK (trace + metrics JSON parse)"
+
+  # Differential fuzz smoke: a fixed-seed sweep of all five selfcheck oracles
+  # plus a replay of the checked-in minimized corpus (see core/selfcheck.h).
+  ./build/tools/fsct fuzz --seed 1 --iters 100 -o "$OBS_TMP/fuzz"
+  ./build/tools/fsct fuzz --corpus tests/integration/fuzz_corpus
+  echo "check.sh: fuzz smoke OK (100 iterations + corpus replay)"
 fi
 
 cmake -B build-tsan -S . -DFSCT_SANITIZE=thread "$@"
 cmake --build build-tsan -j \
   --target parallel_test determinism_test pipeline_test \
-           seq_fault_sim_test comb_fault_sim_test classify_test obs_test
+           seq_fault_sim_test comb_fault_sim_test classify_test obs_test \
+           selfcheck_test
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
   --output-on-failure -R "$CONCURRENCY_TESTS"
 echo "check.sh: OK (plain tests $( [[ $TSAN_ONLY == 1 ]] && echo skipped || echo passed ), TSan clean)"

@@ -28,9 +28,19 @@
 //
 //   fsct selftest
 //       end-to-end smoke test on the embedded ISCAS'89 s27.
+//
+//   fsct fuzz     [--seed S] [--iters N] [--offset K] [--oracles LIST]
+//                 [--max-gates N] [--max-ffs N] [--jobs N] [--no-shrink]
+//                 [-o DIR] | [--corpus DIR]
+//       differential fuzzing of the library against itself (see
+//       core/selfcheck.h); --corpus replays checked-in minimized repros.
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <limits>
 #include <random>
 #include <string>
 
@@ -38,6 +48,7 @@
 #include "core/diagnose.h"
 #include "core/obs.h"
 #include "core/pipeline.h"
+#include "core/selfcheck.h"
 #include "core/test_export.h"
 #include "netlist/bench_io.h"
 #include "netlist/stats.h"
@@ -46,6 +57,11 @@
 namespace {
 
 using namespace fsct;
+
+/// Thrown for command-line mistakes; main() prints it to stderr, exit 2.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 struct Args {
   std::vector<std::string> positional;
@@ -58,34 +74,96 @@ struct Args {
   std::string trace_path;    // --trace: Chrome trace-event JSON
   std::string metrics_path;  // --metrics: structured run report JSON
   bool verbose = false;      // -v: per-phase progress on stderr
+  // fuzz
+  std::uint64_t seed = 1;
+  int iters = 100;
+  int offset = 0;
+  int max_gates = 70;
+  int max_ffs = 10;
+  std::string oracles = "all";
+  bool no_shrink = false;
+  std::string corpus;
 };
+
+/// Checked integer parse: the whole token must be a number and it must land
+/// in [lo, hi].  std::atoi would silently turn "banana" into 0.
+long long parse_int(const std::string& flag, const char* text, long long lo,
+                    long long hi) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0') {
+    throw UsageError(flag + ": invalid integer '" + text + "'");
+  }
+  if (errno == ERANGE || v < lo || v > hi) {
+    throw UsageError(flag + ": value " + text + " out of range [" +
+                     std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return v;
+}
 
 Args parse(int argc, char** argv) {
   Args a;
-  for (int i = 2; i < argc; ++i) {
+  int i = 2;
+  // Consumes the flag's operand; rejects a missing one ("fsct test --jobs").
+  auto operand = [&](const std::string& flag) -> const char* {
+    if (i + 1 >= argc) throw UsageError(flag + " requires a value");
+    return argv[++i];
+  };
+  auto int_operand = [&](const std::string& flag, long long lo, long long hi) {
+    return parse_int(flag, operand(flag), lo, hi);
+  };
+  for (; i < argc; ++i) {
     const std::string s = argv[i];
-    if (s == "--chains" && i + 1 < argc) {
-      a.chains = std::atoi(argv[++i]);
-    } else if (s == "--partial" && i + 1 < argc) {
-      a.partial = std::atoi(argv[++i]);
-    } else if (s == "--jobs" && i + 1 < argc) {
-      a.jobs = std::atoi(argv[++i]);
-    } else if (s == "-o" && i + 1 < argc) {
-      a.out = argv[++i];
-    } else if (s == "--fault" && i + 2 < argc) {
-      a.fault_net = argv[++i];
-      a.fault_value = std::atoi(argv[++i]);
-    } else if (s == "--trace" && i + 1 < argc) {
-      a.trace_path = argv[++i];
-    } else if (s == "--metrics" && i + 1 < argc) {
-      a.metrics_path = argv[++i];
+    if (s == "--chains") {
+      a.chains = static_cast<int>(int_operand(s, 1, 64));
+    } else if (s == "--partial") {
+      a.partial = static_cast<int>(int_operand(s, 0, 1000));
+    } else if (s == "--jobs") {
+      a.jobs = static_cast<int>(int_operand(s, 0, 4096));
+    } else if (s == "-o") {
+      a.out = operand(s);
+    } else if (s == "--fault") {
+      a.fault_net = operand(s);
+      a.fault_value = static_cast<int>(int_operand("--fault value", 0, 1));
+    } else if (s == "--trace") {
+      a.trace_path = operand(s);
+    } else if (s == "--metrics") {
+      a.metrics_path = operand(s);
+    } else if (s == "--seed") {
+      a.seed = static_cast<std::uint64_t>(
+          int_operand(s, 0, std::numeric_limits<long long>::max()));
+    } else if (s == "--iters") {
+      a.iters = static_cast<int>(int_operand(s, 1, 100000000));
+    } else if (s == "--offset") {
+      a.offset = static_cast<int>(int_operand(s, 0, 100000000));
+    } else if (s == "--max-gates") {
+      a.max_gates = static_cast<int>(int_operand(s, 15, 100000));
+    } else if (s == "--max-ffs") {
+      a.max_ffs = static_cast<int>(int_operand(s, 2, 10000));
+    } else if (s == "--oracles") {
+      a.oracles = operand(s);
+    } else if (s == "--no-shrink") {
+      a.no_shrink = true;
+    } else if (s == "--corpus") {
+      a.corpus = operand(s);
     } else if (s == "-v" || s == "--verbose") {
       a.verbose = true;
+    } else if (!s.empty() && s[0] == '-' && s != "-") {
+      throw UsageError("unknown option '" + s + "' (see 'fsct help')");
     } else {
       a.positional.push_back(s);
     }
   }
   return a;
+}
+
+const std::string& positional(const Args& a, std::size_t k,
+                              const char* what) {
+  if (k >= a.positional.size()) {
+    throw UsageError(std::string("missing ") + what + " operand");
+  }
+  return a.positional[k];
 }
 
 void require_unscanned(const Netlist& nl) {
@@ -105,14 +183,14 @@ Fault find_fault(const Netlist& nl, const Args& a) {
 }
 
 int cmd_stats(const Args& a) {
-  const Netlist nl = read_bench_file(a.positional.at(0));
+  const Netlist nl = read_bench_file(positional(a, 0, "<circuit.bench>"));
   std::printf("%s\n%s", nl.name().c_str(),
               stats_string(compute_stats(nl)).c_str());
   return 0;
 }
 
 int cmd_scan(const Args& a) {
-  Netlist nl = read_bench_file(a.positional.at(0));
+  Netlist nl = read_bench_file(positional(a, 0, "<circuit.bench>"));
   require_unscanned(nl);
   TpiOptions topt;
   topt.num_chains = a.chains;
@@ -138,7 +216,7 @@ int cmd_scan(const Args& a) {
 }
 
 int cmd_test(const Args& a) {
-  Netlist nl = read_bench_file(a.positional.at(0));
+  Netlist nl = read_bench_file(positional(a, 0, "<circuit.bench>"));
   require_unscanned(nl);
   TpiOptions topt;
   topt.num_chains = a.chains;
@@ -212,10 +290,12 @@ int cmd_test(const Args& a) {
 }
 
 int cmd_replay(const Args& a) {
-  std::ifstream is(a.positional.at(0));
-  if (!is) throw std::runtime_error("cannot open " + a.positional.at(0));
+  const std::string& prog = positional(a, 0, "<program.fsct>");
+  const std::string& bench = positional(a, 1, "<circuit.bench>");
+  std::ifstream is(prog);
+  if (!is) throw std::runtime_error("cannot open " + prog);
   const TestProgram p = read_test_program(is);
-  const Netlist nl = read_bench_file(a.positional.at(1));
+  const Netlist nl = read_bench_file(bench);
   const Levelizer lv(nl);
   std::size_t mismatches;
   if (!a.fault_net.empty()) {
@@ -231,7 +311,7 @@ int cmd_replay(const Args& a) {
 }
 
 int cmd_diagnose(const Args& a) {
-  Netlist nl = read_bench_file(a.positional.at(0));
+  Netlist nl = read_bench_file(positional(a, 0, "<circuit.bench>"));
   require_unscanned(nl);
   TpiOptions topt;
   topt.num_chains = a.chains;
@@ -299,8 +379,99 @@ int cmd_selftest() {
   return killed == covered ? 0 : 1;
 }
 
-void print_usage() {
-  std::printf(
+/// Replays every minimized .bench repro in `dir` through all five oracles in
+/// both scan styles (a fixed spread of check seeds); these are the bugs the
+/// fuzzer has found historically, kept as cheap regressions.
+int run_corpus(const Args& a) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const auto& ent : fs::directory_iterator(a.corpus)) {
+    if (ent.path().extension() == ".bench") files.push_back(ent.path());
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "fuzz: no .bench files under %s\n",
+                 a.corpus.c_str());
+    return 2;
+  }
+  int bad = 0;
+  for (const fs::path& f : files) {
+    const Netlist nl = read_bench_file(f.string());
+    std::string diag;
+    for (int style = 0; style < 2 && diag.empty(); ++style) {
+      for (std::uint64_t cs : {1ull, 7ull, 1234567ull}) {
+        SelfcheckConfig cfg;
+        cfg.oracles = parse_oracle_mask(a.oracles);
+        cfg.use_tpi = style == 0;
+        cfg.jobs = a.jobs > 0 ? a.jobs : 4;
+        cfg.check_seed = cs;
+        diag = selfcheck_circuit(nl, cfg);
+        if (!diag.empty()) break;
+      }
+    }
+    if (diag.empty()) {
+      std::printf("corpus %-40s OK\n", f.filename().c_str());
+    } else {
+      std::printf("corpus %-40s FAIL: %s\n", f.filename().c_str(),
+                  diag.c_str());
+      ++bad;
+    }
+  }
+  std::printf("corpus: %zu circuits, %d failing\n", files.size(), bad);
+  return bad ? 1 : 0;
+}
+
+int cmd_fuzz(const Args& a) {
+  if (!a.corpus.empty()) return run_corpus(a);
+
+  FuzzOptions opt;
+  opt.seed = a.seed;
+  opt.iterations = a.iters;
+  opt.offset = a.offset;
+  opt.oracles = parse_oracle_mask(a.oracles);
+  opt.jobs = a.jobs > 0 ? a.jobs : 4;
+  opt.max_gates = a.max_gates;
+  opt.max_ffs = a.max_ffs;
+  opt.shrink = !a.no_shrink;
+  if (a.verbose) {
+    opt.progress = [](const std::string& line) {
+      std::fprintf(stderr, "[fuzz] %s\n", line.c_str());
+    };
+  }
+  const FuzzReport rep = run_fuzz(opt);
+
+  std::printf("fuzz: %d iterations (seed %llu, offset %d), oracle runs:",
+              rep.iterations, static_cast<unsigned long long>(a.seed),
+              a.offset);
+  for (std::size_t i = 0; i < kNumOracles; ++i) {
+    std::printf(" %s=%llu", oracle_name(i),
+                static_cast<unsigned long long>(rep.oracle_runs[i]));
+  }
+  std::printf(" parser-probes=%llu\n",
+              static_cast<unsigned long long>(rep.parser_probes));
+
+  for (const FuzzFailure& f : rep.failures) {
+    std::printf("FAIL iteration %d: %s\n", f.iteration, f.diagnostic.c_str());
+    std::printf("  scan style: %s, chains %d, permille %d, check seed %llu\n",
+                f.config.use_tpi ? "tpi" : "mux", f.config.chains,
+                f.config.scan_permille,
+                static_cast<unsigned long long>(f.config.check_seed));
+    std::printf("  repro: %s\n", f.repro.c_str());
+    const std::string dir = a.out.empty() ? "." : a.out;
+    std::filesystem::create_directories(dir);
+    const std::string path =
+        dir + "/fuzz_min_" + std::to_string(f.iteration) + ".bench";
+    std::ofstream os(path);
+    os << write_bench_string(f.minimized);
+    std::printf("  minimized circuit (%zu nodes): %s\n", f.minimized.size(),
+                path.c_str());
+  }
+  std::printf("fuzz: %zu failure(s)\n", rep.failures.size());
+  return rep.ok() ? 0 : 1;
+}
+
+void print_usage(std::FILE* f = stdout) {
+  std::fputs(
       "usage: fsct <command> [args] [options]\n"
       "\n"
       "commands:\n"
@@ -310,6 +481,7 @@ void print_usage() {
       "  replay   <prog.fsct> <circuit.bench>    run a program on a device\n"
       "  diagnose <circuit.bench> --fault NET V  rank chain-defect suspects\n"
       "  selftest                                end-to-end check on s27\n"
+      "  fuzz     [--seed S] [--iters N]         differential self-fuzzing\n"
       "\n"
       "options:\n"
       "  --chains N        number of scan chains to insert (default 1)\n"
@@ -323,7 +495,22 @@ void print_usage() {
       "                    load in chrome://tracing or Perfetto (test)\n"
       "  --metrics FILE    write a structured JSON run report: results,\n"
       "                    counters, histograms, pool stats (test)\n"
-      "  -v, --verbose     per-phase progress lines on stderr (test)\n");
+      "  -v, --verbose     per-phase progress lines on stderr (test, fuzz)\n"
+      "\n"
+      "fuzz options:\n"
+      "  --seed S          base seed; (seed, offset) fixes every iteration\n"
+      "  --iters N         iterations to run (default 100)\n"
+      "  --offset K        start at global iteration K (reproduce a failure\n"
+      "                    with --offset K --iters 1)\n"
+      "  --oracles LIST    comma-separated subset: packed-sim, ppsfp-seq,\n"
+      "                    cat3-scanout, jobs-identity, export-replay, all\n"
+      "  --max-gates N     largest random circuit drawn (default 70)\n"
+      "  --max-ffs N       largest flip-flop count drawn (default 10)\n"
+      "  --no-shrink       emit failing circuits unminimized\n"
+      "  -o DIR            where minimized .bench repros are written\n"
+      "  --corpus DIR      instead of fuzzing, replay every .bench in DIR\n"
+      "                    through all oracles (regression mode)\n",
+      f);
 }
 
 }  // namespace
@@ -346,11 +533,15 @@ int main(int argc, char** argv) {
     if (cmd == "replay") return cmd_replay(a);
     if (cmd == "diagnose") return cmd_diagnose(a);
     if (cmd == "selftest") return cmd_selftest();
-    std::printf("unknown command '%s'\n", cmd.c_str());
-    print_usage();
+    if (cmd == "fuzz") return cmd_fuzz(a);
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    print_usage(stderr);
+    return 2;
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "fsct: %s\n", e.what());
     return 2;
   } catch (const std::exception& e) {
-    std::printf("error: %s\n", e.what());
+    std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
 }
