@@ -7,6 +7,8 @@
 //                                (0 = one per hardware thread, 1 = serial)
 //   <bench> --json <path>        also write one machine-readable JSON record
 //                                per circuit (BENCH_*.json trajectories)
+//   <bench> --progress           periodic heartbeat lines on stderr; a
+//                                SIGUSR1 prints a full live status dump
 // With no arguments every suite circuit runs (paper configuration).
 #pragma once
 
@@ -86,15 +88,28 @@ inline bool jobs_oversubscribed(unsigned jobs_used) {
   return hc != 0 && jobs_used > hc;
 }
 
-/// Warns on stderr when the resolved job count oversubscribes the host.
+/// Warns on stderr when the resolved job count oversubscribes the host —
+/// once per process, not once per circuit (benches call this in a loop).
+/// The per-row `jobs_oversubscribed` JSON field carries the same fact
+/// machine-readably for every record.
 inline void warn_if_oversubscribed(unsigned jobs_used) {
-  if (jobs_oversubscribed(jobs_used)) {
+  static bool warned = false;
+  if (jobs_oversubscribed(jobs_used) && !warned) {
+    warned = true;
     std::fprintf(stderr,
                  "warning: --jobs %u oversubscribes this host "
                  "(%u hardware threads); timings will not reflect real "
                  "parallel speedup\n",
                  jobs_used, hardware_threads());
   }
+}
+
+/// --progress: periodic heartbeat lines from an ObsMonitor.
+inline bool select_progress(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--progress") == 0) return true;
+  }
+  return false;
 }
 
 

@@ -18,6 +18,12 @@ int main(int argc, char** argv) {
   PipelineOptions opt;
   opt.jobs = benchtool::select_jobs(argc, argv);
   benchtool::warn_if_oversubscribed(resolve_jobs(opt.jobs));
+  // Long-run visibility: SIGUSR1 prints a live status dump; --progress adds
+  // a heartbeat line (phase, done/total, rate, ETA, RSS) every second.
+  install_sigusr1_handler();
+  ObsMonitor::Options mopt;
+  mopt.heartbeat = benchtool::select_progress(argc, argv);
+  const ObsMonitor monitor(mopt);
   std::cout << "Table 3: detecting the faults in f_hard\n";
   print_table3_header(std::cout);
   Table3Row total{"total"};

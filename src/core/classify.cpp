@@ -207,6 +207,7 @@ std::vector<ChainFaultInfo> ChainFaultClassifier::classify_all_parallel(
     if (obs) {
       obs->add(Ctr::ClassifyFaults, faults.size());
       obs->add(Ctr::ClassifyEvents, cls.events());
+      obs->phase_tick(faults.size());
     }
     return out;
   }
@@ -224,6 +225,7 @@ std::vector<ChainFaultInfo> ChainFaultClassifier::classify_all_parallel(
                  if (obs) {
                    obs->add(Ctr::ClassifyFaults, e - b);
                    obs->add(Ctr::ClassifyEvents, cls.events());
+                   obs->phase_tick(e - b);
                  }
                });
   return out;

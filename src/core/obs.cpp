@@ -1,9 +1,16 @@
 #include "core/obs.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
 #include <ostream>
+#include <sstream>
 
 #include "core/pipeline.h"
 
@@ -40,6 +47,8 @@ constexpr const char* kGaugeNames[kNumGauges] = {
     "hardware_concurrency",
     "total_faults",
     "max_chain_length",
+    "current_rss_kb",
+    "peak_rss_kb",
 };
 
 constexpr const char* kHistNames[kNumHists] = {
@@ -86,11 +95,76 @@ const char* hist_name(Hist h) {
   return kHistNames[static_cast<std::size_t>(h)];
 }
 
+namespace {
+
+// The status registry: one process-wide "current run" pointer the SIGUSR1 /
+// heartbeat monitor reads.  The mutex covers both the pointer and every
+// dereference from the monitor thread, so a registry can never be destroyed
+// mid-dump (the destructor detaches under the same lock).
+std::mutex g_status_m;
+ObsRegistry* g_status_reg = nullptr;
+// Lock-free atomic rather than volatile sig_atomic_t: the handler runs on
+// whatever thread receives the signal while the monitor thread polls, so the
+// flag needs both async-signal-safety and cross-thread ordering.
+std::atomic<int> g_sigusr1_pending{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handler requires a lock-free flag");
+
+void sigusr1_handler(int) {
+  g_sigusr1_pending.store(1, std::memory_order_relaxed);
+}
+
+bool take_sigusr1() {
+  return g_sigusr1_pending.exchange(0, std::memory_order_relaxed) != 0;
+}
+
+}  // namespace
+
+ObsRegistry* set_status_registry(ObsRegistry* reg) {
+  std::lock_guard<std::mutex> lk(g_status_m);
+  ObsRegistry* prev = g_status_reg;
+  g_status_reg = reg;
+  return prev;
+}
+
+void install_sigusr1_handler() {
+#ifdef SIGUSR1
+  std::signal(SIGUSR1, sigusr1_handler);
+#endif
+}
+
+double process_cpu_seconds() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+void test_phase_sleep(const char* phase) {
+  const char* spec = std::getenv("FSCT_TEST_PHASE_SLEEP");
+  if (!spec) return;
+  const char* colon = std::strchr(spec, ':');
+  if (!colon) return;
+  if (std::strncmp(spec, phase, static_cast<std::size_t>(colon - spec)) != 0 ||
+      std::strlen(phase) != static_cast<std::size_t>(colon - spec)) {
+    return;
+  }
+  const long ms = std::strtol(colon + 1, nullptr, 10);
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
 ObsRegistry::ObsRegistry()
     : shards_(new Shard[kShards]),
       epoch_(std::chrono::steady_clock::now()) {}
 
-ObsRegistry::~ObsRegistry() = default;
+ObsRegistry::~ObsRegistry() {
+  std::lock_guard<std::mutex> lk(g_status_m);
+  if (g_status_reg == this) g_status_reg = nullptr;
+}
 
 std::size_t ObsRegistry::bucket(std::uint64_t value) {
   return std::min<std::size_t>(std::bit_width(value), kHistBuckets - 1);
@@ -172,6 +246,182 @@ void ObsRegistry::capture_pool(const ThreadPool& pool) {
   pool_stats_ = pool.worker_stats();
 }
 
+bool ObsRegistry::read_rss_kb(long& current_kb, long& peak_kb) {
+  current_kb = peak_kb = 0;
+#ifdef __linux__
+  std::ifstream is("/proc/self/status");
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      current_kb = std::strtol(line.c_str() + 6, nullptr, 10);
+    } else if (line.rfind("VmHWM:", 0) == 0) {
+      peak_kb = std::strtol(line.c_str() + 6, nullptr, 10);
+    }
+  }
+  return current_kb != 0 || peak_kb != 0;
+#else
+  return false;
+#endif
+}
+
+void ObsRegistry::sample_rss(const char* phase) {
+  long cur = 0, peak = 0;
+  if (!read_rss_kb(cur, peak)) return;
+  set_gauge(Gauge::CurrentRssKb, cur);
+  set_gauge(Gauge::PeakRssKb, peak);
+  std::lock_guard<std::mutex> lk(live_m_);
+  rss_phases_.emplace_back(phase, cur);
+}
+
+std::vector<std::pair<std::string, long>> ObsRegistry::rss_phases() const {
+  std::lock_guard<std::mutex> lk(live_m_);
+  return rss_phases_;
+}
+
+void ObsRegistry::attach_pool(const ThreadPool* pool) {
+  std::lock_guard<std::mutex> lk(live_m_);
+  live_pool_ = pool;
+}
+
+void ObsRegistry::write_status(std::ostream& os) const {
+  os << "=== fsct status ===\n";
+  os << "elapsed: " << fmt_double(now_us() / 1e6) << "s, cpu: "
+     << fmt_double(process_cpu_seconds()) << "s\n";
+  const PhaseProgress p = phase_progress();
+  if (p.name) {
+    os << "phase: " << p.name << " " << p.done << "/" << p.total;
+    if (p.total > 0) {
+      os << " (" << fmt_double(100.0 * static_cast<double>(p.done) /
+                               static_cast<double>(p.total))
+         << "%)";
+    }
+    os << "\n";
+  } else {
+    os << "phase: (idle)\n";
+  }
+  long cur = 0, peak = 0;
+  if (read_rss_kb(cur, peak)) {
+    os << "rss: current " << cur << " kB, peak " << peak << " kB\n";
+  }
+  {
+    std::lock_guard<std::mutex> lk(live_m_);
+    if (live_pool_) {
+      const auto ws = live_pool_->worker_stats();
+      os << "pool: " << live_pool_->jobs() << " executors, "
+         << live_pool_->pending() << " pending tasks\n";
+      for (std::size_t i = 0; i < ws.size(); ++i) {
+        os << "  worker " << (i + 1) << ": tasks=" << ws[i].tasks
+           << " steals=" << ws[i].steals
+           << " global_pops=" << ws[i].global_pops
+           << " idle=" << fmt_double(ws[i].idle_seconds) << "s\n";
+      }
+    }
+  }
+  os << "counters: " << counters_json() << "\n";
+  os << "=== end status ===";
+}
+
+// --- ObsMonitor --------------------------------------------------------------
+
+ObsMonitor::ObsMonitor() : ObsMonitor(Options()) {}
+
+ObsMonitor::ObsMonitor(Options opt) : opt_(std::move(opt)) {
+  if (!opt_.sink) {
+    opt_.sink = [](const std::string& line) {
+      std::fprintf(stderr, "[fsct] %s\n", line.c_str());
+    };
+  }
+  thread_ = std::thread([this] { loop(); });
+}
+
+ObsMonitor::~ObsMonitor() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void ObsMonitor::dump_now() { emit_status(); }
+
+void ObsMonitor::loop() {
+  auto next_heartbeat = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(opt_.heartbeat_ms);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_.wait_for(lk, std::chrono::milliseconds(opt_.poll_ms),
+                   [this] { return stop_; });
+      if (stop_) return;
+    }
+    if (take_sigusr1()) emit_status();
+    if (opt_.heartbeat &&
+        std::chrono::steady_clock::now() >= next_heartbeat) {
+      emit_heartbeat();
+      next_heartbeat = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(opt_.heartbeat_ms);
+    }
+  }
+}
+
+void ObsMonitor::emit_status() {
+  std::ostringstream oss;
+  {
+    std::lock_guard<std::mutex> lk(g_status_m);
+    if (!g_status_reg) {
+      opt_.sink("status: no active run");
+      return;
+    }
+    g_status_reg->write_status(oss);
+  }
+  // One sink call per line so custom sinks (and stderr) stay line-atomic.
+  std::istringstream iss(oss.str());
+  for (std::string line; std::getline(iss, line);) opt_.sink(line);
+}
+
+void ObsMonitor::emit_heartbeat() {
+  ObsRegistry::PhaseProgress p;
+  {
+    std::lock_guard<std::mutex> lk(g_status_m);
+    if (!g_status_reg) return;
+    p = g_status_reg->phase_progress();
+  }
+  if (!p.name) return;
+  const auto now = std::chrono::steady_clock::now();
+  // Rolling rate over the retained window; reset when the phase changes
+  // (the `name` literal's identity is the phase's identity).
+  if (p.name != window_phase_) {
+    window_.clear();
+    window_phase_ = p.name;
+  }
+  window_.push_back({now, p.done});
+  while (window_.size() > 16) window_.erase(window_.begin());
+  double rate = 0;
+  if (window_.size() >= 2) {
+    const double dt =
+        std::chrono::duration<double>(now - window_.front().t).count();
+    if (dt > 0 && p.done >= window_.front().done) {
+      rate = static_cast<double>(p.done - window_.front().done) / dt;
+    }
+  }
+  char buf[256];
+  char eta[32] = "?";
+  if (rate > 0 && p.total >= p.done) {
+    std::snprintf(eta, sizeof eta, "%.0fs",
+                  static_cast<double>(p.total - p.done) / rate);
+  }
+  long cur = 0, peak = 0;
+  ObsRegistry::read_rss_kb(cur, peak);
+  std::snprintf(buf, sizeof buf,
+                "heartbeat phase=%s done=%llu/%llu rate=%.1f/s eta=%s "
+                "rss=%ldMB peak=%ldMB",
+                p.name, static_cast<unsigned long long>(p.done),
+                static_cast<unsigned long long>(p.total), rate, eta,
+                cur / 1024, peak / 1024);
+  opt_.sink(buf);
+}
+
 std::string ObsRegistry::counters_json() const {
   std::string out = "{";
   for (std::size_t i = 0; i < kNumCounters; ++i) {
@@ -206,14 +456,19 @@ void ObsRegistry::write_run_report(std::ostream& os,
   os << "  \"hard\": " << r.hard << ",\n";
   os << "  \"affecting\": " << r.affecting() << ",\n";
   os << "  \"classify_seconds\": " << fmt_double(r.classify_seconds) << ",\n";
+  os << "  \"classify_cpu_seconds\": " << fmt_double(r.classify_cpu_seconds)
+     << ",\n";
   os << "  \"easy_verified\": " << r.easy_verified << ",\n";
   os << "  \"alternating_seconds\": " << fmt_double(r.alternating_seconds)
      << ",\n";
+  os << "  \"alternating_cpu_seconds\": "
+     << fmt_double(r.alternating_cpu_seconds) << ",\n";
   os << "  \"s2_detected\": " << r.s2_detected << ",\n";
   os << "  \"s2_undetectable\": " << r.s2_undetectable << ",\n";
   os << "  \"s2_undetected\": " << r.s2_undetected << ",\n";
   os << "  \"s2_vectors\": " << r.s2_vectors << ",\n";
   os << "  \"s2_seconds\": " << fmt_double(r.s2_seconds) << ",\n";
+  os << "  \"s2_cpu_seconds\": " << fmt_double(r.s2_cpu_seconds) << ",\n";
   os << "  \"detection_curve\": [";
   for (std::size_t i = 0; i < r.detection_curve.size(); ++i) {
     os << (i ? ", " : "") << r.detection_curve[i];
@@ -226,6 +481,7 @@ void ObsRegistry::write_run_report(std::ostream& os,
   os << "  \"s3_undetected\": " << r.s3_undetected << ",\n";
   os << "  \"s3_unverified\": " << r.s3_unverified << ",\n";
   os << "  \"s3_seconds\": " << fmt_double(r.s3_seconds) << ",\n";
+  os << "  \"s3_cpu_seconds\": " << fmt_double(r.s3_cpu_seconds) << ",\n";
   os << "  \"s3_sequences\": " << r.s3_sequences.size() << ",\n";
   os << "  \"s3_sequence_fault\": [";
   for (std::size_t i = 0; i < r.s3_sequence_fault.size(); ++i) {
@@ -252,6 +508,17 @@ void ObsRegistry::write_run_report(std::ostream& os,
   for (std::size_t i = 0; i < kNumGauges; ++i) {
     os << (i ? ", " : "") << "\"" << kGaugeNames[i]
        << "\": " << gauges_[i];
+  }
+  os << "},\n";
+
+  // Per-phase resident-set samples (kB), taken at each phase boundary.
+  os << "\"rss_phases\": {";
+  {
+    const auto samples = rss_phases();
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      os << (i ? ", " : "") << "\"" << samples[i].first
+         << "\": " << samples[i].second;
+    }
   }
   os << "},\n";
 

@@ -27,12 +27,15 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/parallel.h"
@@ -74,6 +77,8 @@ enum class Gauge : std::uint16_t {
   HardwareConcurrency,   ///< std::thread::hardware_concurrency of the host
   TotalFaults,
   MaxChainLength,
+  CurrentRssKb,          ///< resident set at the last sample_rss() call
+  PeakRssKb,             ///< process high-water RSS at the last sample
   kCount,
 };
 
@@ -156,12 +161,61 @@ class ObsRegistry {
     if (progress) progress(line);
   }
 
+  // --- phase progress (heartbeat / status dumps) -------------------------
+  /// Marks `name` (a string literal with static storage) as the active
+  /// phase with `total` units of work and resets the done count.  Pipeline
+  /// thread only; readable concurrently via phase_progress().
+  void begin_phase(const char* name, std::uint64_t total) {
+    phase_done_.store(0, std::memory_order_relaxed);
+    phase_total_.store(total, std::memory_order_relaxed);
+    phase_name_.store(name, std::memory_order_release);
+  }
+  /// Marks no phase active.
+  void end_phase() {
+    phase_name_.store(nullptr, std::memory_order_release);
+  }
+  /// Adds finished work units to the active phase; any executor, relaxed —
+  /// one add per chunk / fault / group, never inside a simulation loop.
+  void phase_tick(std::uint64_t n = 1) {
+    phase_done_.fetch_add(n, std::memory_order_relaxed);
+  }
+  struct PhaseProgress {
+    const char* name = nullptr;  ///< nullptr = no phase active
+    std::uint64_t done = 0, total = 0;
+  };
+  PhaseProgress phase_progress() const {
+    PhaseProgress p;
+    p.name = phase_name_.load(std::memory_order_acquire);
+    p.done = phase_done_.load(std::memory_order_relaxed);
+    p.total = phase_total_.load(std::memory_order_relaxed);
+    return p;
+  }
+
+  // --- memory ------------------------------------------------------------
+  /// Reads VmRSS/VmHWM from /proc/self/status in kB.  Returns false (zeros)
+  /// off-Linux or when the pseudo-file is unreadable.
+  static bool read_rss_kb(long& current_kb, long& peak_kb);
+  /// Samples RSS, updates the two rss gauges, and remembers the current
+  /// value under `phase` for the run report.  Pipeline thread only.
+  void sample_rss(const char* phase);
+  /// (phase, current-RSS-kB) samples in recording order.
+  std::vector<std::pair<std::string, long>> rss_phases() const;
+
   // --- pool scheduler statistics -----------------------------------------
   /// Snapshots per-worker scheduler stats (call after the pool quiesced).
   void capture_pool(const ThreadPool& pool);
   const std::vector<ThreadPool::WorkerStats>& pool_stats() const {
     return pool_stats_;
   }
+  /// Registers the pool currently driving this run so live status dumps can
+  /// snapshot worker stats mid-flight; detach before the pool dies.
+  void attach_pool(const ThreadPool* pool);
+  void detach_pool() { attach_pool(nullptr); }
+
+  /// Multi-line human-readable live status: elapsed, active phase +
+  /// progress, RSS, live worker stats, and the counter totals.  Safe to
+  /// call from a monitor thread while the pipeline is running.
+  void write_status(std::ostream& os) const;
 
   // --- serialization ------------------------------------------------------
   /// The deterministic slice only — counters and histograms, no gauges, no
@@ -199,6 +253,12 @@ class ObsRegistry {
   mutable std::mutex trace_m_;
   std::vector<TraceEvent> trace_events_;
   std::vector<ThreadPool::WorkerStats> pool_stats_;
+  std::atomic<const char*> phase_name_{nullptr};
+  std::atomic<std::uint64_t> phase_done_{0};
+  std::atomic<std::uint64_t> phase_total_{0};
+  mutable std::mutex live_m_;  // guards live_pool_ and rss_phases_
+  const ThreadPool* live_pool_ = nullptr;
+  std::vector<std::pair<std::string, long>> rss_phases_;
 };
 
 /// RAII scoped span: records a begin/end pair on the current executor's
@@ -223,6 +283,77 @@ class ObsSpan {
   ObsRegistry* obs_;
   const char* name_;
   double t0_us_ = 0;
+};
+
+// --- long-run visibility ----------------------------------------------------
+
+/// CPU seconds consumed by the whole process (all threads) so far; the
+/// per-phase CPU figures in PipelineResult and the bench harness are deltas
+/// of this clock.
+double process_cpu_seconds();
+
+/// Makes `reg` the process-wide "current run" that SIGUSR1 status dumps and
+/// heartbeats read from (nullptr clears).  Returns the previous registry so
+/// nested runs can restore it.  run_fsct_pipeline does this automatically
+/// for its own obs sink.
+ObsRegistry* set_status_registry(ObsRegistry* reg);
+
+/// Installs the SIGUSR1 handler (idempotent).  The handler only sets a
+/// flag; an ObsMonitor polls it and prints the dump from its own thread,
+/// so results are never touched from signal context.
+void install_sigusr1_handler();
+
+/// Test failpoint: sleeps at the start of pipeline phase `phase` when the
+/// environment variable FSCT_TEST_PHASE_SLEEP is set to "<phase>:<ms>"
+/// (e.g. "s3:200").  Re-read on every call; unset means zero cost beyond
+/// one getenv per coarse phase.  This is how the bench-harness tests inject
+/// a deliberate, deterministic slowdown into one phase.
+void test_phase_sleep(const char* phase);
+
+/// A small background thread giving long runs a pulse: it polls the status
+/// registry (set_status_registry) every poll_ms, prints a full status dump
+/// whenever SIGUSR1 arrived, and — when heartbeat is enabled — emits a
+/// one-line "phase / done/total / rate / ETA / RSS" heartbeat every
+/// heartbeat_ms while a phase is active.  The rate is a rolling estimate
+/// over the last few samples, so the ETA tracks the current phase's actual
+/// throughput rather than its lifetime average.  All reads are atomics or
+/// mutex-guarded snapshots; the monitored run is never perturbed beyond
+/// them (verified bitwise by Bench.StatusDumpDoesNotPerturbResults).
+class ObsMonitor {
+ public:
+  struct Options {
+    int poll_ms = 100;          ///< SIGUSR1 responsiveness
+    bool heartbeat = false;     ///< emit periodic heartbeat lines
+    int heartbeat_ms = 1000;
+    /// Receives every output line (no trailing newline); default writes
+    /// "[fsct] <line>" to stderr.
+    std::function<void(const std::string&)> sink;
+  };
+  ObsMonitor();  // default options: SIGUSR1 dumps only, no heartbeat
+  explicit ObsMonitor(Options opt);
+  ~ObsMonitor();
+  ObsMonitor(const ObsMonitor&) = delete;
+  ObsMonitor& operator=(const ObsMonitor&) = delete;
+
+  /// Prints a status dump immediately (same output as SIGUSR1); test hook.
+  void dump_now();
+
+ private:
+  void loop();
+  void emit_status();
+  void emit_heartbeat();
+
+  Options opt_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  struct Sample {
+    std::chrono::steady_clock::time_point t;
+    std::uint64_t done;
+  };
+  std::vector<Sample> window_;      // rolling rate samples, oldest first
+  const char* window_phase_ = nullptr;
+  std::thread thread_;
 };
 
 }  // namespace fsct

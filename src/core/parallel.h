@@ -55,8 +55,10 @@ class ThreadPool {
   /// Entry i describes worker thread i, i.e. executor i + 1; the submitting
   /// thread runs chunks inline and has no entry.  Tasks/steals/global_pops
   /// are exact; idle_seconds is the time spent parked on the sleep cv.
-  /// Inherently schedule-dependent — never part of the deterministic
-  /// counter set.
+  /// Safe to call while the pool is running (every slot is a relaxed
+  /// atomic), which is what the live SIGUSR1 status dump relies on; a
+  /// mid-run snapshot is simply slightly stale.  Inherently
+  /// schedule-dependent — never part of the deterministic counter set.
   struct WorkerStats {
     std::uint64_t tasks = 0;        ///< tasks executed by this worker
     std::uint64_t steals = 0;       ///< ... of which stolen from a peer deque
@@ -64,6 +66,12 @@ class ThreadPool {
     double idle_seconds = 0;
   };
   std::vector<WorkerStats> worker_stats() const;
+
+  /// Tasks queued but not yet popped by any executor.  Safe while running;
+  /// a monitoring snapshot, not a synchronisation primitive.
+  std::size_t pending() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
 
   /// Enqueues a task.  Thread-safe; a task may submit further tasks (nested
   /// submission goes to the submitting worker's own deque).  With a serial

@@ -34,6 +34,7 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
   res.outcome.assign(faults.size(), FaultOutcome::NotAffecting);
 
   const std::size_t maxlen = model.max_chain_length();
+  ObsRegistry* prev_status = nullptr;
   if (obs) {
     obs->set_gauge(Gauge::Jobs, static_cast<std::int64_t>(res.jobs_used));
     obs->set_gauge(Gauge::HardwareConcurrency,
@@ -42,6 +43,10 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
     obs->set_gauge(Gauge::TotalFaults,
                    static_cast<std::int64_t>(faults.size()));
     obs->set_gauge(Gauge::MaxChainLength, static_cast<std::int64_t>(maxlen));
+    // Expose this run to the SIGUSR1 / heartbeat monitor and let live
+    // status dumps snapshot the pool while phases run.
+    obs->attach_pool(&pool);
+    prev_status = set_status_registry(obs);
   }
   char pbuf[192];
   const bool verbose = obs != nullptr && obs->progress_enabled();
@@ -51,7 +56,10 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
       opt.observe_cycles ? opt.observe_cycles : maxlen + 2;
 
   // ---- step 0: classification ---------------------------------------------
+  if (obs) obs->begin_phase("classify", faults.size());
   auto t0 = std::chrono::steady_clock::now();
+  double cpu0 = process_cpu_seconds();
+  test_phase_sleep("classify");
   {
     const ObsSpan phase(obs, "classify");
     res.info =
@@ -74,6 +82,8 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
     }
   }
   res.classify_seconds = seconds_since(t0);
+  res.classify_cpu_seconds = process_cpu_seconds() - cpu0;
+  if (obs) obs->sample_rss("classify");
   if (verbose) {
     std::snprintf(pbuf, sizeof pbuf,
                   "classify: %zu faults -> %zu easy, %zu hard (%.3fs)",
@@ -91,7 +101,9 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
 
   // ---- step 1: alternating flush (optional verification) -------------------
   if (opt.verify_easy && res.easy > 0) {
+    if (obs) obs->begin_phase("step1.alternating", res.easy);
     t0 = std::chrono::steady_clock::now();
+    cpu0 = process_cpu_seconds();
     const ObsSpan phase(obs, "step1.alternating");
     const std::size_t cycles = opt.alternating_cycles
                                    ? opt.alternating_cycles
@@ -111,6 +123,8 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
       obs->add(Ctr::AlternatingDetected, res.easy_verified);
     }
     res.alternating_seconds = seconds_since(t0);
+    res.alternating_cpu_seconds = process_cpu_seconds() - cpu0;
+    if (obs) obs->sample_rss("step1.alternating");
     if (verbose) {
       std::snprintf(pbuf, sizeof pbuf,
                     "step1: alternating flush verified %zu/%zu easy (%.3fs)",
@@ -120,7 +134,10 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
   }
 
   // ---- step 2: combinational ATPG + sequential fault simulation ------------
+  if (obs) obs->begin_phase("step2.atpg", res.hard);
   t0 = std::chrono::steady_clock::now();
+  cpu0 = process_cpu_seconds();
+  test_phase_sleep("s2");
   std::vector<ScanVector>& vectors = res.vectors;
   std::vector<char> comb_covered(faults.size(), 0);  // PPSFP-screened
 
@@ -186,12 +203,15 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
       }
       const CombFaultSimResult fr = ppsfp.run(pats, open, &pool, obs);
       std::vector<char> pattern_useful(pats.size(), 0);
+      std::uint64_t warmup_covered = 0;
       for (std::size_t k = 0; k < open.size(); ++k) {
         if (fr.detect_pattern[k] >= 0) {
           comb_covered[open_idx[k]] = 1;
+          ++warmup_covered;
           pattern_useful[static_cast<std::size_t>(fr.detect_pattern[k])] = 1;
         }
       }
+      if (obs) obs->phase_tick(warmup_covered);
       for (std::size_t pi = 0; pi < pats.size(); ++pi) {
         if (!pattern_useful[pi]) continue;
         ScanVector v;
@@ -207,6 +227,7 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
 
     for (std::size_t idx : hard_idx) {
       if (comb_covered[idx]) continue;
+      if (obs) obs->phase_tick();
       const AtpgResult r = podem.generate(cm.map_fault(faults[idx]));
       if (r.status == AtpgStatus::Untestable) {
         res.outcome[idx] = FaultOutcome::Undetectable;
@@ -241,9 +262,14 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
       pat.insert(pat.end(), v.ff_state.begin(), v.ff_state.end());
       const CombFaultSimResult fr =
           ppsfp.run(std::span(&pat, 1), open, &pool, obs);
+      std::uint64_t screened = 0;
       for (std::size_t k = 0; k < open.size(); ++k) {
-        if (fr.detect_pattern[k] >= 0) comb_covered[open_idx[k]] = 1;
+        if (fr.detect_pattern[k] >= 0) {
+          comb_covered[open_idx[k]] = 1;
+          ++screened;
+        }
       }
+      if (obs) obs->phase_tick(screened);
       vectors.push_back(std::move(v));
     }
     res.s2_vectors = vectors.size();
@@ -252,9 +278,11 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
     // fault under test, so detection only counts after sequential fault
     // simulation of the full scan sequence (also yields the Figure 5 curve).
     s2span.reset();
+    if (obs) obs->begin_phase("step2.seq_verify", vectors.size());
     const ObsSpan verify_span(obs, "step2.seq_verify");
     SeqFaultSim ssim(lv, observe);
     for (const ScanVector& v : vectors) {
+      if (obs) obs->phase_tick();
       std::vector<Fault> open;
       std::vector<std::size_t> open_idx;
       for (std::size_t j : hard_idx) {
@@ -279,6 +307,8 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
   }
   res.s2_undetected = res.hard - res.s2_detected - res.s2_undetectable;
   res.s2_seconds = seconds_since(t0);
+  res.s2_cpu_seconds = process_cpu_seconds() - cpu0;
+  if (obs) obs->sample_rss("s2");
   if (verbose) {
     std::snprintf(pbuf, sizeof pbuf,
                   "step2: %zu vectors, %zu detected, %zu undetectable, "
@@ -290,6 +320,8 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
 
   // ---- step 3: grouped sequential ATPG on reduced circuits -----------------
   t0 = std::chrono::steady_clock::now();
+  cpu0 = process_cpu_seconds();
+  test_phase_sleep("s3");
   std::vector<std::size_t> remaining;
   for (std::size_t j : hard_idx) {
     if (res.outcome[j] == FaultOutcome::Undetected) remaining.push_back(j);
@@ -362,8 +394,10 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
           ++done[gi].unverified;
         }
       }
+      if (obs) obs->phase_tick();
     };
     {
+      if (obs) obs->begin_phase("step3.groups", groups.size());
       const ObsSpan phase(obs, "step3.groups");
       parallel_for(pool, groups.size(), 1, [&](std::size_t b, std::size_t e) {
         for (std::size_t gi = b; gi < e; ++gi) run_group(gi);
@@ -408,6 +442,12 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
   std::vector<FinalOutcome> fdone(final_idx.size());
   auto run_final = [&](std::size_t k) {
     const ObsSpan span(obs, "s3.final");
+    struct Tick {
+      ObsRegistry* obs;
+      ~Tick() {
+        if (obs) obs->phase_tick();
+      }
+    } tick{obs};
     const std::size_t j = final_idx[k];
     AtpgGroup g;
     g.kind = 1;
@@ -433,6 +473,7 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
     }
   };
   {
+    if (obs) obs->begin_phase("step3.final", final_idx.size());
     const ObsSpan phase(obs, "step3.final");
     parallel_for(pool, final_idx.size(), 1, [&](std::size_t b, std::size_t e) {
       for (std::size_t k = b; k < e; ++k) run_final(k);
@@ -464,6 +505,8 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
     }
   }
   res.s3_seconds = seconds_since(t0);
+  res.s3_cpu_seconds = process_cpu_seconds() - cpu0;
+  if (obs) obs->sample_rss("s3");
   if (verbose) {
     std::snprintf(pbuf, sizeof pbuf,
                   "step3: %zu group + %zu final models, %zu detected, "
@@ -473,7 +516,12 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
                   res.s3_seconds);
     obs->progress_line(pbuf);
   }
-  if (obs) obs->capture_pool(pool);
+  if (obs) {
+    obs->capture_pool(pool);
+    obs->end_phase();
+    obs->detach_pool();
+    set_status_registry(prev_status);
+  }
   return res;
 }
 

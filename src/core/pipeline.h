@@ -101,15 +101,19 @@ struct PipelineResult {
   /// per-phase speedup across job counts.
   unsigned jobs_used = 1;
 
-  // Classification (Table 2).
+  // Classification (Table 2).  The *_cpu_seconds companions measure
+  // process CPU time (all threads) over the same interval, so wall vs CPU
+  // separates real speedup from time-slicing on an oversubscribed host.
   std::size_t total_faults = 0;
   std::size_t easy = 0;   ///< #faults detectable by the alternating sequence
   std::size_t hard = 0;   ///< #faults needing dedicated tests
   double classify_seconds = 0;
+  double classify_cpu_seconds = 0;
 
   // Step 1 verification (optional).
   std::size_t easy_verified = 0;   ///< of `easy`, confirmed by simulation
   double alternating_seconds = 0;
+  double alternating_cpu_seconds = 0;
 
   // Step 2 (Table 3 left half).
   std::size_t s2_detected = 0;
@@ -118,6 +122,7 @@ struct PipelineResult {
   std::size_t s2_vectors = 0;     ///< combinational vectors generated
   std::vector<ScanVector> vectors;  ///< the step-2 test set itself
   double s2_seconds = 0;
+  double s2_cpu_seconds = 0;
   /// Figure 5: cumulative faults detected after sequentially simulating the
   /// first k vectors; one entry per vector.
   std::vector<std::size_t> detection_curve;
@@ -132,6 +137,7 @@ struct PipelineResult {
   /// (only populated when verify_seq; such faults count as undetected).
   std::size_t s3_unverified = 0;
   double s3_seconds = 0;
+  double s3_cpu_seconds = 0;
   /// The realised (verified) step-3 test sequences, one per fault detected
   /// in step 3, aligned with s3_sequence_fault (indices into `outcome`).
   std::vector<TestSequence> s3_sequences;

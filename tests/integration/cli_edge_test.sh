@@ -117,6 +117,42 @@ cycles 12abc
 EOF
 expect_fail 2 "line 5: invalid cycle count '12abc'" -- replay "$TMP/badprog.fsct" "$TMP/good.bench"
 
+# --- bench subcommand -------------------------------------------------------
+expect_fail 2 "invalid label"            -- bench run s1488 --label "bad label"
+expect_fail 2 "invalid label"            -- bench run s1488 --label "a/b"
+expect_fail 2 "unknown bench subcommand" -- bench frobnicate
+expect_fail 2 "missing <run|compare> operand" -- bench
+expect_fail 2 "missing <old.json> operand"    -- bench compare
+expect_fail 2 "missing <new.json> operand"    -- bench compare old.json
+expect_fail 2 "invalid integer"          -- bench run --jobs 1,x
+expect_fail 2 "invalid number"           -- bench compare a b --mad-k soft
+expect_fail 2 "cannot open"              -- bench compare "$TMP/no.json" "$TMP/no.json"
+
+cat > "$TMP/broken.json" <<'EOF'
+{
+  "schema": "fsct-bench-v2",
+  "rows": [
+    {"circuit": "s1488", oops}
+  ]
+}
+EOF
+expect_fail 2 "line 4:" -- bench compare "$TMP/broken.json" "$TMP/broken.json"
+
+cat > "$TMP/otherschema.json" <<'EOF'
+{
+  "schema": "some-other-format",
+  "rows": []
+}
+EOF
+expect_fail 2 "line 2: unsupported bench schema" -- bench compare "$TMP/otherschema.json" "$TMP/otherschema.json"
+
+cat > "$TMP/notbench.json" <<'EOF'
+{
+  "hello": "world"
+}
+EOF
+expect_fail 2 "not a bench document" -- bench compare "$TMP/notbench.json" "$TMP/notbench.json"
+
 # --- happy paths still work ------------------------------------------------
 if ! "$FSCT" stats "$TMP/good.bench" >/dev/null 2>&1; then
   echo "FAIL: fsct stats on a good circuit should succeed"

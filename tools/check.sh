@@ -17,8 +17,9 @@ if [[ "${1:-}" == "--tsan-only" ]]; then
 fi
 
 # Tests that exercise the thread pool and every pool-driven phase (the obs
-# registry records from every executor, so its tests belong in the TSan set).
-CONCURRENCY_TESTS='Parallel\.|Determinism\.|Obs\.|Selfcheck\.'
+# registry records from every executor, so its tests belong in the TSan set;
+# Bench. covers the heartbeat/status-dump monitor thread racing the pipeline).
+CONCURRENCY_TESTS='Parallel\.|Determinism\.|Obs\.|Selfcheck\.|Bench\.'
 
 if [[ "$TSAN_ONLY" == 0 ]]; then
   cmake -B build -S . "$@"
@@ -60,13 +61,23 @@ EOF
   ./build/tools/fsct fuzz --seed 1 --iters 100 -o "$OBS_TMP/fuzz"
   ./build/tools/fsct fuzz --corpus tests/integration/fuzz_corpus
   echo "check.sh: fuzz smoke OK (100 iterations + corpus replay)"
+
+  # Bench smoke: run the smallest suite circuit through the statistics-aware
+  # harness, check the document parses, and self-compare (must be exit 0 —
+  # the noise model has to accept a document against itself).
+  ./build/tools/fsct bench run s1488 --reps 2 --warmup 0 --jobs 1 \
+    --label smoke -o "$OBS_TMP/bench_smoke.json"
+  python3 -m json.tool "$OBS_TMP/bench_smoke.json" > /dev/null
+  ./build/tools/fsct bench compare "$OBS_TMP/bench_smoke.json" \
+    "$OBS_TMP/bench_smoke.json"
+  echo "check.sh: bench smoke OK (run + JSON parse + self-compare)"
 fi
 
 cmake -B build-tsan -S . -DFSCT_SANITIZE=thread "$@"
 cmake --build build-tsan -j \
   --target parallel_test determinism_test pipeline_test \
            seq_fault_sim_test comb_fault_sim_test classify_test obs_test \
-           selfcheck_test
+           selfcheck_test bench_harness_test
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
   --output-on-failure -R "$CONCURRENCY_TESTS"
 echo "check.sh: OK (plain tests $( [[ $TSAN_ONLY == 1 ]] && echo skipped || echo passed ), TSan clean)"

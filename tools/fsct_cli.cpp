@@ -34,17 +34,34 @@
 //                 [-o DIR] | [--corpus DIR]
 //       differential fuzzing of the library against itself (see
 //       core/selfcheck.h); --corpus replays checked-in minimized repros.
+//
+//   fsct bench run [circuit ...] [--label L] [--reps N] [--warmup N]
+//                  [--jobs N|N,M,...] [--max-gates N] [-o FILE]
+//                  [--progress] [-v]
+//       statistics-aware benchmark over the paper suite: warmup + N timed
+//       repetitions per (circuit, jobs) point, median/MAD summaries, machine
+//       fingerprint; writes BENCH_<label>.json (fsct-bench-v2).
+//
+//   fsct bench compare <old.json> <new.json> [--rel-threshold P] [--mad-k K]
+//       noise-aware diff of two bench documents; exit 1 on regression,
+//       2 on structural mismatch or malformed input.
+//
+// Long runs: every pipeline-running command accepts SIGUSR1 and prints a
+// live status dump (phase progress, worker stats, RSS, counters) without
+// disturbing the run; --progress adds a periodic heartbeat line with ETA.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <limits>
 #include <random>
 #include <string>
 
 #include "bench_circuits/paper_examples.h"
+#include "core/bench_harness.h"
 #include "core/diagnose.h"
 #include "core/obs.h"
 #include "core/pipeline.h"
@@ -74,6 +91,16 @@ struct Args {
   std::string trace_path;    // --trace: Chrome trace-event JSON
   std::string metrics_path;  // --metrics: structured run report JSON
   bool verbose = false;      // -v: per-phase progress on stderr
+  bool progress = false;     // --progress: heartbeat lines on stderr
+  // bench
+  std::string label = "run";
+  std::string note;
+  int reps = 5;
+  int warmup = 1;
+  double rel_threshold = 0.10;
+  double mad_k = 3.0;
+  std::vector<int> jobs_list;  // --jobs N,M,... (bench run only)
+  bool max_gates_set = false;
   // fuzz
   std::uint64_t seed = 1;
   int iters = 100;
@@ -102,8 +129,24 @@ long long parse_int(const std::string& flag, const char* text, long long lo,
   return v;
 }
 
+/// Checked floating-point parse for threshold flags.
+double parse_double(const std::string& flag, const char* text, double lo,
+                    double hi) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0') {
+    throw UsageError(flag + ": invalid number '" + text + "'");
+  }
+  if (errno == ERANGE || v < lo || v > hi) {
+    throw UsageError(flag + ": value " + text + " out of range");
+  }
+  return v;
+}
+
 Args parse(int argc, char** argv) {
   Args a;
+  const bool bench_cmd = std::strcmp(argv[1], "bench") == 0;
   int i = 2;
   // Consumes the flag's operand; rejects a missing one ("fsct test --jobs").
   auto operand = [&](const std::string& flag) -> const char* {
@@ -120,7 +163,38 @@ Args parse(int argc, char** argv) {
     } else if (s == "--partial") {
       a.partial = static_cast<int>(int_operand(s, 0, 1000));
     } else if (s == "--jobs") {
-      a.jobs = static_cast<int>(int_operand(s, 0, 4096));
+      const std::string v = operand(s);
+      if (bench_cmd && v.find(',') != std::string::npos) {
+        // bench run sweeps several job counts: --jobs 1,4
+        std::size_t start = 0;
+        while (start <= v.size()) {
+          const std::size_t comma = v.find(',', start);
+          const std::string tok =
+              v.substr(start, comma == std::string::npos ? comma
+                                                         : comma - start);
+          a.jobs_list.push_back(
+              static_cast<int>(parse_int(s, tok.c_str(), 0, 4096)));
+          if (comma == std::string::npos) break;
+          start = comma + 1;
+        }
+      } else {
+        a.jobs = static_cast<int>(parse_int(s, v.c_str(), 0, 4096));
+        a.jobs_list = {a.jobs};
+      }
+    } else if (s == "--label") {
+      a.label = operand(s);
+    } else if (s == "--note") {
+      a.note = operand(s);
+    } else if (s == "--reps") {
+      a.reps = static_cast<int>(int_operand(s, 1, 1000));
+    } else if (s == "--warmup") {
+      a.warmup = static_cast<int>(int_operand(s, 0, 100));
+    } else if (s == "--rel-threshold") {
+      a.rel_threshold = parse_double(s, operand(s), 0.0, 100.0);
+    } else if (s == "--mad-k") {
+      a.mad_k = parse_double(s, operand(s), 0.0, 1000.0);
+    } else if (s == "--progress") {
+      a.progress = true;
     } else if (s == "-o") {
       a.out = operand(s);
     } else if (s == "--fault") {
@@ -139,6 +213,7 @@ Args parse(int argc, char** argv) {
       a.offset = static_cast<int>(int_operand(s, 0, 100000000));
     } else if (s == "--max-gates") {
       a.max_gates = static_cast<int>(int_operand(s, 15, 100000));
+      a.max_gates_set = true;
     } else if (s == "--max-ffs") {
       a.max_ffs = static_cast<int>(int_operand(s, 2, 10000));
     } else if (s == "--oracles") {
@@ -234,8 +309,8 @@ int cmd_test(const Args& a) {
   opt.jobs = a.jobs;
 
   ObsRegistry reg;
-  const bool want_obs =
-      !a.trace_path.empty() || !a.metrics_path.empty() || a.verbose;
+  const bool want_obs = !a.trace_path.empty() || !a.metrics_path.empty() ||
+                        a.verbose || a.progress;
   if (want_obs) {
     opt.obs = &reg;
     reg.enable_trace(!a.trace_path.empty());
@@ -245,7 +320,14 @@ int cmd_test(const Args& a) {
       };
     }
   }
-  const PipelineResult r = run_fsct_pipeline(model, faults, opt);
+  install_sigusr1_handler();
+  PipelineResult r;
+  {
+    ObsMonitor::Options mopt;
+    mopt.heartbeat = a.progress;
+    const ObsMonitor monitor(mopt);  // SIGUSR1 dumps; heartbeat on --progress
+    r = run_fsct_pipeline(model, faults, opt);
+  }
 
   if (!a.trace_path.empty()) {
     std::ofstream ts(a.trace_path);
@@ -470,6 +552,68 @@ int cmd_fuzz(const Args& a) {
   return rep.ok() ? 0 : 1;
 }
 
+int cmd_bench_run(const Args& a) {
+  if (!valid_bench_label(a.label)) {
+    throw UsageError("invalid label '" + a.label +
+                     "' (allowed characters: A-Z a-z 0-9 . _ -)");
+  }
+  BenchRunConfig cfg;
+  cfg.label = a.label;
+  cfg.note = a.note;
+  cfg.circuits.assign(a.positional.begin() + 1, a.positional.end());
+  if (a.max_gates_set) cfg.max_gates = a.max_gates;
+  if (!a.jobs_list.empty()) cfg.jobs = a.jobs_list;
+  cfg.reps = a.reps;
+  cfg.warmup = a.warmup;
+  if (a.verbose || a.progress) {
+    cfg.progress = [](const std::string& line) {
+      std::fprintf(stderr, "[bench] %s\n", line.c_str());
+    };
+  }
+
+  install_sigusr1_handler();
+  BenchDocument doc;
+  {
+    ObsMonitor::Options mopt;
+    mopt.heartbeat = a.progress;
+    const ObsMonitor monitor(mopt);
+    doc = run_bench(cfg);
+  }
+  for (const std::string& w : doc.warnings) {
+    std::fprintf(stderr, "warning: %s\n", w.c_str());
+  }
+
+  const std::string path =
+      a.out.empty() ? "BENCH_" + a.label + ".json" : a.out;
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open " + path);
+  os << write_bench_json(doc);
+  std::printf("wrote %s (%zu rows, %d reps + %d warmup)\n", path.c_str(),
+              doc.rows.size(), doc.reps, doc.warmup);
+  return 0;
+}
+
+int cmd_bench_compare(const Args& a) {
+  const std::string& old_path = positional(a, 1, "<old.json>");
+  const std::string& new_path = positional(a, 2, "<new.json>");
+  const BenchDocument old_doc = read_bench_document(old_path);
+  const BenchDocument new_doc = read_bench_document(new_path);
+  CompareOptions copt;
+  copt.rel_threshold = a.rel_threshold;
+  copt.mad_k = a.mad_k;
+  const CompareReport rep = compare_bench(old_doc, new_doc, copt);
+  print_compare_report(std::cout, rep);
+  return rep.exit_code();
+}
+
+int cmd_bench(const Args& a) {
+  const std::string& sub = positional(a, 0, "<run|compare>");
+  if (sub == "run") return cmd_bench_run(a);
+  if (sub == "compare") return cmd_bench_compare(a);
+  throw UsageError("unknown bench subcommand '" + sub +
+                   "' (expected 'run' or 'compare')");
+}
+
 void print_usage(std::FILE* f = stdout) {
   std::fputs(
       "usage: fsct <command> [args] [options]\n"
@@ -482,6 +626,11 @@ void print_usage(std::FILE* f = stdout) {
       "  diagnose <circuit.bench> --fault NET V  rank chain-defect suspects\n"
       "  selftest                                end-to-end check on s27\n"
       "  fuzz     [--seed S] [--iters N]         differential self-fuzzing\n"
+      "  bench    run [circuit ...]              timed suite benchmark ->\n"
+      "                                          BENCH_<label>.json\n"
+      "  bench    compare <old.json> <new.json>  noise-aware regression diff\n"
+      "                                          (exit 1 regression,\n"
+      "                                          2 mismatch)\n"
       "\n"
       "options:\n"
       "  --chains N        number of scan chains to insert (default 1)\n"
@@ -496,6 +645,20 @@ void print_usage(std::FILE* f = stdout) {
       "  --metrics FILE    write a structured JSON run report: results,\n"
       "                    counters, histograms, pool stats (test)\n"
       "  -v, --verbose     per-phase progress lines on stderr (test, fuzz)\n"
+      "  --progress        periodic heartbeat line with phase, done/total,\n"
+      "                    rate, ETA, RSS on stderr (test, bench run); a\n"
+      "                    SIGUSR1 at any time prints a full status dump\n"
+      "\n"
+      "bench options:\n"
+      "  --label L         document label; output defaults to\n"
+      "                    BENCH_<L>.json (characters A-Z a-z 0-9 . _ -)\n"
+      "  --note TEXT       free-form provenance note stored in the document\n"
+      "  --reps N          timed repetitions per (circuit, jobs) (default 5)\n"
+      "  --warmup N        discarded warmup repetitions (default 1)\n"
+      "  --jobs N,M        sweep several job counts, one row each\n"
+      "  --max-gates N     skip suite circuits above N gates\n"
+      "  --rel-threshold P relative regression threshold (default 0.10)\n"
+      "  --mad-k K         noise window in MAD multiples (default 3.0)\n"
       "\n"
       "fuzz options:\n"
       "  --seed S          base seed; (seed, offset) fixes every iteration\n"
@@ -534,6 +697,7 @@ int main(int argc, char** argv) {
     if (cmd == "diagnose") return cmd_diagnose(a);
     if (cmd == "selftest") return cmd_selftest();
     if (cmd == "fuzz") return cmd_fuzz(a);
+    if (cmd == "bench") return cmd_bench(a);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     print_usage(stderr);
     return 2;
