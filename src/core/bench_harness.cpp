@@ -200,10 +200,20 @@ BenchDocument run_bench(const BenchRunConfig& cfg) {
             row.counters.emplace_back(counter_name(static_cast<Ctr>(c)),
                                       reg.total(static_cast<Ctr>(c)));
           }
+          // collapse_ratio: dominance targets per 1000 hard faults (integer
+          // permille; the row schema is uint-valued).
+          const std::uint64_t collapse_permille =
+              r.hard ? (static_cast<std::uint64_t>(r.dominance_targets) *
+                        1000) / r.hard
+                     : 1000;
           row.results = {
               {"faults", r.total_faults},
               {"easy", r.easy},
               {"hard", r.hard},
+              {"dominance_targets", r.dominance_targets},
+              {"collapse_ratio", collapse_permille},
+              {"flush_detected", r.flush_detected},
+              {"dropped_by_ledger", r.ledger_dropped},
               {"s2_detected", r.s2_detected},
               {"s2_vectors", r.s2_vectors},
               {"s3_detected", r.s3_detected},

@@ -40,6 +40,10 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "seqsim_faults_dropped",
     "s3_groups",
     "s3_final_faults",
+    "dominance_dropped",
+    "flush_credit_detected",
+    "dropped_by_ledger",
+    "untestable_propagated",
 };
 
 constexpr const char* kGaugeNames[kNumGauges] = {
@@ -463,6 +467,9 @@ void ObsRegistry::write_run_report(std::ostream& os,
      << ",\n";
   os << "  \"alternating_cpu_seconds\": "
      << fmt_double(r.alternating_cpu_seconds) << ",\n";
+  os << "  \"dominance_targets\": " << r.dominance_targets << ",\n";
+  os << "  \"flush_detected\": " << r.flush_detected << ",\n";
+  os << "  \"ledger_dropped\": " << r.ledger_dropped << ",\n";
   os << "  \"s2_detected\": " << r.s2_detected << ",\n";
   os << "  \"s2_undetectable\": " << r.s2_undetectable << ",\n";
   os << "  \"s2_undetected\": " << r.s2_undetected << ",\n";
@@ -489,8 +496,9 @@ void ObsRegistry::write_run_report(std::ostream& os,
   }
   os << "],\n";
   static constexpr const char* kOutcomeNames[] = {
-      "not_affecting", "easy_alternating", "detected_comb", "detected_seq",
-      "detected_final", "undetectable",    "undetected",
+      "not_affecting",  "easy_alternating", "detected_flush",
+      "detected_comb",  "detected_seq",     "detected_final",
+      "undetectable",   "undetected",
   };
   std::size_t tally[std::size(kOutcomeNames)] = {};
   for (FaultOutcome o : r.outcome) ++tally[static_cast<std::size_t>(o)];

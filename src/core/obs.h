@@ -68,6 +68,10 @@ enum class Ctr : std::uint16_t {
   SeqSimFaultsDropped,   ///< faults detected (dropped) by sequential sim
   S3Groups,              ///< reduced group models built in step 3
   S3FinalFaults,         ///< individual final-pass models built in step 3
+  DominanceDropped,      ///< faults collapsed away by dominance this run
+  FlushCreditDetected,   ///< hard faults credited to the alternating flush
+  DroppedByLedger,       ///< faults dropped from later phases by earned credit
+  UntestablePropagated,  ///< untestability proofs transferred down dominance
   kCount,
 };
 

@@ -99,6 +99,59 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
   }
   ScanSequenceBuilder sb(nl, model.design());
 
+  // Dominance layer: expansion table plus SCOAP excitation costs, shared by
+  // the step-2 target ordering and the step-3 in-group ordering.  The table
+  // is used to *order* targets, to decide which screening simulation runs
+  // first, and — in the one sound direction — to transfer combinational
+  // *untestability* proofs: tests(F_in) ⊆ tests(F_out) per vector, so an
+  // empty test set for the dominating output fault empties every dominated
+  // set too (`domsets`).  Detection credit is never transferred through the
+  // table (unsound across multi-cycle sequential tests); every fault the
+  // simulations miss and no proof covers still gets its own ATPG call.
+  std::optional<DominanceInfo> dom;
+  std::vector<std::vector<std::size_t>> domsets;
+  std::vector<Cost> fcost;
+  if (opt.dominance && !hard_idx.empty()) {
+    dom = collapse_dominant(nl, faults);
+    domsets = dominated_sets(nl, faults);
+    std::vector<char> controllable(nl.size(), 0);
+    for (NodeId pi : nl.inputs()) {
+      controllable[pi] = !model.design().is_constrained(pi);
+    }
+    for (const ScanChain& c : model.design().chains) {
+      for (NodeId ff : c.ffs) controllable[ff] = 1;
+    }
+    fcost = fault_excitation_costs(lv, controllable, faults);
+    std::size_t dominated = 0;
+    for (std::size_t j : hard_idx) {
+      if (dom->rep[j] == j) {
+        ++res.dominance_targets;
+      } else {
+        ++dominated;
+      }
+    }
+    if (obs && dominated) obs->add(Ctr::DominanceDropped, dominated);
+    if (verbose) {
+      std::snprintf(pbuf, sizeof pbuf,
+                    "dominance: %zu targets represent %zu hard faults",
+                    res.dominance_targets, res.hard);
+      obs->progress_line(pbuf);
+    }
+  }
+  // Orders fault indices by representative (cheapest excitation first) so a
+  // group's faults are contiguous.  Within a group the dominating (dropped)
+  // output faults go *before* the representative: if the group is untestable
+  // that is proven on the output fault first and propagates down the
+  // dominance table, skipping the rest; if it is testable the screening
+  // simulation of the first found vector still clears the whole group.
+  auto dom_less = [&](std::size_t a, std::size_t b) {
+    const std::size_t ra = dom->rep[a], rb = dom->rep[b];
+    if (fcost[ra] != fcost[rb]) return fcost[ra] < fcost[rb];
+    if (ra != rb) return ra < rb;
+    if ((a == ra) != (b == rb)) return a != ra;
+    return a < b;
+  };
+
   // ---- step 1: alternating flush (optional verification) -------------------
   if (opt.verify_easy && res.easy > 0) {
     if (obs) obs->begin_phase("step1.alternating", res.easy);
@@ -140,6 +193,45 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
   test_phase_sleep("s2");
   std::vector<ScanVector>& vectors = res.vectors;
   std::vector<char> comb_covered(faults.size(), 0);  // PPSFP-screened
+
+  // Flush-credit pre-pass: the alternating sequence heads every exported
+  // program anyway, so any category-2 fault it happens to kill needs no
+  // dedicated test.  Credit is simulation-earned (definite detection from
+  // the all-X start, so it survives any program position); the category-2
+  // classification itself is never overruled, only the targeting.
+  if (opt.dominance && !hard_idx.empty()) {
+    const ObsSpan span(obs, "step2.flush_credit");
+    // Credit against a *prefix* of the exported flush: a definite detection
+    // within the first cycles of the alternating stream survives in the full
+    // program (all-X start, monotone).  maxlen+8 cycles see every stream bit
+    // traverse the longest chain once, which catches the vast majority of
+    // flush-detectable faults at half the simulation cost; late detectors
+    // simply stay on the ordinary step-2 path.
+    const std::size_t exported =
+        opt.alternating_cycles ? opt.alternating_cycles : 2 * maxlen + 8;
+    const std::size_t cycles = std::min(exported, maxlen + 8);
+    std::vector<Fault> hard_faults;
+    hard_faults.reserve(hard_idx.size());
+    for (std::size_t j : hard_idx) hard_faults.push_back(faults[j]);
+    SeqFaultSim fsim(lv, observe);
+    const SeqFaultSimResult r =
+        fsim.run(sb.alternating(cycles), hard_faults, Val::X, &pool, obs);
+    for (std::size_t k = 0; k < hard_idx.size(); ++k) {
+      if (r.detect_cycle[k] >= 0) {
+        res.outcome[hard_idx[k]] = FaultOutcome::DetectedFlush;
+        ++res.flush_detected;
+      }
+    }
+    if (obs && res.flush_detected) {
+      obs->add(Ctr::FlushCreditDetected, res.flush_detected);
+    }
+    if (verbose) {
+      std::snprintf(pbuf, sizeof pbuf,
+                    "step2: flush credit dropped %zu/%zu hard faults",
+                    res.flush_detected, res.hard);
+      obs->progress_line(pbuf);
+    }
+  }
 
   if (!hard_idx.empty()) {
     std::optional<ObsSpan> s2span;
@@ -184,6 +276,7 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
       std::vector<Fault> open;
       std::vector<std::size_t> open_idx;
       for (std::size_t j : hard_idx) {
+        if (res.outcome[j] != FaultOutcome::Undetected) continue;
         open.push_back(faults[j]);
         open_idx.push_back(j);
       }
@@ -225,13 +318,46 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
       }
     }
 
-    for (std::size_t idx : hard_idx) {
+    // Deterministic PODEM target order.  With dominance on, groups go
+    // cheapest SCOAP excitation first; inside a group the dominating output
+    // faults precede the representative, so an untestable group is proven so
+    // once and the proof propagates, while a testable group's first vector
+    // is PPSFP-screened against the rest before PODEM sees them.
+    std::vector<std::size_t> podem_order = hard_idx;
+    if (dom) std::sort(podem_order.begin(), podem_order.end(), dom_less);
+
+    for (std::size_t idx : podem_order) {
       if (comb_covered[idx]) continue;
+      if (res.outcome[idx] != FaultOutcome::Undetected) continue;
       if (obs) obs->phase_tick();
       const AtpgResult r = podem.generate(cm.map_fault(faults[idx]));
       if (r.status == AtpgStatus::Untestable) {
         res.outcome[idx] = FaultOutcome::Undetectable;
         ++res.s2_undetectable;
+        // Untestability propagates down the dominance relation: every test
+        // for a dominated input fault would also detect this output fault,
+        // so an empty test set here proves theirs empty too (transitively).
+        // Faults a simulation already covered keep their concrete verdict.
+        if (!domsets.empty()) {
+          std::uint64_t propagated = 0;
+          std::vector<std::size_t> work = {idx};
+          while (!work.empty()) {
+            const std::size_t u = work.back();
+            work.pop_back();
+            for (std::size_t d : domsets[u]) {
+              if (comb_covered[d]) continue;
+              if (res.outcome[d] != FaultOutcome::Undetected) continue;
+              res.outcome[d] = FaultOutcome::Undetectable;
+              ++res.s2_undetectable;
+              ++propagated;
+              work.push_back(d);
+            }
+          }
+          if (obs && propagated) {
+            obs->add(Ctr::UntestablePropagated, propagated);
+            obs->phase_tick(propagated);
+          }
+        }
         continue;
       }
       if (r.status != AtpgStatus::Detected) continue;  // aborted: to step 3
@@ -305,7 +431,8 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
       res.detection_curve.push_back(res.s2_detected);
     }
   }
-  res.s2_undetected = res.hard - res.s2_detected - res.s2_undetectable;
+  res.s2_undetected = res.hard - res.flush_detected - res.s2_detected -
+                      res.s2_undetectable;
   res.s2_seconds = seconds_since(t0);
   res.s2_cpu_seconds = process_cpu_seconds() - cpu0;
   if (obs) obs->sample_rss("s2");
@@ -362,7 +489,15 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
     for (std::size_t j : remaining) {
       windows.push_back(make_fault_window(j, res.info[j]));
     }
-    const std::vector<AtpgGroup> groups = make_groups(windows, dist);
+    std::vector<AtpgGroup> groups = make_groups(windows, dist);
+    if (dom) {
+      // Front the cheap representatives inside each group: their verified
+      // sequences ride-along-screen the expensive tail (below) before it is
+      // ever targeted.
+      for (AtpgGroup& g : groups) {
+        std::sort(g.fault_indices.begin(), g.fault_indices.end(), dom_less);
+      }
+    }
 
     // One task per group, each with its own reduced model and PODEM state.
     // Tasks fill their slot of `done`; the merge below walks groups (and
@@ -371,6 +506,7 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
     struct GroupOutcome {
       std::vector<std::size_t> detected;   // fault indices, group order
       std::vector<TestSequence> seqs;      // aligned with `detected`
+      std::vector<std::size_t> credited;   // detected by another fault's test
       std::size_t unverified = 0;
     };
     std::vector<GroupOutcome> done(groups.size());
@@ -380,19 +516,48 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
       std::vector<Fault> gf;
       for (std::size_t j : g.fault_indices) gf.push_back(faults[j]);
       const ReducedModel rm = builder.build(g, gf);
-      for (std::size_t j : g.fault_indices) {
+      std::vector<char> credited(g.fault_indices.size(), 0);
+      for (std::size_t k = 0; k < g.fault_indices.size(); ++k) {
+        const std::size_t j = g.fault_indices[k];
+        if (credited[k]) continue;  // this group's ledger already covers it
         const auto sites = rm.um.map_fault(faults[j]);
         if (sites.empty()) continue;  // pruned away: retried in final pass
         const AtpgResult r = rm.podem->generate(sites);
         if (r.status != AtpgStatus::Detected) continue;
         // Untestable in a *shared* window is not conclusive for absorbed
         // faults (they may have more ctrl/obs alone): final pass decides.
-        if (auto seq = realize_s3_detection(builder, rm, r, j)) {
-          done[gi].detected.push_back(j);
-          done[gi].seqs.push_back(std::move(*seq));
-        } else {
+        auto seq = realize_s3_detection(builder, rm, r, j);
+        if (!seq) {
           ++done[gi].unverified;
+          continue;
         }
+        // Ledger ride-along: simulate the verified sequence against the
+        // group's still-open tail; whatever it detects (from the all-X
+        // start, so the verdict survives concatenation into the exported
+        // program) is credited instead of re-targeted.  Group-local state
+        // only, so tasks stay schedule-independent.
+        if (opt.dominance && k + 1 < g.fault_indices.size()) {
+          std::vector<Fault> open;
+          std::vector<std::size_t> open_pos;
+          for (std::size_t m = k + 1; m < g.fault_indices.size(); ++m) {
+            if (!credited[m]) {
+              open.push_back(faults[g.fault_indices[m]]);
+              open_pos.push_back(m);
+            }
+          }
+          if (!open.empty()) {
+            const SeqFaultSimResult rr =
+                s3sim.run(*seq, open, Val::X, nullptr, obs);
+            for (std::size_t m = 0; m < open.size(); ++m) {
+              if (rr.detect_cycle[m] >= 0) {
+                credited[open_pos[m]] = 1;
+                done[gi].credited.push_back(g.fault_indices[open_pos[m]]);
+              }
+            }
+          }
+        }
+        done[gi].detected.push_back(j);
+        done[gi].seqs.push_back(std::move(*seq));
       }
       if (obs) obs->phase_tick();
     };
@@ -416,6 +581,54 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
         ++res.s3_detected;
         res.s3_sequences.push_back(std::move(done[gi].seqs[k]));
         res.s3_sequence_fault.push_back(j);
+      }
+      for (std::size_t j : done[gi].credited) {
+        res.outcome[j] = FaultOutcome::DetectedSeq;
+        ++res.s3_detected;
+        ++res.ledger_dropped;
+      }
+      if (obs && !done[gi].credited.empty()) {
+        obs->add(Ctr::DroppedByLedger, done[gi].credited.size());
+      }
+    }
+  }
+
+  // Cross-group ledger pass: every step-3 sequence ends up in the exported
+  // program, so one packed simulation of their concatenation against the
+  // still-open faults credits detections across group boundaries (the
+  // verdict is established from the all-X start, hence valid in any program
+  // position).  Credited faults skip the expensive final individual models.
+  if (opt.dominance && !res.s3_sequences.empty()) {
+    std::vector<Fault> open;
+    std::vector<std::size_t> open_idx;
+    for (std::size_t j : remaining) {
+      if (res.outcome[j] == FaultOutcome::Undetected) {
+        open.push_back(faults[j]);
+        open_idx.push_back(j);
+      }
+    }
+    if (!open.empty()) {
+      const ObsSpan span(obs, "step3.ledger");
+      TestSequence all;
+      for (const TestSequence& s : res.s3_sequences) {
+        all.insert(all.end(), s.begin(), s.end());
+      }
+      const SeqFaultSimResult r = s3sim.run(all, open, Val::X, &pool, obs);
+      std::size_t credited = 0;
+      for (std::size_t k = 0; k < open.size(); ++k) {
+        if (r.detect_cycle[k] >= 0) {
+          res.outcome[open_idx[k]] = FaultOutcome::DetectedSeq;
+          ++res.s3_detected;
+          ++credited;
+        }
+      }
+      res.ledger_dropped += credited;
+      if (obs && credited) obs->add(Ctr::DroppedByLedger, credited);
+      if (verbose && credited) {
+        std::snprintf(pbuf, sizeof pbuf,
+                      "step3: ledger credited %zu cross-group detections",
+                      credited);
+        obs->progress_line(pbuf);
       }
     }
   }

@@ -64,6 +64,15 @@ struct PipelineOptions {
   /// not reproduce the detection are not counted (honest accounting the
   /// paper's in-model ATPG cannot give).  Also fills s3_sequences.
   bool verify_seq = true;
+  /// Dominance collapsing + cross-phase detection credit.  Targets are the
+  /// dominance representatives (SCOAP-ordered, cheapest excitation first);
+  /// dominated faults ride along and are only targeted themselves if the
+  /// screening simulations miss them, so per-fault outcomes are unchanged.
+  /// Also enables the flush-credit pre-pass (category-2 faults killed by the
+  /// alternating sequence are dropped from steps 2/3) and the shared
+  /// detection ledger that credits step-3 sequences against every still-open
+  /// fault.  Off = exact historical behaviour (`--no-dominance`).
+  bool dominance = true;
   /// Cycles of alternating flush; 0 = auto (2*maxlen + 8).
   std::size_t alternating_cycles = 0;
   /// Extra shift-out cycles appended to each converted step-2 vector;
@@ -88,6 +97,7 @@ struct ScanVector {
 enum class FaultOutcome : std::uint8_t {
   NotAffecting,        ///< category 3: never targeted
   EasyAlternating,     ///< category 1: covered by the alternating sequence
+  DetectedFlush,       ///< category 2 fault caught by the flush-credit pass
   DetectedComb,        ///< step 2: detected (sequentially verified)
   DetectedSeq,         ///< step 3: detected by grouped sequential ATPG
   DetectedFinal,       ///< step 3: detected in the final individual pass
@@ -114,6 +124,12 @@ struct PipelineResult {
   std::size_t easy_verified = 0;   ///< of `easy`, confirmed by simulation
   double alternating_seconds = 0;
   double alternating_cpu_seconds = 0;
+
+  // Dominance layer + cross-phase credit (all zero when dominance is off).
+  std::size_t dominance_targets = 0;  ///< representatives among f_hard
+  std::size_t flush_detected = 0;     ///< f_hard killed by the flush pre-pass
+  std::size_t ledger_dropped = 0;     ///< faults dropped by detection credit
+                                      ///< instead of being re-targeted
 
   // Step 2 (Table 3 left half).
   std::size_t s2_detected = 0;

@@ -4,6 +4,32 @@
 
 namespace fsct {
 
+std::vector<Cost> fault_excitation_costs(const Levelizer& lv,
+                                         const std::vector<char>& controllable,
+                                         std::span<const Fault> faults) {
+  const Scoap sc = compute_scoap(lv, controllable);
+  const Netlist& nl = lv.netlist();
+  std::vector<Cost> cost;
+  cost.reserve(faults.size());
+  for (const Fault& f : faults) {
+    const NodeId site =
+        f.pin >= 0 ? nl.fanins(f.node)[static_cast<std::size_t>(f.pin)]
+                   : f.node;
+    cost.push_back(sc.cc(site, !f.stuck_one));
+  }
+  return cost;
+}
+
+std::vector<std::size_t> scoap_target_order(
+    std::span<const Cost> cost, std::span<const std::size_t> targets) {
+  std::vector<std::size_t> order(targets.begin(), targets.end());
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (cost[a] != cost[b]) return cost[a] < cost[b];
+    return a < b;
+  });
+  return order;
+}
+
 ReducedCircuitBuilder::ReducedCircuitBuilder(const ScanModeModel& model,
                                              ReducedModelOptions opt)
     : model_(model),

@@ -17,7 +17,9 @@
 #include <span>
 
 #include "atpg/podem.h"
+#include "atpg/scoap.h"
 #include "atpg/unroll.h"
+#include "fault/fault.h"
 #include "core/grouping.h"
 #include "fault/seq_fault_sim.h"
 #include "scan/scan_mode_model.h"
@@ -45,6 +47,20 @@ struct SeqTest {
   std::vector<Val> init_state;              ///< per base FF (X = don't care)
   std::vector<std::vector<Val>> pi_frames;  ///< per frame, per base PI (X = dc)
 };
+
+/// SCOAP excitation cost per fault: the controllability cost of driving the
+/// fault site (the faulted net for a stem, the driving net for a pin fault)
+/// to the value opposite its stuck-at polarity.  `controllable` flags the
+/// sources assignable in scan mode (free PIs plus chain flip-flops).
+std::vector<Cost> fault_excitation_costs(const Levelizer& lv,
+                                         const std::vector<char>& controllable,
+                                         std::span<const Fault> faults);
+
+/// Orders `targets` (indices into the cost table) cheapest-to-excite first,
+/// ties broken by index: fronting the easy faults makes each generated test
+/// screen the largest possible share of the still-open list.
+std::vector<std::size_t> scoap_target_order(
+    std::span<const Cost> cost, std::span<const std::size_t> targets);
 
 class ReducedCircuitBuilder {
  public:

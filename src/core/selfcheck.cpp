@@ -23,7 +23,7 @@ namespace {
 
 constexpr const char* kOracleNames[kNumOracles] = {
     "packed-sim", "ppsfp-seq", "cat3-scanout", "jobs-identity",
-    "export-replay"};
+    "export-replay", "dominance"};
 
 /// splitmix64: decorrelates per-iteration / per-oracle seeds so running a
 /// subset of oracles (e.g. during shrinking) draws the same random data as
@@ -304,7 +304,8 @@ std::string oracle_export_replay(const ScannedWorld& w,
         serial.easy) {
       continue;  // only sample easy faults when step 1 verified all of them
     }
-    if (o == FaultOutcome::EasyAlternating || o == FaultOutcome::DetectedComb ||
+    if (o == FaultOutcome::EasyAlternating ||
+        o == FaultOutcome::DetectedFlush || o == FaultOutcome::DetectedComb ||
         o == FaultOutcome::DetectedSeq || o == FaultOutcome::DetectedFinal) {
       covered.push_back(i);
     }
@@ -315,6 +316,77 @@ std::string oracle_export_replay(const ScannedWorld& w,
     if (run_test_program(*w.lv, q, &w.faults[i]) == 0) {
       return std::string(kOracleNames[4]) + ": " + fault_name(nl, w.faults[i]) +
              " is covered by the program but replay shows no mismatch";
+    }
+  }
+  return "";
+}
+
+// ---- O6: dominance + ledger credit agrees with the plain pipeline ----------
+//
+// The two modes may legitimately disagree on *how* a fault is covered (a
+// comb-untestable fault can still be flush-detectable; vector sets and abort
+// budgets differ once the target order changes), so raw outcome equality is
+// the wrong check.  The ground truth is the exported program: whenever the
+// detected status differs, the side claiming detection must back the claim
+// with real strobe mismatches on replay.
+
+bool claims_detected(FaultOutcome o) {
+  return o == FaultOutcome::DetectedFlush || o == FaultOutcome::DetectedComb ||
+         o == FaultOutcome::DetectedSeq || o == FaultOutcome::DetectedFinal;
+}
+
+std::string oracle_dominance(const ScannedWorld& w,
+                             const PipelineResult& dom_r,
+                             std::mt19937_64 rng) {
+  const Netlist& nl = w.nl;
+  PipelineOptions nopt = fuzz_pipeline_options(1);
+  nopt.dominance = false;
+  const PipelineResult plain = run_fsct_pipeline(*w.model, w.faults, nopt);
+
+  if (dom_r.easy != plain.easy || dom_r.hard != plain.hard) {
+    return std::string(kOracleNames[5]) +
+           ": classification depends on the dominance flag (easy " +
+           std::to_string(dom_r.easy) + " vs " + std::to_string(plain.easy) +
+           ", hard " + std::to_string(dom_r.hard) + " vs " +
+           std::to_string(plain.hard) + ")";
+  }
+  if (plain.dominance_targets != 0 || plain.flush_detected != 0 ||
+      plain.ledger_dropped != 0) {
+    return std::string(kOracleNames[5]) +
+           ": --no-dominance run reports dominance-layer activity";
+  }
+
+  const TestProgram dp = make_chain_test_program(*w.model, dom_r);
+  const TestProgram pp = make_chain_test_program(*w.model, plain);
+  std::vector<std::size_t> credit_sample;  // agreeing dominance detections
+  for (std::size_t i = 0; i < w.faults.size(); ++i) {
+    const bool d1 = claims_detected(dom_r.outcome[i]);
+    const bool d0 = claims_detected(plain.outcome[i]);
+    if (d1 == d0) {
+      // Spot-check the credit paths even when both sides agree: flush and
+      // ledger verdicts (DetectedFlush / DetectedSeq) rest on simulation
+      // credit, so sample them for replay below.
+      if (d1 && (dom_r.outcome[i] == FaultOutcome::DetectedFlush ||
+                 dom_r.outcome[i] == FaultOutcome::DetectedSeq)) {
+        credit_sample.push_back(i);
+      }
+      continue;
+    }
+    const TestProgram& claim = d1 ? dp : pp;
+    if (run_test_program(*w.lv, claim, &w.faults[i]) == 0) {
+      return std::string(kOracleNames[5]) + ": " + fault_name(nl, w.faults[i]) +
+             (d1 ? " detected only with dominance"
+                 : " detected only without dominance") +
+             " and the claiming program shows no mismatch on replay";
+    }
+  }
+  std::shuffle(credit_sample.begin(), credit_sample.end(), rng);
+  if (credit_sample.size() > 6) credit_sample.resize(6);
+  for (std::size_t i : credit_sample) {
+    if (run_test_program(*w.lv, dp, &w.faults[i]) == 0) {
+      return std::string(kOracleNames[5]) + ": " + fault_name(nl, w.faults[i]) +
+             " carries dominance-mode detection credit but the exported "
+             "program shows no mismatch on replay";
     }
   }
   return "";
@@ -360,6 +432,18 @@ std::string diff_pipeline_results(const PipelineResult& a,
   if (a.easy_verified != b.easy_verified) {
     return "easy_verified " + num(a.easy_verified) + " vs " +
            num(b.easy_verified);
+  }
+  if (a.dominance_targets != b.dominance_targets) {
+    return "dominance_targets " + num(a.dominance_targets) + " vs " +
+           num(b.dominance_targets);
+  }
+  if (a.flush_detected != b.flush_detected) {
+    return "flush_detected " + num(a.flush_detected) + " vs " +
+           num(b.flush_detected);
+  }
+  if (a.ledger_dropped != b.ledger_dropped) {
+    return "ledger_dropped " + num(a.ledger_dropped) + " vs " +
+           num(b.ledger_dropped);
   }
   if (a.s2_detected != b.s2_detected) {
     return "s2_detected " + num(a.s2_detected) + " vs " + num(b.s2_detected);
@@ -441,7 +525,7 @@ std::string selfcheck_circuit(const Netlist& pre_scan,
     count(2);
     if (std::string d = oracle_cat3(w, oracle_rng(2)); !d.empty()) return d;
   }
-  if (cfg.oracles & (kOracleJobs | kOracleExport)) {
+  if (cfg.oracles & (kOracleJobs | kOracleExport | kOracleDominance)) {
     const PipelineResult serial =
         run_fsct_pipeline(*w.model, w.faults, fuzz_pipeline_options(1));
     if (cfg.oracles & kOracleJobs) {
@@ -454,6 +538,13 @@ std::string selfcheck_circuit(const Netlist& pre_scan,
     if (cfg.oracles & kOracleExport) {
       count(4);
       if (std::string d = oracle_export_replay(w, serial, oracle_rng(4));
+          !d.empty()) {
+        return d;
+      }
+    }
+    if (cfg.oracles & kOracleDominance) {
+      count(5);
+      if (std::string d = oracle_dominance(w, serial, oracle_rng(5));
           !d.empty()) {
         return d;
       }

@@ -19,7 +19,13 @@
 //                     jobs=N (wall-clock ATPG budgets disabled),
 //   O5 export-replay  an exported test program must round-trip through the
 //                     text format unchanged, replay mismatch-free on the
-//                     fault-free device, and kill covered faults on replay.
+//                     fault-free device, and kill covered faults on replay,
+//   O6 dominance      the dominance + detection-ledger pipeline must agree
+//                     with a --no-dominance run: classification is
+//                     flag-independent, and every fault whose detected
+//                     status differs is adjudicated by replaying the
+//                     claiming side's exported program against that fault
+//                     (the claim must reproduce as real strobe mismatches).
 //
 // `fsct fuzz` drives these oracles over random circuits from
 // bench_circuits/generator; a failing circuit is greedily shrunk (drop
@@ -42,12 +48,13 @@ inline constexpr unsigned kOraclePpsfpSeq = 1u << 1;    ///< O2
 inline constexpr unsigned kOracleCat3 = 1u << 2;        ///< O3
 inline constexpr unsigned kOracleJobs = 1u << 3;        ///< O4
 inline constexpr unsigned kOracleExport = 1u << 4;      ///< O5
+inline constexpr unsigned kOracleDominance = 1u << 5;   ///< O6
 inline constexpr unsigned kOracleAll =
     kOraclePackedSim | kOraclePpsfpSeq | kOracleCat3 | kOracleJobs |
-    kOracleExport;
+    kOracleExport | kOracleDominance;
 
 /// Number of distinct oracles / their short names ("packed-sim", ...).
-inline constexpr std::size_t kNumOracles = 5;
+inline constexpr std::size_t kNumOracles = 6;
 const char* oracle_name(std::size_t index);
 
 /// Parses a comma-separated oracle list ("packed-sim,jobs-identity", "all");

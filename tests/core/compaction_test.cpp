@@ -22,6 +22,10 @@ struct World {
                                        faults(collapsed_fault_list(nl)) {
     PipelineOptions opt;
     opt.random_patterns = 32;
+    // Compaction reasons about the step-2 vector set alone, so run without
+    // flush/ledger credit: every hard fault's coverage must be attributable
+    // to a vector for the union-coverage identity below to hold.
+    opt.dominance = false;
     result = run_fsct_pipeline(model, faults, opt);
   }
   static Netlist make(std::uint64_t seed) {

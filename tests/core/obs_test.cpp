@@ -126,7 +126,10 @@ TEST(Obs, PipelineCountersIdenticalAcrossJobCounts) {
   // And it actually observed the run.
   EXPECT_EQ(r1.total(Ctr::ClassifyFaults), p1.total_faults);
   EXPECT_GT(r1.total(Ctr::ClassifyEvents), 0u);
-  EXPECT_GT(r1.total(Ctr::PodemCalls), 0u);
+  // Flush credit may satisfy every hard fault before PODEM runs on this
+  // small circuit; either way step 2 must have been observed.
+  EXPECT_GT(r1.total(Ctr::PodemCalls) + r1.total(Ctr::FlushCreditDetected),
+            0u);
   EXPECT_GT(r1.total(Ctr::SeqSimCycles), 0u);
 }
 

@@ -31,7 +31,8 @@ struct World {
 
 void check_invariants(const PipelineResult& r) {
   EXPECT_EQ(r.affecting(), r.easy + r.hard);
-  EXPECT_EQ(r.hard, r.s2_detected + r.s2_undetectable + r.s2_undetected);
+  EXPECT_EQ(r.hard, r.flush_detected + r.s2_detected + r.s2_undetectable +
+                        r.s2_undetected);
   EXPECT_EQ(r.s2_undetected,
             r.s3_detected + r.s3_undetectable + r.s3_undetected);
 }

@@ -47,7 +47,8 @@ TEST(Pipeline, Figure2EndToEnd) {
     if (b.faults[i] == en_fault) en_idx = i;
   }
   ASSERT_LT(en_idx, b.faults.size());
-  EXPECT_TRUE(r.outcome[en_idx] == FaultOutcome::DetectedComb ||
+  EXPECT_TRUE(r.outcome[en_idx] == FaultOutcome::DetectedFlush ||
+              r.outcome[en_idx] == FaultOutcome::DetectedComb ||
               r.outcome[en_idx] == FaultOutcome::DetectedSeq ||
               r.outcome[en_idx] == FaultOutcome::DetectedFinal)
       << static_cast<int>(r.outcome[en_idx]);
@@ -58,22 +59,60 @@ TEST(Pipeline, AccountingAddsUp) {
   Built b(small_pipeline());
   const PipelineResult r = run_fsct_pipeline(b.model, b.faults);
   EXPECT_EQ(r.affecting(), r.easy + r.hard);
-  EXPECT_EQ(r.hard,
-            r.s2_detected + r.s2_undetectable + r.s2_undetected);
+  EXPECT_EQ(r.hard, r.flush_detected + r.s2_detected + r.s2_undetectable +
+                        r.s2_undetected);
   EXPECT_EQ(r.s2_undetected, r.s3_detected + r.s3_undetectable +
                                  r.s3_undetected);
   // Outcomes agree with counters.
-  std::size_t det2 = 0, det3 = 0, undetectable = 0, undetected = 0;
+  std::size_t flush = 0, det2 = 0, det3 = 0, undetectable = 0, undetected = 0;
   for (FaultOutcome o : r.outcome) {
+    flush += (o == FaultOutcome::DetectedFlush);
     det2 += (o == FaultOutcome::DetectedComb);
     det3 += (o == FaultOutcome::DetectedSeq || o == FaultOutcome::DetectedFinal);
     undetectable += (o == FaultOutcome::Undetectable);
     undetected += (o == FaultOutcome::Undetected);
   }
+  EXPECT_EQ(flush, r.flush_detected);
   EXPECT_EQ(det2, r.s2_detected);
   EXPECT_EQ(det3, r.s3_detected);
   EXPECT_EQ(undetectable, r.s2_undetectable + r.s3_undetectable);
   EXPECT_EQ(undetected, r.s3_undetected);
+}
+
+TEST(Pipeline, NoDominanceReportsNoDominanceActivity) {
+  Built b(small_pipeline());
+  PipelineOptions opt;
+  opt.dominance = false;
+  const PipelineResult r = run_fsct_pipeline(b.model, b.faults, opt);
+  EXPECT_EQ(r.dominance_targets, 0u);
+  EXPECT_EQ(r.flush_detected, 0u);
+  EXPECT_EQ(r.ledger_dropped, 0u);
+  for (FaultOutcome o : r.outcome) {
+    EXPECT_NE(o, FaultOutcome::DetectedFlush);
+  }
+}
+
+TEST(Pipeline, DominanceModesAgreeOnDetectedStatus) {
+  // Dominance is an ordering + crediting layer: for this suite circuit both
+  // modes must cover exactly the same fault set, even though the *step* that
+  // covers a given fault may move (flush credit, ledger credit).
+  Built b(small_pipeline());
+  PipelineOptions opt;
+  opt.verify_easy = true;
+  const PipelineResult with = run_fsct_pipeline(b.model, b.faults, opt);
+  opt.dominance = false;
+  const PipelineResult without = run_fsct_pipeline(b.model, b.faults, opt);
+  ASSERT_EQ(with.outcome.size(), without.outcome.size());
+  EXPECT_EQ(with.easy, without.easy);
+  EXPECT_EQ(with.hard, without.hard);
+  auto detected = [](FaultOutcome o) {
+    return o == FaultOutcome::DetectedFlush || o == FaultOutcome::DetectedComb ||
+           o == FaultOutcome::DetectedSeq || o == FaultOutcome::DetectedFinal;
+  };
+  for (std::size_t i = 0; i < with.outcome.size(); ++i) {
+    EXPECT_EQ(detected(with.outcome[i]), detected(without.outcome[i]))
+        << fault_name(b.nl, b.faults[i]);
+  }
 }
 
 TEST(Pipeline, DetectionCurveMonotone) {

@@ -162,6 +162,7 @@ TEST(Selfcheck, OracleSubsetRunsOnlySelected) {
   EXPECT_EQ(r.oracle_runs[2], 3u);
   EXPECT_EQ(r.oracle_runs[3], 0u);
   EXPECT_EQ(r.oracle_runs[4], 0u);
+  EXPECT_EQ(r.oracle_runs[5], 0u);
   EXPECT_EQ(r.parser_probes, 0u);
 }
 

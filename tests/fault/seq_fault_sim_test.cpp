@@ -141,6 +141,140 @@ TEST(SeqFaultSim, ParallelHandlesMoreThan63Faults) {
   }
 }
 
+// --- Chain-broken-by-target-fault edge cases -------------------------------
+//
+// The pipeline's flush-credit and ledger passes lean on one property: a fault
+// that breaks the scan chain during shift-in corrupts the very stream that is
+// supposed to expose it, and that corruption is itself the detection.  These
+// tests pin the exact mechanics on hand-built chains.
+
+// Chain with a functional AND link between q1 and q2, enabled by `en`.
+Netlist and_link_chain() {
+  Netlist nl("and_link");
+  const NodeId a = nl.add_input("a");
+  const NodeId en = nl.add_input("en");
+  const NodeId q1 = nl.add_dff(a, "q1");
+  const NodeId link = nl.add_gate(GateType::And, {q1, en}, "link");
+  const NodeId q2 = nl.add_dff(link, "q2");
+  const NodeId q3 = nl.add_dff(q2, "q3");
+  nl.mark_output(q3);
+  return nl;
+}
+
+TEST(SeqFaultSim, ChainLinkBrokenByTargetFaultDetectedAtExactCycle) {
+  // The target fault (link enable s-a-0) breaks the chain between q1 and q2
+  // while the marker is mid-shift; everything downstream of the break loads
+  // zero, and the first good binary 1 at the tail is the detection.
+  const Netlist nl = and_link_chain();
+  const Levelizer lv(nl);
+  SeqFaultSim sim(lv, {nl.find("q3")});
+  const std::vector<Fault> faults = {{nl.find("link"), 1, false}};
+  TestSequence seq;
+  for (std::size_t t = 0; t < 8; ++t) {
+    seq.push_back({(t % 2) ? k0 : k1, k1});  // a = 1,0,1,0..., en = 1
+  }
+  const auto r = sim.run_serial(seq, faults);
+  ASSERT_EQ(r.num_detected(), 1u);
+  // Good q3 first turns binary (a[0] == 1) entering cycle 3; the faulty
+  // machine's q2/q3 have been flushed to 0 since cycle 2.
+  EXPECT_EQ(r.detect_cycle[0], 3);
+}
+
+TEST(SeqFaultSim, BrokenScanInSelfExposesDespiteCorruptingItsOwnLoad) {
+  // Scan-in stem s-a-0: the intended marker load never happens under the
+  // fault, yet the corrupted (all-zero) stream differs from the good marker
+  // at the tail — the fault exposes itself.  This self-exposure is what makes
+  // crediting chain faults from a flush simulation sound.
+  const Netlist nl = and_link_chain();
+  const Levelizer lv(nl);
+  SeqFaultSim sim(lv, {nl.find("q3")});
+  const std::vector<Fault> faults = {{nl.find("a"), -1, false}};
+  TestSequence seq;
+  for (std::size_t t = 0; t < 8; ++t) {
+    seq.push_back({t == 0 ? k1 : k0, k1});  // single marker 1, en = 1
+  }
+  const auto r = sim.run_serial(seq, faults);
+  ASSERT_EQ(r.num_detected(), 1u);
+  EXPECT_EQ(r.detect_cycle[0], 3);
+}
+
+// 4-stage chain with a mux bypass: under `sel` the tail FF reads q1 directly,
+// shortening the effective chain by two stages.
+Netlist bypass_chain() {
+  Netlist nl("bypass");
+  const NodeId a = nl.add_input("a");
+  const NodeId sel = nl.add_input("sel");
+  const NodeId q1 = nl.add_dff(a, "q1");
+  const NodeId q2 = nl.add_dff(q1, "q2");
+  const NodeId q3 = nl.add_dff(q2, "q3");
+  const NodeId nsel = nl.add_gate(GateType::Not, {sel}, "nsel");
+  const NodeId keep = nl.add_gate(GateType::And, {q3, nsel}, "keep");
+  const NodeId skip = nl.add_gate(GateType::And, {q1, sel}, "skip");
+  const NodeId d4 = nl.add_gate(GateType::Or, {keep, skip}, "d4");
+  const NodeId q4 = nl.add_dff(d4, "q4");
+  nl.mark_output(q4);
+  return nl;
+}
+
+TEST(SeqFaultSim, ChainShorteningEscapesPureAlternationButNotMarkerLoad) {
+  // sel s-a-1 shortens the chain by exactly two stages.  A strict 0101 stream
+  // is shift-invariant under an even shortening, so the flush never sees it;
+  // a single-marker load pins the length and catches it at an exact cycle.
+  // (The pipeline's alternating flush uses a 0011 stream for the same reason:
+  // no single edge pattern catches every shortening, which is why flush
+  // credit is a screen, not a proof obligation.)
+  const Netlist nl = bypass_chain();
+  const Levelizer lv(nl);
+  SeqFaultSim sim(lv, {nl.find("q4")});
+  const std::vector<Fault> faults = {{nl.find("sel"), -1, true}};
+
+  TestSequence alt;
+  for (std::size_t t = 0; t < 12; ++t) {
+    alt.push_back({(t % 2) ? k1 : k0, k0});  // a = 0,1,0,1..., sel = 0
+  }
+  const auto ra = sim.run_serial(alt, faults);
+  EXPECT_EQ(ra.num_detected(), 0u);
+
+  TestSequence marker;
+  for (std::size_t t = 0; t < 12; ++t) {
+    marker.push_back({t == 0 ? k1 : k0, k0});  // single 1, sel = 0
+  }
+  const auto rm = sim.run_serial(marker, faults);
+  ASSERT_EQ(rm.num_detected(), 1u);
+  // Good q4 shows the marker entering cycle 4; the shortened chain already
+  // flushed it out two cycles earlier.
+  EXPECT_EQ(rm.detect_cycle[0], 4);
+}
+
+TEST(SeqFaultSim, DetectionIsProgramRelativeWhenObservationIsGated) {
+  // Observation only through po = AND(q3, go).  A per-vector combinational
+  // argument says q1 s-a-0 is observable at po — but only a program that
+  // actually raises `go` reproduces it.  This is why the pipeline never
+  // trusts a combinational claim (or a dominance implication) for outcomes:
+  // every credit must be earned by simulating the real program.
+  Netlist nl("gated");
+  const NodeId a = nl.add_input("a");
+  const NodeId go = nl.add_input("go");
+  const NodeId q1 = nl.add_dff(a, "q1");
+  const NodeId q2 = nl.add_dff(q1, "q2");
+  const NodeId q3 = nl.add_dff(q2, "q3");
+  const NodeId po = nl.add_gate(GateType::And, {q3, go}, "po");
+  nl.mark_output(po);
+  const Levelizer lv(nl);
+  SeqFaultSim sim(lv, {po});
+  const std::vector<Fault> faults = {{q1, -1, false}};
+
+  TestSequence closed, open;
+  for (std::size_t t = 0; t < 8; ++t) {
+    closed.push_back({t == 0 ? k1 : k0, k0});  // marker, gate held shut
+    open.push_back({t == 0 ? k1 : k0, k1});    // marker, gate open
+  }
+  EXPECT_EQ(sim.run_serial(closed, faults).num_detected(), 0u);
+  const auto r = sim.run_serial(open, faults);
+  ASSERT_EQ(r.num_detected(), 1u);
+  EXPECT_EQ(r.detect_cycle[0], 3);
+}
+
 TEST(SeqFaultSim, PinFaultDiffersFromStemFault) {
   // a fans out to q1 and po buffer; pin fault on q1's D only breaks the FF.
   Netlist nl("t");

@@ -161,8 +161,8 @@ TEST(Integration, ChainTestProgramScreensEveryCoveredFault) {
   for (std::size_t i = 0; i < faults.size(); ++i) {
     const FaultOutcome o = r.outcome[i];
     if (o != FaultOutcome::EasyAlternating &&
-        o != FaultOutcome::DetectedComb && o != FaultOutcome::DetectedSeq &&
-        o != FaultOutcome::DetectedFinal) {
+        o != FaultOutcome::DetectedFlush && o != FaultOutcome::DetectedComb &&
+        o != FaultOutcome::DetectedSeq && o != FaultOutcome::DetectedFinal) {
       continue;
     }
     ++covered;

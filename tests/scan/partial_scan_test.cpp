@@ -136,7 +136,8 @@ TEST(PartialScan, PipelineRunsAndAccountsCorrectly) {
   popt.verify_easy = true;
   const PipelineResult r = run_fsct_pipeline(model, faults, popt);
   EXPECT_EQ(r.easy_verified, r.easy);
-  EXPECT_EQ(r.hard, r.s2_detected + r.s2_undetectable + r.s2_undetected);
+  EXPECT_EQ(r.hard, r.flush_detected + r.s2_detected + r.s2_undetectable +
+                        r.s2_undetected);
   // A smaller chain is threatened by fewer faults than full scan.
   Netlist full_nl = circuit(65);
   const ScanDesign fd = run_tpi(full_nl);

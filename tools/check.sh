@@ -5,15 +5,85 @@
 #
 #   tools/check.sh              # full check (plain build + full ctest + TSan)
 #   tools/check.sh --tsan-only  # only the TSan build + concurrency tests
+#   tools/check.sh --coverage   # only the gcov build + line-floor check on
+#                               # src/fault and src/core (opt-in; slow -O0)
 #
 # Extra arguments after the flags are passed to both cmake configure steps.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+ROOT="$PWD"
 
 TSAN_ONLY=0
 if [[ "${1:-}" == "--tsan-only" ]]; then
   TSAN_ONLY=1
   shift
+fi
+
+if [[ "${1:-}" == "--coverage" ]]; then
+  shift
+  # Line floors, percent.  Raise them as tests grow; never lower them to make
+  # a regression pass.
+  FAULT_FLOOR=85
+  CORE_FLOOR=75
+  cmake -B build-cov -S . -DFSCT_COVERAGE=ON -DCMAKE_BUILD_TYPE=Debug "$@"
+  COV_TESTS=(fault_test dominance_test seq_fault_sim_test comb_fault_sim_test
+             classify_test classify_multichain_test chain_reorder_test
+             grouping_test reduced_atpg_test pipeline_test
+             pipeline_options_test compaction_test diagnose_test
+             test_export_test selfcheck_test report_test obs_test
+             parallel_test bench_harness_test)
+  cmake --build build-cov -j --target "${COV_TESTS[@]}"
+  for t in "${COV_TESTS[@]}"; do
+    "./build-cov/tests/$t" --gtest_brief=1
+  done
+  COV_TMP="$(mktemp -d)"
+  trap 'rm -rf "$COV_TMP"' EXIT
+  (
+    cd "$COV_TMP"
+    find "$ROOT/build-cov/src/fault" "$ROOT/build-cov/src/core" \
+      -name '*.gcda' -exec gcov {} + > /dev/null
+  )
+  python3 - "$COV_TMP" "$FAULT_FLOOR" "$CORE_FLOOR" <<'EOF'
+import glob, os, sys
+scratch, fault_floor, core_floor = sys.argv[1], float(sys.argv[2]), float(sys.argv[3])
+floors = {"src/fault": fault_floor, "src/core": core_floor}
+groups = {g: [0, 0] for g in floors}  # group -> [executable lines, hit lines]
+for path in glob.glob(os.path.join(scratch, "*.gcov")):
+    group = None
+    with open(path) as f:
+        for line in f:
+            parts = line.split(":", 2)
+            if len(parts) < 3:
+                continue
+            count, lineno = parts[0].strip(), parts[1].strip()
+            if lineno == "0":
+                if parts[2].startswith("Source:"):
+                    src = parts[2][len("Source:"):].strip()
+                    # Library .cpp files only: each is compiled exactly once,
+                    # so same-named .gcov outputs never clobber real counts
+                    # (headers show up per translation unit and are skipped).
+                    if src.endswith(".cpp"):
+                        group = next((g for g in floors if f"/{g}/" in src), None)
+                continue
+            if group is None or count == "-":
+                continue
+            groups[group][0] += 1
+            if count not in ("#####", "====="):
+                groups[group][1] += 1
+fail = False
+for g, (total, hit) in sorted(groups.items()):
+    pct = 100.0 * hit / total if total else 0.0
+    status = "OK" if pct >= floors[g] else "BELOW FLOOR"
+    print(f"coverage {g}: {hit}/{total} lines = {pct:.1f}% "
+          f"(floor {floors[g]:.0f}%) {status}")
+    fail |= pct < floors[g]
+if not any(total for total, _ in groups.values()):
+    print("coverage: no .gcda data found — did the instrumented tests run?")
+    fail = True
+sys.exit(1 if fail else 0)
+EOF
+  echo "check.sh: coverage OK (gcov line floors hold)"
+  exit 0
 fi
 
 # Tests that exercise the thread pool and every pool-driven phase (the obs

@@ -92,6 +92,7 @@ struct Args {
   std::string metrics_path;  // --metrics: structured run report JSON
   bool verbose = false;      // -v: per-phase progress on stderr
   bool progress = false;     // --progress: heartbeat lines on stderr
+  bool no_dominance = false; // --no-dominance: plain target order, no credit
   // bench
   std::string label = "run";
   std::string note;
@@ -220,6 +221,8 @@ Args parse(int argc, char** argv) {
       a.oracles = operand(s);
     } else if (s == "--no-shrink") {
       a.no_shrink = true;
+    } else if (s == "--no-dominance") {
+      a.no_dominance = true;
     } else if (s == "--corpus") {
       a.corpus = operand(s);
     } else if (s == "-v" || s == "--verbose") {
@@ -307,6 +310,7 @@ int cmd_test(const Args& a) {
   PipelineOptions opt;
   opt.verify_easy = true;
   opt.jobs = a.jobs;
+  opt.dominance = !a.no_dominance;
 
   ObsRegistry reg;
   const bool want_obs = !a.trace_path.empty() || !a.metrics_path.empty() ||
@@ -351,6 +355,11 @@ int cmd_test(const Args& a) {
               100.0 * static_cast<double>(r.affecting()) /
                   static_cast<double>(r.total_faults ? r.total_faults : 1),
               r.easy, r.easy_verified, r.hard);
+  if (!a.no_dominance) {
+    std::printf("dominance: %zu targets, %zu flush-credited, "
+                "%zu ledger-dropped\n",
+                r.dominance_targets, r.flush_detected, r.ledger_dropped);
+  }
   std::printf("step 2: %zu detected with %zu vectors, %zu undetectable\n",
               r.s2_detected, r.s2_vectors, r.s2_undetectable);
   std::printf("step 3: %zu detected, %zu undetectable, %zu undetected "
@@ -450,7 +459,8 @@ int cmd_selftest() {
   std::size_t covered = 0, killed = 0;
   for (std::size_t i = 0; i < faults.size(); ++i) {
     const FaultOutcome o = r.outcome[i];
-    if (o == FaultOutcome::EasyAlternating || o == FaultOutcome::DetectedComb ||
+    if (o == FaultOutcome::EasyAlternating ||
+        o == FaultOutcome::DetectedFlush || o == FaultOutcome::DetectedComb ||
         o == FaultOutcome::DetectedSeq || o == FaultOutcome::DetectedFinal) {
       ++covered;
       killed += (run_test_program(lv, p, &faults[i]) > 0);
@@ -461,7 +471,7 @@ int cmd_selftest() {
   return killed == covered ? 0 : 1;
 }
 
-/// Replays every minimized .bench repro in `dir` through all five oracles in
+/// Replays every minimized .bench repro in `dir` through all the oracles in
 /// both scan styles (a fixed spread of check seeds); these are the bugs the
 /// fuzzer has found historically, kept as cheap regressions.
 int run_corpus(const Args& a) {
@@ -640,6 +650,9 @@ void print_usage(std::FILE* f = stdout) {
       "  -o FILE           output file (scan: netlist, test: program +\n"
       "                    FILE.bench)\n"
       "  --fault NET 0|1   stuck-at fault to inject (replay, diagnose)\n"
+      "  --no-dominance    disable dominance collapsing, SCOAP target\n"
+      "                    ordering and cross-phase detection credit (test);\n"
+      "                    restores the plain per-fault targeting order\n"
       "  --trace FILE      write a Chrome trace-event JSON of the run;\n"
       "                    load in chrome://tracing or Perfetto (test)\n"
       "  --metrics FILE    write a structured JSON run report: results,\n"
@@ -666,7 +679,8 @@ void print_usage(std::FILE* f = stdout) {
       "  --offset K        start at global iteration K (reproduce a failure\n"
       "                    with --offset K --iters 1)\n"
       "  --oracles LIST    comma-separated subset: packed-sim, ppsfp-seq,\n"
-      "                    cat3-scanout, jobs-identity, export-replay, all\n"
+      "                    cat3-scanout, jobs-identity, export-replay,\n"
+      "                    dominance, all\n"
       "  --max-gates N     largest random circuit drawn (default 70)\n"
       "  --max-ffs N       largest flip-flop count drawn (default 10)\n"
       "  --no-shrink       emit failing circuits unminimized\n"
