@@ -1,35 +1,48 @@
 #include "atpg/pair_sim.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace fsct {
 
-PairSim::PairSim(const Levelizer& lv) : lv_(lv) {
-  const Netlist& nl = lv.netlist();
-  values_.assign(nl.size(), {});
-  out_override_.assign(nl.size(), Val::X);
-  pin_sites_.assign(nl.size(), {});
-  has_pin_sites_.assign(nl.size(), 0);
-  effect_flag_.assign(nl.size(), 0);
-  in_effect_list_.assign(nl.size(), 0);
-  buckets_.resize(static_cast<std::size_t>(lv.max_level()) + 1);
-  queued_.assign(nl.size(), 0);
+PairSim::PairSim(const Levelizer& lv)
+    : lv_(lv), soa_(SoaCircuit::compile(lv)) {
+  const std::size_t n = soa_->size();
+  values_.assign(n, {});
+  out_override_.assign(n, Val::X);
+  pin_sites_.assign(n, {});
+  has_pin_sites_.assign(n, 0);
+  effect_flag_.assign(n, 0);
+  in_effect_list_.assign(n, 0);
+  observed_.assign(n, 0);
+  buckets_.resize(static_cast<std::size_t>(soa_->max_level()) + 1);
+  queued_.assign(n, 0);
+}
+
+void PairSim::set_observed(std::span<const char> mask) {
+  observed_.assign(mask.begin(), mask.end());
+  observed_.resize(soa_->size(), 0);
+  observed_effect_count_ = 0;
+  for (NodeId id = 0; id < observed_.size(); ++id) {
+    if (observed_[id] && effect_flag_[id]) ++observed_effect_count_;
+  }
 }
 
 void PairSim::init(std::span<const FaultSite> sites) {
-  const Netlist& nl = lv_.netlist();
-  values_.assign(nl.size(), PairVal{});
-  out_override_.assign(nl.size(), Val::X);
-  for (NodeId id = 0; id < nl.size(); ++id) {
+  const std::size_t n = soa_->size();
+  values_.assign(n, PairVal{});
+  out_override_.assign(n, Val::X);
+  for (NodeId id = 0; id < n; ++id) {
     if (has_pin_sites_[id]) {
       pin_sites_[id].clear();
       has_pin_sites_[id] = 0;
     }
   }
-  effect_flag_.assign(nl.size(), 0);
-  in_effect_list_.assign(nl.size(), 0);
+  effect_flag_.assign(n, 0);
+  in_effect_list_.assign(n, 0);
   effect_list_.clear();
   effect_count_ = 0;
+  observed_effect_count_ = 0;
 
   for (const FaultSite& s : sites) {
     if (s.pin == -1) {
@@ -40,9 +53,9 @@ void PairSim::init(std::span<const FaultSite> sites) {
     }
   }
 
-  // Full settle: sources, then topo order.
-  for (NodeId id = 0; id < nl.size(); ++id) {
-    const GateType t = nl.type(id);
+  // Full settle: sources, then evaluation order.
+  for (NodeId id = 0; id < n; ++id) {
+    const GateType t = soa_->type(id);
     if (t == GateType::Const0 || t == GateType::Const1) {
       const Val v = (t == GateType::Const1) ? Val::One : Val::Zero;
       PairVal pv{v, v};
@@ -62,13 +75,15 @@ void PairSim::init(std::span<const FaultSite> sites) {
 }
 
 PairVal PairSim::eval_node(NodeId id) const {
-  const Netlist& nl = lv_.netlist();
-  const auto fins = nl.fanins(id);
+  const NodeId* fins = soa_->fanin(id);
+  const std::uint32_t n = soa_->fanin_count(id);
   Val gin[64], fin[64];
-  if (fins.size() > 64) throw std::runtime_error("gate arity > 64");
-  for (std::size_t p = 0; p < fins.size(); ++p) {
+  if (n > 64) throw std::runtime_error("gate arity > 64");
+  bool diverge = has_pin_sites_[id] != 0;
+  for (std::uint32_t p = 0; p < n; ++p) {
     gin[p] = values_[fins[p]].g;
     fin[p] = values_[fins[p]].f;
+    diverge |= gin[p] != fin[p];
   }
   if (has_pin_sites_[id]) {
     for (const FaultSite& s : pin_sites_[id]) {
@@ -76,8 +91,9 @@ PairVal PairSim::eval_node(NodeId id) const {
     }
   }
   PairVal pv;
-  pv.g = eval_gate(nl.type(id), gin, fins.size());
-  pv.f = eval_gate(nl.type(id), fin, fins.size());
+  const GateType t = soa_->type(id);
+  pv.g = eval_gate(t, gin, n);
+  pv.f = diverge ? eval_gate(t, fin, n) : pv.g;
   if (out_override_[id] != Val::X) pv.f = out_override_[id];
   return pv;
 }
@@ -92,6 +108,7 @@ void PairSim::note_change(NodeId id, PairVal nv) {
   if (eff && !effect_flag_[id]) {
     effect_flag_[id] = 1;
     ++effect_count_;
+    observed_effect_count_ += observed_[id];
     if (!in_effect_list_[id]) {
       in_effect_list_[id] = 1;
       effect_list_.push_back(id);
@@ -99,13 +116,14 @@ void PairSim::note_change(NodeId id, PairVal nv) {
   } else if (!eff && effect_flag_[id]) {
     effect_flag_[id] = 0;
     --effect_count_;
+    observed_effect_count_ -= observed_[id];
     // lazy removal from effect_list_ (compacted in effect_nets())
   }
 }
 
 void PairSim::set_source(NodeId src, Val v) {
-  const Netlist& nl = lv_.netlist();
-  if (is_combinational(nl.type(src)) || nl.type(src) == GateType::Dff) {
+  const GateType t = soa_->type(src);
+  if (is_combinational(t) || t == GateType::Dff) {
     throw std::invalid_argument("set_source on non-source node");
   }
   PairVal pv{v, v};
@@ -116,26 +134,39 @@ void PairSim::set_source(NodeId src, Val v) {
 }
 
 void PairSim::propagate_from(NodeId src) {
-  const Netlist& nl = lv_.netlist();
-  for (NodeId s : lv_.fanouts(src)) {
-    if (is_combinational(nl.type(s)) && !queued_[s]) {
+  const SoaCircuit& c = *soa_;
+  // The sweep is bounded to [lo, hi] — the level range actually enqueued —
+  // instead of walking every bucket; on deep unrolled models a PODEM
+  // assignment cone touches a narrow band of the level space.  Fanouts are
+  // strictly higher-level, so hi only grows ahead of the sweep and the
+  // processing order (ascending level, push order within a bucket) is
+  // exactly that of a full-sweep walk.
+  std::size_t lo = buckets_.size(), hi = 0;
+  const auto enqueue = [&](NodeId s) {
+    if (!queued_[s]) {
       queued_[s] = 1;
-      buckets_[static_cast<std::size_t>(lv_.level(s))].push_back(s);
+      const auto levl = static_cast<std::size_t>(c.level(s));
+      lo = std::min(lo, levl);
+      hi = std::max(hi, levl);
+      buckets_[levl].push_back(s);
     }
+  };
+  {
+    const NodeId* fo = c.fanout(src);
+    const std::uint32_t nfo = c.fanout_count(src);
+    for (std::uint32_t i = 0; i < nfo; ++i) enqueue(fo[i]);
   }
-  for (auto& bucket : buckets_) {
+  for (std::size_t l = lo; l <= hi; ++l) {
+    auto& bucket = buckets_[l];
     for (std::size_t i = 0; i < bucket.size(); ++i) {
       const NodeId id = bucket[i];
       queued_[id] = 0;
       const PairVal nv = eval_node(id);
       if (nv == values_[id]) continue;
       note_change(id, nv);
-      for (NodeId s : lv_.fanouts(id)) {
-        if (is_combinational(nl.type(s)) && !queued_[s]) {
-          queued_[s] = 1;
-          buckets_[static_cast<std::size_t>(lv_.level(s))].push_back(s);
-        }
-      }
+      const NodeId* fo = c.fanout(id);
+      const std::uint32_t nfo = c.fanout_count(id);
+      for (std::uint32_t k = 0; k < nfo; ++k) enqueue(fo[k]);
     }
     bucket.clear();
   }

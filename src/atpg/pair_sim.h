@@ -10,10 +10,12 @@
 // assign/unassign cycle costs only the affected cone.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "netlist/levelize.h"
+#include "sim/soa_circuit.h"
 #include "sim/value.h"
 
 namespace fsct {
@@ -58,10 +60,22 @@ class PairSim {
   /// True if any net currently carries D/D'.
   bool any_effect() const { return effect_count_ > 0; }
 
+  /// Marks the nets whose effects any_observed_effect() reports (`mask`
+  /// sized netlist.size()).  Survives init(); PODEM sets its observation
+  /// points once and gets an O(1) "detected" predicate.
+  void set_observed(std::span<const char> mask);
+
+  /// True if any net marked by set_observed() currently carries D/D'.
+  bool any_observed_effect() const { return observed_effect_count_ > 0; }
+
   /// Nets currently carrying D/D' (compacted on call).
   const std::vector<NodeId>& effect_nets();
 
   const Levelizer& levelizer() const { return lv_; }
+
+  /// The flat compiled view this simulator runs on (shared with PODEM for
+  /// combinational-fanout walks).
+  const SoaCircuit& soa() const { return *soa_; }
 
  private:
   PairVal eval_node(NodeId id) const;
@@ -69,6 +83,7 @@ class PairSim {
   void note_change(NodeId id, PairVal nv);
 
   const Levelizer& lv_;
+  std::shared_ptr<const SoaCircuit> soa_;
   std::vector<PairVal> values_;
   std::vector<Val> out_override_;          // faulty output forces (X = none)
   std::vector<std::vector<FaultSite>> pin_sites_;  // per node, sparse
@@ -77,6 +92,8 @@ class PairSim {
   std::vector<char> in_effect_list_;
   std::vector<NodeId> effect_list_;  // may contain stale entries; compacted
   std::size_t effect_count_ = 0;
+  std::vector<char> observed_;
+  std::size_t observed_effect_count_ = 0;
   // scratch for propagation
   std::vector<std::vector<NodeId>> buckets_;
   std::vector<char> queued_;

@@ -23,6 +23,7 @@ Podem::Podem(const Levelizer& lv, std::vector<char> controllable,
   const Netlist& nl = lv_.netlist();
   observed_.assign(nl.size(), 0);
   for (NodeId o : observe_) observed_[o] = 1;
+  sim_.set_observed(observed_);
 
   // Static distance (in gates) from each net to the nearest observation,
   // computed over reversed topological order.
@@ -38,22 +39,18 @@ Podem::Podem(const Levelizer& lv, std::vector<char> controllable,
     }
   }
   xpath_mark_.assign(nl.size(), 0);
+  frontier_mark_.assign(nl.size(), 0);
 }
 
-bool Podem::detected() const {
-  for (NodeId o : observe_) {
-    if (has_effect(sim_.value(o))) return true;
-  }
-  return false;
-}
+bool Podem::detected() const { return sim_.any_observed_effect(); }
 
 // Objectives that would help propagate an effect through `gate` (a gate whose
 // output is still X-ish but which sees an effect on some input).
 void Podem::side_input_objectives(NodeId gate,
                                   std::vector<Objective>& out) const {
-  const Netlist& nl = lv_.netlist();
-  const GateType t = nl.type(gate);
-  const auto fins = nl.fanins(gate);
+  const SoaCircuit& soa = sim_.soa();
+  const GateType t = soa.type(gate);
+  const std::span<const NodeId> fins(soa.fanin(gate), soa.fanin_count(gate));
   switch (t) {
     case GateType::And:
     case GateType::Nand:
@@ -128,18 +125,23 @@ void Podem::find_objectives(std::span<const FaultSite> sites,
   }
 
   // Propagation phase: build the D-frontier from nets carrying effects.
+  // First-occurrence order (mark-array dedupe == the old linear-find dedupe).
+  const SoaCircuit& soa = sim_.soa();
   std::vector<NodeId> frontier;
   for (NodeId net : sim_.effect_nets()) {
-    for (NodeId g : lv_.fanouts(net)) {
-      if (!is_combinational(nl.type(g))) continue;
+    const NodeId* fo = soa.fanout(net);
+    const std::uint32_t nfo = soa.fanout_count(net);
+    for (std::uint32_t i = 0; i < nfo; ++i) {
+      const NodeId g = fo[i];
+      if (frontier_mark_[g]) continue;
       const PairVal gv = sim_.value(g);
       if (has_effect(gv)) continue;
       if (gv.g != Val::X && gv.f != Val::X) continue;  // blocked binary
-      if (std::find(frontier.begin(), frontier.end(), g) == frontier.end()) {
-        frontier.push_back(g);
-      }
+      frontier_mark_[g] = 1;
+      frontier.push_back(g);
     }
   }
+  for (NodeId g : frontier) frontier_mark_[g] = 0;
   // Closest-to-observation first; keep only gates with a live X-path and
   // bound the per-round work on very wide cones.
   std::sort(frontier.begin(), frontier.end(), [&](NodeId a, NodeId b) {
@@ -153,7 +155,7 @@ void Podem::find_objectives(std::span<const FaultSite> sites,
 }
 
 bool Podem::x_path_exists(NodeId from) {
-  const Netlist& nl = lv_.netlist();
+  const SoaCircuit& soa = sim_.soa();
   if (obs_dist_[from] >= kInfDist) return false;
   // The DFS is capped: on large mostly-X models an exact answer costs more
   // than an occasional wasted objective, so past the cap we optimistically
@@ -177,8 +179,10 @@ bool Podem::x_path_exists(NodeId from) {
       found = true;
       break;
     }
-    for (NodeId s : lv_.fanouts(id)) {
-      if (!is_combinational(nl.type(s))) continue;
+    const NodeId* fo = soa.fanout(id);
+    const std::uint32_t nfo = soa.fanout_count(id);
+    for (std::uint32_t i = 0; i < nfo; ++i) {
+      const NodeId s = fo[i];
       if (xpath_mark_[s] || obs_dist_[s] >= kInfDist) continue;
       xpath_mark_[s] = 1;
       visited.push_back(s);
@@ -190,12 +194,12 @@ bool Podem::x_path_exists(NodeId from) {
 }
 
 bool Podem::backtrace(Objective obj, NodeId& pi, Val& pv) const {
-  const Netlist& nl = lv_.netlist();
+  const SoaCircuit& soa = sim_.soa();
   NodeId net = obj.net;
   Val val = obj.val;
   // The walk strictly descends in level, so it terminates.
   for (;;) {
-    const GateType t = nl.type(net);
+    const GateType t = soa.type(net);
     if (t == GateType::Input || t == GateType::Dff) {
       if (t == GateType::Input && controllable_[net] &&
           sim_.value(net).g == Val::X) {
@@ -206,7 +210,7 @@ bool Podem::backtrace(Objective obj, NodeId& pi, Val& pv) const {
       return false;
     }
     if (t == GateType::Const0 || t == GateType::Const1) return false;
-    const auto fins = nl.fanins(net);
+    const std::span<const NodeId> fins(soa.fanin(net), soa.fanin_count(net));
     if (t == GateType::Buf) {
       net = fins[0];
       continue;

@@ -86,7 +86,8 @@ class Podem {
   Scoap scoap_;
   AtpgOptions opt_;
   PairSim sim_;
-  std::vector<char> xpath_mark_;  // scratch
+  std::vector<char> xpath_mark_;     // scratch
+  std::vector<char> frontier_mark_;  // scratch: D-frontier dedupe
 };
 
 }  // namespace fsct

@@ -167,7 +167,7 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
         easy_faults.push_back(faults[i]);
       }
     }
-    SeqFaultSim sim(lv, observe);
+    SeqFaultSim sim(lv, observe, opt.simd_width);
     const SeqFaultSimResult r =
         sim.run(sb.alternating(cycles), easy_faults, Val::X, &pool, obs);
     res.easy_verified = r.num_detected();
@@ -213,7 +213,7 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
     std::vector<Fault> hard_faults;
     hard_faults.reserve(hard_idx.size());
     for (std::size_t j : hard_idx) hard_faults.push_back(faults[j]);
-    SeqFaultSim fsim(lv, observe);
+    SeqFaultSim fsim(lv, observe, opt.simd_width);
     const SeqFaultSimResult r =
         fsim.run(sb.alternating(cycles), hard_faults, Val::X, &pool, obs);
     for (std::size_t k = 0; k < hard_idx.size(); ++k) {
@@ -406,7 +406,7 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
     s2span.reset();
     if (obs) obs->begin_phase("step2.seq_verify", vectors.size());
     const ObsSpan verify_span(obs, "step2.seq_verify");
-    SeqFaultSim ssim(lv, observe);
+    SeqFaultSim ssim(lv, observe, opt.simd_width);
     for (const ScanVector& v : vectors) {
       if (obs) obs->phase_tick();
       std::vector<Fault> open;
@@ -454,7 +454,7 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
     if (res.outcome[j] == FaultOutcome::Undetected) remaining.push_back(j);
   }
 
-  SeqFaultSim s3sim(lv, observe);
+  SeqFaultSim s3sim(lv, observe, opt.simd_width);
   // Realises an in-model detection and (optionally) verifies it end to end.
   // Returns the realised sequence when the detection stands, nullopt when it
   // does not reproduce.  Pure w.r.t. shared state, so group/final tasks can
@@ -673,12 +673,12 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
     if (sites.empty()) return;  // NoSites
     const AtpgResult r = rm.podem->generate(sites);
     if (r.status == AtpgStatus::Detected) {
-      if (auto seq = realize_s3_detection(final_builder, rm, r, j)) {
-        fdone[k].verdict = FinalVerdict::Detected;
-        fdone[k].seq = std::move(*seq);
-      } else {
-        fdone[k].verdict = FinalVerdict::Unverified;
-      }
+      // Realise the in-model test now; end-to-end verification of all final
+      // detections is batched below as (fault, sequence) pairs so many
+      // replays retire per packed sweep.
+      const SeqTest t = final_builder.extract_test(rm, r);
+      fdone[k].seq = final_builder.realize(t, maxlen + 2);
+      fdone[k].verdict = FinalVerdict::Detected;
     } else if (r.status == AtpgStatus::Untestable) {
       fdone[k].verdict = FinalVerdict::Untestable;
     } else {
@@ -691,6 +691,29 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
     parallel_for(pool, final_idx.size(), 1, [&](std::size_t b, std::size_t e) {
       for (std::size_t k = b; k < e; ++k) run_final(k);
     });
+  }
+  // Batched verification: each (fault, realised sequence) pair is an
+  // independent replay, so the verdicts — and therefore every outcome and
+  // counter below — are identical to the old one-serial-run-per-fault loop.
+  if (opt.verify_seq) {
+    std::vector<FaultSeqPair> vpairs;
+    std::vector<std::size_t> vslot;
+    for (std::size_t k = 0; k < final_idx.size(); ++k) {
+      if (fdone[k].verdict == FinalVerdict::Detected) {
+        vpairs.push_back({faults[final_idx[k]], &fdone[k].seq});
+        vslot.push_back(k);
+      }
+    }
+    if (!vpairs.empty()) {
+      const ObsSpan span(obs, "step3.final_verify");
+      const std::vector<int> vr = s3sim.run_pairs(vpairs, Val::X, &pool, obs);
+      for (std::size_t i = 0; i < vpairs.size(); ++i) {
+        if (vr[i] < 0) {
+          fdone[vslot[i]].verdict = FinalVerdict::Unverified;
+          fdone[vslot[i]].seq.clear();
+        }
+      }
+    }
   }
   for (std::size_t k = 0; k < final_idx.size(); ++k) {
     const std::size_t j = final_idx[k];

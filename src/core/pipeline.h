@@ -40,6 +40,12 @@ struct PipelineOptions {
   /// at any value (see DESIGN.md "Concurrency architecture").
   int jobs = 0;
 
+  /// Packed-simulation lane width in bits (64, 256 or 512); 0 picks the
+  /// process default (FSCT_SIMD_WIDTH at build time, --simd-width at run
+  /// time).  Width changes throughput and pass counters only — per-fault
+  /// outcomes are bitwise identical at every width (see DESIGN.md §5h).
+  int simd_width = 0;
+
   int comb_backtrack_limit = 1500;
   int seq_backtrack_limit = 3000;
   int final_backtrack_limit = 12000;

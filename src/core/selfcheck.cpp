@@ -23,7 +23,7 @@ namespace {
 
 constexpr const char* kOracleNames[kNumOracles] = {
     "packed-sim", "ppsfp-seq", "cat3-scanout", "jobs-identity",
-    "export-replay", "dominance"};
+    "export-replay", "dominance", "simd"};
 
 /// splitmix64: decorrelates per-iteration / per-oracle seeds so running a
 /// subset of oracles (e.g. during shrinking) draws the same random data as
@@ -392,6 +392,70 @@ std::string oracle_dominance(const ScannedWorld& w,
   return "";
 }
 
+// ---- O7: serial vs W-wide sequential fault simulation ----------------------
+
+std::string oracle_simd(const ScannedWorld& w, std::mt19937_64 rng) {
+  const Netlist& nl = w.nl;
+  std::vector<NodeId> observe = nl.outputs();
+  for (NodeId so : w.model->scan_outs()) {
+    if (so != kNullNode &&
+        std::find(observe.begin(), observe.end(), so) == observe.end()) {
+      observe.push_back(so);
+    }
+  }
+  if (observe.empty()) return "";
+
+  // Random stimulus with a mix of binary and X data, long enough for fault
+  // effects to reach the chain; random initial state.
+  const std::size_t cycles = w.model->max_chain_length() + 8;
+  auto rand_3val = [&rng]() {
+    const auto r = rng() & 7;
+    return r < 2 ? Val::X : (r & 1) ? Val::One : Val::Zero;
+  };
+  TestSequence seq;
+  seq.reserve(cycles);
+  for (std::size_t t = 0; t < cycles; ++t) {
+    std::vector<Val> v(nl.inputs().size());
+    for (Val& x : v) x = rand_3val();
+    seq.push_back(std::move(v));
+  }
+  const Val init = (rng() & 1) ? Val::X : Val::Zero;
+
+  // Enough random faults to span several packed words at every width.
+  std::vector<Fault> fs = w.faults;
+  std::shuffle(fs.begin(), fs.end(), rng);
+  if (fs.size() > 96) fs.resize(96);
+
+  const SeqFaultSim ref(*w.lv, observe, 64);
+  const SeqFaultSimResult want = ref.run_serial(seq, fs, init);
+
+  for (const int width : kSimdWidths) {
+    const SeqFaultSim sim(*w.lv, observe, width);
+    const SeqFaultSimResult got = sim.run(seq, fs, init);
+    for (std::size_t i = 0; i < fs.size(); ++i) {
+      if (got.detect_cycle[i] != want.detect_cycle[i]) {
+        return std::string(kOracleNames[6]) + ": " + fault_name(nl, fs[i]) +
+               " width " + std::to_string(width) + " run() detect cycle " +
+               std::to_string(got.detect_cycle[i]) + " vs serial " +
+               std::to_string(want.detect_cycle[i]);
+      }
+    }
+    std::vector<FaultSeqPair> pairs;
+    pairs.reserve(fs.size());
+    for (const Fault& f : fs) pairs.push_back({f, &seq});
+    const std::vector<int> pg = sim.run_pairs(pairs, init);
+    for (std::size_t i = 0; i < fs.size(); ++i) {
+      if (pg[i] != want.detect_cycle[i]) {
+        return std::string(kOracleNames[6]) + ": " + fault_name(nl, fs[i]) +
+               " width " + std::to_string(width) + " run_pairs() detect cycle " +
+               std::to_string(pg[i]) + " vs serial " +
+               std::to_string(want.detect_cycle[i]);
+      }
+    }
+  }
+  return "";
+}
+
 }  // namespace
 
 const char* oracle_name(std::size_t index) { return kOracleNames[index]; }
@@ -524,6 +588,10 @@ std::string selfcheck_circuit(const Netlist& pre_scan,
   if (cfg.oracles & kOracleCat3) {
     count(2);
     if (std::string d = oracle_cat3(w, oracle_rng(2)); !d.empty()) return d;
+  }
+  if (cfg.oracles & kOracleSimd) {
+    count(6);
+    if (std::string d = oracle_simd(w, oracle_rng(6)); !d.empty()) return d;
   }
   if (cfg.oracles & (kOracleJobs | kOracleExport | kOracleDominance)) {
     const PipelineResult serial =

@@ -25,7 +25,12 @@
 //                     flag-independent, and every fault whose detected
 //                     status differs is adjudicated by replaying the
 //                     claiming side's exported program against that fault
-//                     (the claim must reproduce as real strobe mismatches).
+//                     (the claim must reproduce as real strobe mismatches),
+//   O7 simd           the serial sequential fault simulator and the W-wide
+//                     parallel-fault engines must report identical detect
+//                     cycles for random (fault set, sequence, initial state)
+//                     triples at every lane width (64/256/512), for both
+//                     run() and the pairwise run_pairs() layout.
 //
 // `fsct fuzz` drives these oracles over random circuits from
 // bench_circuits/generator; a failing circuit is greedily shrunk (drop
@@ -49,12 +54,13 @@ inline constexpr unsigned kOracleCat3 = 1u << 2;        ///< O3
 inline constexpr unsigned kOracleJobs = 1u << 3;        ///< O4
 inline constexpr unsigned kOracleExport = 1u << 4;      ///< O5
 inline constexpr unsigned kOracleDominance = 1u << 5;   ///< O6
+inline constexpr unsigned kOracleSimd = 1u << 6;        ///< O7
 inline constexpr unsigned kOracleAll =
     kOraclePackedSim | kOraclePpsfpSeq | kOracleCat3 | kOracleJobs |
-    kOracleExport | kOracleDominance;
+    kOracleExport | kOracleDominance | kOracleSimd;
 
 /// Number of distinct oracles / their short names ("packed-sim", ...).
-inline constexpr std::size_t kNumOracles = 6;
+inline constexpr std::size_t kNumOracles = 7;
 const char* oracle_name(std::size_t index);
 
 /// Parses a comma-separated oracle list ("packed-sim,jobs-identity", "all");

@@ -1,13 +1,22 @@
 #include "fault/seq_fault_sim.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "core/obs.h"
 
 namespace fsct {
 
-SeqFaultSim::SeqFaultSim(const Levelizer& lv, std::vector<NodeId> observe)
-    : lv_(lv), observe_(std::move(observe)) {}
+SeqFaultSim::SeqFaultSim(const Levelizer& lv, std::vector<NodeId> observe,
+                         int simd_width)
+    : lv_(lv),
+      observe_(std::move(observe)),
+      soa_(SoaCircuit::compile(lv)),
+      width_(simd_width ? simd_width : default_simd_width()) {
+  if (!is_valid_simd_width(width_)) {
+    throw std::invalid_argument("SIMD width must be 64, 256 or 512");
+  }
+}
 
 SeqFaultSimResult SeqFaultSim::run_serial(const TestSequence& seq,
                                           std::span<const Fault> faults,
@@ -54,50 +63,83 @@ SeqFaultSimResult SeqFaultSim::run_serial(const TestSequence& seq,
   return res;
 }
 
-SeqFaultSimResult SeqFaultSim::run(const TestSequence& seq,
-                                   std::span<const Fault> faults,
-                                   Val initial_state,
-                                   ThreadPool* pool,
-                                   ObsRegistry* obs) const {
-  SeqFaultSimResult res;
-  res.detect_cycle.assign(faults.size(), -1);
-  const Netlist& nl = lv_.netlist();
+namespace {
 
-  // One packed pass: the good machine plus 63 faulty machines starting at
-  // fault index `base`, writing the pass's disjoint result slice.
+template <int NW>
+WideInjection<NW> to_wide_injection(const Fault& f, unsigned lane) {
+  WideInjection<NW> w;
+  w.node = f.node;
+  w.pin = f.pin;
+  w.value = f.stuck_one ? Val::One : Val::Zero;
+  w.mask[lane >> 6] = 1ull << (lane & 63u);
+  return w;
+}
+
+template <int NW>
+bool all_zero(const std::uint64_t (&m)[NW]) {
+  std::uint64_t acc = 0;
+  for (int w = 0; w < NW; ++w) acc |= m[w];
+  return acc == 0;
+}
+
+}  // namespace
+
+// One packed pass: per 64-bit word, bit 0 carries the good machine and bits
+// 1..63 carry faulty machines, NW words per lane block.  Broadcast PI loading
+// replicates the good machine into bit 0 of every word for free, so each
+// word's detection test is local: good-binary vs the word's faulty planes.
+template <int NW>
+void SeqFaultSim::run_width(const TestSequence& seq,
+                            std::span<const Fault> faults, Val initial_state,
+                            ThreadPool* pool, ObsRegistry* obs,
+                            SeqFaultSimResult& res) const {
+  constexpr std::size_t kPerWord = 63;
+  constexpr std::size_t kPerPass = kPerWord * NW;
+
   auto packed_pass = [&](std::size_t base) {
     const ObsSpan span(obs, "seqsim.pass");
-    const std::size_t chunk = std::min<std::size_t>(63, faults.size() - base);
-    std::vector<PackedVal> pi_packed(nl.inputs().size());
-    std::vector<PackedInjection> inj;
+    const std::size_t chunk = std::min(kPerPass, faults.size() - base);
+    std::vector<WideVal<NW>> pi(soa_->inputs().size());
+    std::vector<WideInjection<NW>> inj;
     inj.reserve(chunk);
     for (std::size_t k = 0; k < chunk; ++k) {
-      inj.push_back(to_packed_injection(faults[base + k], 1ull << (k + 1)));
+      // Fault k rides word k/63, bit 1 + k%63 (bit 0 = good machine).
+      inj.push_back(to_wide_injection<NW>(
+          faults[base + k],
+          static_cast<unsigned>(((k / kPerWord) << 6) + 1 + k % kPerWord)));
     }
 
-    PackedSeqSim sim(lv_);
+    std::uint64_t undet[NW];
+    for (int w = 0; w < NW; ++w) {
+      const std::size_t in_word = std::min<std::size_t>(
+          kPerWord, chunk > w * kPerWord ? chunk - w * kPerWord : 0);
+      undet[w] =
+          (in_word == kPerWord) ? ~1ull : ((1ull << (in_word + 1)) - 2);
+    }
+
+    WideSeqSim<NW> sim(soa_);
     sim.reset(initial_state);
     std::uint64_t cycles = 0, dropped = 0;
-    std::uint64_t undet = ((chunk == 63) ? ~1ull : ((1ull << (chunk + 1)) - 2));
-    for (std::size_t t = 0; t < seq.size() && undet != 0; ++t) {
+    for (std::size_t t = 0; t < seq.size() && !all_zero<NW>(undet); ++t) {
       ++cycles;
-      for (std::size_t i = 0; i < pi_packed.size(); ++i) {
-        pi_packed[i] = PackedVal::broadcast(seq[t][i]);
+      for (std::size_t i = 0; i < pi.size(); ++i) {
+        pi[i] = WideVal<NW>::broadcast(seq[t][i]);
       }
-      const auto& v = sim.step(pi_packed, inj);
+      const WideSim<NW>& v = sim.step(pi, inj);
       for (NodeId n : observe_) {
-        const PackedVal pv = v[n];
-        const Val g = pv.at(0);
-        std::uint64_t det = 0;
-        if (g == Val::Zero) det = pv.one;
-        if (g == Val::One) det = pv.zero;
-        det &= undet;
-        while (det != 0) {
-          const unsigned bit = static_cast<unsigned>(std::countr_zero(det));
-          det &= det - 1;
-          undet &= ~(1ull << bit);
-          res.detect_cycle[base + bit - 1] = static_cast<int>(t);
-          ++dropped;
+        const WideVal<NW>& pv = v.value(n);
+        for (int w = 0; w < NW; ++w) {
+          const std::uint64_t z = pv.zero[w], o = pv.one[w];
+          std::uint64_t det = (z & 1) ? o : (o & 1) ? z : 0;
+          det &= undet[w];
+          while (det != 0) {
+            const unsigned bit = static_cast<unsigned>(std::countr_zero(det));
+            det &= det - 1;
+            undet[w] &= ~(1ull << bit);
+            res.detect_cycle[base + w * kPerWord + bit - 1] =
+                static_cast<int>(t);
+            ++dropped;
+          }
         }
       }
     }
@@ -108,15 +150,143 @@ SeqFaultSimResult SeqFaultSim::run(const TestSequence& seq,
     }
   };
 
-  const std::size_t passes = (faults.size() + 62) / 63;
+  const std::size_t passes = (faults.size() + kPerPass - 1) / kPerPass;
   if (pool != nullptr && pool->jobs() > 1 && passes > 1) {
     parallel_for(*pool, passes, 1, [&](std::size_t b, std::size_t e) {
-      for (std::size_t p = b; p < e; ++p) packed_pass(p * 63);
+      for (std::size_t p = b; p < e; ++p) packed_pass(p * kPerPass);
     });
   } else {
-    for (std::size_t p = 0; p < passes; ++p) packed_pass(p * 63);
+    for (std::size_t p = 0; p < passes; ++p) packed_pass(p * kPerPass);
+  }
+}
+
+SeqFaultSimResult SeqFaultSim::run(const TestSequence& seq,
+                                   std::span<const Fault> faults,
+                                   Val initial_state,
+                                   ThreadPool* pool,
+                                   ObsRegistry* obs) const {
+  SeqFaultSimResult res;
+  res.detect_cycle.assign(faults.size(), -1);
+  // Small batches clamp to the narrowest lane width that still fits in one
+  // pass: lanes past the fault count simulate nothing, so a wide pass over a
+  // tiny batch is pure overhead.  Outcomes are width-independent, and the
+  // counter contract is preserved — a batch that fits one narrow pass also
+  // takes exactly one pass at the configured width, with identical early
+  // exit, so passes/cycles stay a pure function of (count, width).
+  int w = width_;
+  if (faults.size() <= 63) w = 64;
+  else if (faults.size() <= 63 * 4 && w > 256) w = 256;
+  switch (w) {
+    case 64: run_width<1>(seq, faults, initial_state, pool, obs, res); break;
+    case 256: run_width<4>(seq, faults, initial_state, pool, obs, res); break;
+    default: run_width<8>(seq, faults, initial_state, pool, obs, res); break;
   }
   return res;
+}
+
+// One pair pass: pair q of the pass rides word q/32, lanes 2*(q%32) (good)
+// and 2*(q%32)+1 (faulty).  Each pair follows its own sequence, so PI lanes
+// are loaded per pair rather than broadcast; a pair's lanes go X (and its
+// undet bit is retired) once its sequence is exhausted.
+template <int NW>
+void SeqFaultSim::run_pairs_width(std::span<const FaultSeqPair> pairs,
+                                  Val initial_state, ThreadPool* pool,
+                                  ObsRegistry* obs,
+                                  std::vector<int>& out) const {
+  constexpr std::size_t kPerWord = 32;
+  constexpr std::size_t kPerPass = kPerWord * NW;
+  constexpr std::uint64_t kEven = 0x5555555555555555ull;
+
+  auto pair_pass = [&](std::size_t base) {
+    const ObsSpan span(obs, "seqsim.pass");
+    const std::size_t chunk = std::min(kPerPass, pairs.size() - base);
+    std::size_t max_len = 0;
+    std::vector<WideInjection<NW>> inj;
+    inj.reserve(chunk);
+    std::uint64_t undet[NW] = {};
+    for (std::size_t q = 0; q < chunk; ++q) {
+      inj.push_back(to_wide_injection<NW>(
+          pairs[base + q].fault,
+          static_cast<unsigned>(((q / kPerWord) << 6) + 2 * (q % kPerWord) +
+                                1)));
+      undet[q / kPerWord] |= 1ull << (2 * (q % kPerWord));
+      max_len = std::max(max_len, pairs[base + q].seq->size());
+    }
+
+    std::vector<WideVal<NW>> pi(soa_->inputs().size());
+    WideSeqSim<NW> sim(soa_);
+    sim.reset(initial_state);
+    std::uint64_t cycles = 0, dropped = 0;
+    for (std::size_t t = 0; t < max_len; ++t) {
+      // Retire pairs whose sequence ended; stop when none are live.
+      for (std::size_t q = 0; q < chunk; ++q) {
+        if (pairs[base + q].seq->size() == t) {
+          undet[q / kPerWord] &= ~(1ull << (2 * (q % kPerWord)));
+        }
+      }
+      if (all_zero<NW>(undet)) break;
+      ++cycles;
+      for (auto& v : pi) v = WideVal<NW>::broadcast(Val::X);
+      for (std::size_t q = 0; q < chunk; ++q) {
+        const TestSequence& s = *pairs[base + q].seq;
+        if (t >= s.size()) continue;
+        const unsigned lane = static_cast<unsigned>(
+            ((q / kPerWord) << 6) + 2 * (q % kPerWord));
+        for (std::size_t i = 0; i < pi.size(); ++i) {
+          pi[i].set(lane, s[t][i]);
+          pi[i].set(lane + 1, s[t][i]);
+        }
+      }
+      const WideSim<NW>& v = sim.step(pi, inj);
+      for (NodeId n : observe_) {
+        const WideVal<NW>& pv = v.value(n);
+        for (int w = 0; w < NW; ++w) {
+          const std::uint64_t gz = pv.zero[w] & kEven;
+          const std::uint64_t go = pv.one[w] & kEven;
+          const std::uint64_t fz = (pv.zero[w] >> 1) & kEven;
+          const std::uint64_t fo = (pv.one[w] >> 1) & kEven;
+          std::uint64_t det = ((gz & fo) | (go & fz)) & undet[w];
+          while (det != 0) {
+            const unsigned bit = static_cast<unsigned>(std::countr_zero(det));
+            det &= det - 1;
+            undet[w] &= ~(1ull << bit);
+            out[base + w * kPerWord + bit / 2] = static_cast<int>(t);
+            ++dropped;
+          }
+        }
+      }
+    }
+    if (obs) {
+      obs->add(Ctr::SeqSimPackedPasses);
+      obs->add(Ctr::SeqSimCycles, cycles);
+      obs->add(Ctr::SeqSimFaultsDropped, dropped);
+    }
+  };
+
+  const std::size_t passes = (pairs.size() + kPerPass - 1) / kPerPass;
+  if (pool != nullptr && pool->jobs() > 1 && passes > 1) {
+    parallel_for(*pool, passes, 1, [&](std::size_t b, std::size_t e) {
+      for (std::size_t p = b; p < e; ++p) pair_pass(p * kPerPass);
+    });
+  } else {
+    for (std::size_t p = 0; p < passes; ++p) pair_pass(p * kPerPass);
+  }
+}
+
+std::vector<int> SeqFaultSim::run_pairs(std::span<const FaultSeqPair> pairs,
+                                        Val initial_state, ThreadPool* pool,
+                                        ObsRegistry* obs) const {
+  std::vector<int> out(pairs.size(), -1);
+  // Same small-batch clamp as run(): 32 pairs per word.
+  int w = width_;
+  if (pairs.size() <= 32) w = 64;
+  else if (pairs.size() <= 32 * 4 && w > 256) w = 256;
+  switch (w) {
+    case 64: run_pairs_width<1>(pairs, initial_state, pool, obs, out); break;
+    case 256: run_pairs_width<4>(pairs, initial_state, pool, obs, out); break;
+    default: run_pairs_width<8>(pairs, initial_state, pool, obs, out); break;
+  }
+  return out;
 }
 
 }  // namespace fsct

@@ -4,18 +4,43 @@
 // observed net carries a binary value in the good machine and the *opposite*
 // binary value in the faulty machine.  X never detects.
 //
-// Two engines with identical semantics:
+// Three engines with identical per-fault semantics:
 //  * run_serial  — one faulty machine at a time (reference implementation),
-//  * run         — parallel-fault: 63 faulty machines + the good machine
-//                  packed in one 64-bit word per net (bit 0 = good).
+//  * run         — parallel-fault: 63 faulty machines + the good machine per
+//                  64-bit word, W/64 words per lane block (W = SIMD width in
+//                  bits), i.e. 63 * W/64 faults per packed pass.  Bit 0 of
+//                  every word carries the good machine (injections never
+//                  touch it),
+//  * run_pairs   — fault x pattern parallel: independent (fault, sequence)
+//                  pairs packed two lanes each (even lane = that pair's good
+//                  machine, odd = faulty), 32 * W/64 pairs per pass; used to
+//                  retire many step-3 verification replays per sweep.
+//
+// Counter contract (schedule- and jobs-independent by construction):
+//  * SeqSimPackedPasses increments once per packed pass.  The pass partition
+//    is fixed-size slices of the input — ceil(n_faults / (63 * W/64)) for
+//    run(), ceil(n_pairs / (32 * W/64)) for run_pairs() — so pass counts are
+//    a pure function of (fault/pair count, lane width): no dependence on
+//    detections, thread schedule or pool size.  tests/fault/seq_fault_sim_test
+//    pins the counts at widths 64/256/512.  A batch small enough to fit one
+//    pass at a narrower width is clamped down to it (empty lanes are pure
+//    overhead); that batch takes exactly one pass at either width, so the
+//    pure-function property is unaffected.
+//  * SeqSimCycles sums the machine-cycles each pass simulates.  A pass stops
+//    early once every fault in it is detected, so the sum depends only on
+//    (sequence, fault list, initial state, lane width) — wider passes retire
+//    in fewer aggregate cycles.
+//  * SeqSimFaultsDropped counts detections; identical at every width.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/parallel.h"
 #include "fault/fault.h"
 #include "sim/seq_sim.h"
+#include "sim/soa_circuit.h"
 
 namespace fsct {
 
@@ -36,12 +61,22 @@ struct SeqFaultSimResult {
   }
 };
 
+/// One independent (fault, sequence) verification job for run_pairs().
+struct FaultSeqPair {
+  Fault fault;
+  const TestSequence* seq = nullptr;
+};
+
 /// Sequential fault simulator.  `observe` lists the nets sampled every cycle
 /// (primary outputs, plus e.g. the scan-out flip-flop's Q).  A DFF id in the
 /// list observes its Q value (pre-clock-edge state).
 class SeqFaultSim {
  public:
-  SeqFaultSim(const Levelizer& lv, std::vector<NodeId> observe);
+  /// `simd_width` is the packed lane width in bits (64/256/512);
+  /// 0 picks the process default (see set_default_simd_width).  The width
+  /// affects throughput and pass counters only, never per-fault outcomes.
+  SeqFaultSim(const Levelizer& lv, std::vector<NodeId> observe,
+              int simd_width = 0);
 
   /// Serial reference engine.  `obs` (optional) receives run/cycle/drop
   /// counters.
@@ -50,23 +85,41 @@ class SeqFaultSim {
                                Val initial_state = Val::X,
                                ObsRegistry* obs = nullptr) const;
 
-  /// Parallel-fault engine (63 faults per packed pass).  The packed passes
-  /// are mutually independent; with a pool they are dispatched concurrently,
-  /// each writing its own disjoint 63-fault slice of the result, so the
-  /// output is identical to the serial run at any job count.  `obs`
-  /// (optional) receives pass/cycle/drop counters and one trace span per
-  /// packed pass; pass counters depend only on the fault partition (fixed
-  /// 63-fault slices), so they too are schedule-independent.
+  /// Parallel-fault engine (63 * W/64 faults per packed pass; see the file
+  /// comment for the counter contract).  The packed passes are mutually
+  /// independent; with a pool they are dispatched concurrently, each writing
+  /// its own disjoint slice of the result, so the output is identical to the
+  /// serial run at any job count and any lane width.
   SeqFaultSimResult run(const TestSequence& seq, std::span<const Fault> faults,
                         Val initial_state = Val::X,
                         ThreadPool* pool = nullptr,
                         ObsRegistry* obs = nullptr) const;
 
+  /// Batched independent (fault, sequence) pairs, 32 * W/64 per pass.
+  /// Returns the first detecting cycle per pair (-1 = not detected), exactly
+  /// run_serial(*pairs[i].seq, {pairs[i].fault}) for each i.
+  std::vector<int> run_pairs(std::span<const FaultSeqPair> pairs,
+                             Val initial_state = Val::X,
+                             ThreadPool* pool = nullptr,
+                             ObsRegistry* obs = nullptr) const;
+
   const std::vector<NodeId>& observe() const { return observe_; }
+  int simd_width() const { return width_; }
 
  private:
+  template <int NW>
+  void run_width(const TestSequence& seq, std::span<const Fault> faults,
+                 Val initial_state, ThreadPool* pool, ObsRegistry* obs,
+                 SeqFaultSimResult& res) const;
+  template <int NW>
+  void run_pairs_width(std::span<const FaultSeqPair> pairs, Val initial_state,
+                       ThreadPool* pool, ObsRegistry* obs,
+                       std::vector<int>& out) const;
+
   const Levelizer& lv_;
   std::vector<NodeId> observe_;
+  std::shared_ptr<const SoaCircuit> soa_;
+  int width_;
 };
 
 }  // namespace fsct

@@ -24,15 +24,6 @@ std::string_view gate_type_name(GateType t) {
   return "?";
 }
 
-bool is_source(GateType t) {
-  return t == GateType::Input || t == GateType::Const0 ||
-         t == GateType::Const1;
-}
-
-bool is_combinational(GateType t) {
-  return !is_source(t) && t != GateType::Dff;
-}
-
 namespace {
 
 // Minimum/maximum legal fanin count per gate type.

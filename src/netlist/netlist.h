@@ -54,10 +54,15 @@ enum class GateType : std::uint8_t {
 std::string_view gate_type_name(GateType t);
 
 /// True for types with no fanins (Input, Const0, Const1).
-bool is_source(GateType t);
+inline bool is_source(GateType t) {
+  return t == GateType::Input || t == GateType::Const0 ||
+         t == GateType::Const1;
+}
 
 /// True for combinational gate types (everything except Input/Const/Dff).
-bool is_combinational(GateType t);
+inline bool is_combinational(GateType t) {
+  return !is_source(t) && t != GateType::Dff;
+}
 
 /// One node of the netlist.  Plain data; invariants (arity, acyclicity) are
 /// maintained by Netlist and checked by Netlist::validate().

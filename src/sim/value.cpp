@@ -22,77 +22,6 @@ Val val_from_char(char c) {
   }
 }
 
-Val controlling_value(GateType t) {
-  switch (t) {
-    case GateType::And:
-    case GateType::Nand: return Val::Zero;
-    case GateType::Or:
-    case GateType::Nor: return Val::One;
-    default: return Val::X;
-  }
-}
-
-bool is_inverting(GateType t) {
-  return t == GateType::Nand || t == GateType::Nor || t == GateType::Xnor ||
-         t == GateType::Not;
-}
-
-namespace {
-
-Val and_reduce(const Val* ins, std::size_t n) {
-  bool saw_x = false;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (ins[i] == Val::Zero) return Val::Zero;
-    if (ins[i] == Val::X) saw_x = true;
-  }
-  return saw_x ? Val::X : Val::One;
-}
-
-Val or_reduce(const Val* ins, std::size_t n) {
-  bool saw_x = false;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (ins[i] == Val::One) return Val::One;
-    if (ins[i] == Val::X) saw_x = true;
-  }
-  return saw_x ? Val::X : Val::Zero;
-}
-
-Val xor_reduce(const Val* ins, std::size_t n) {
-  bool parity = false;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (ins[i] == Val::X) return Val::X;
-    parity ^= (ins[i] == Val::One);
-  }
-  return parity ? Val::One : Val::Zero;
-}
-
-}  // namespace
-
-Val eval_gate(GateType t, const Val* ins, std::size_t n) {
-  switch (t) {
-    case GateType::Const0: return Val::Zero;
-    case GateType::Const1: return Val::One;
-    case GateType::Buf:
-    case GateType::Dff: return ins[0];
-    case GateType::Not: return !ins[0];
-    case GateType::And: return and_reduce(ins, n);
-    case GateType::Nand: return !and_reduce(ins, n);
-    case GateType::Or: return or_reduce(ins, n);
-    case GateType::Nor: return !or_reduce(ins, n);
-    case GateType::Xor: return xor_reduce(ins, n);
-    case GateType::Xnor: return !xor_reduce(ins, n);
-    case GateType::Mux: {
-      const Val s = ins[0], d0 = ins[1], d1 = ins[2];
-      if (s == Val::Zero) return d0;
-      if (s == Val::One) return d1;
-      return (d0 == d1 && d0 != Val::X) ? d0 : Val::X;
-    }
-    case GateType::Input:
-      throw std::logic_error("eval_gate on a primary input");
-  }
-  return Val::X;
-}
-
 namespace {
 
 PackedVal not_p(PackedVal a) { return {a.one, a.zero}; }

@@ -6,6 +6,7 @@
 
 #include "bench_circuits/generator.h"
 #include "bench_circuits/paper_examples.h"
+#include "core/obs.h"
 
 namespace fsct {
 namespace {
@@ -294,6 +295,121 @@ TEST(SeqFaultSim, PinFaultDiffersFromStemFault) {
   // Both detected, but the stem is visible at `buf` a cycle earlier.
   ASSERT_EQ(r.num_detected(), 2u);
   EXPECT_GT(r.detect_cycle[0], r.detect_cycle[1]);
+}
+
+// --- Lane-width contract ----------------------------------------------------
+
+/// A random circuit, stimulus and >63-fault list shared by the width tests.
+struct WidthFixture {
+  Netlist nl;
+  TestSequence seq;
+  std::vector<Fault> faults;
+
+  WidthFixture() {
+    RandomCircuitSpec spec;
+    spec.num_gates = 80;
+    spec.num_ffs = 9;
+    spec.num_pis = 5;
+    spec.num_pos = 4;
+    spec.seed = 97;
+    nl = make_random_sequential(spec);
+    std::mt19937_64 rng(5);
+    for (int t = 0; t < 25; ++t) {
+      std::vector<Val> v(nl.inputs().size());
+      for (auto& x : v) x = (rng() & 1) ? k1 : k0;
+      seq.push_back(std::move(v));
+    }
+    faults = all_faults(nl);
+  }
+};
+
+TEST(SeqFaultSim, OutcomesAreIdenticalAtEveryWidth) {
+  const WidthFixture fx;
+  const Levelizer lv(fx.nl);
+  const SeqFaultSim ref(lv, fx.nl.outputs(), 64);
+  const auto want = ref.run_serial(fx.seq, fx.faults);
+  for (const int width : kSimdWidths) {
+    const SeqFaultSim sim(lv, fx.nl.outputs(), width);
+    EXPECT_EQ(sim.simd_width(), width);
+    const auto got = sim.run(fx.seq, fx.faults);
+    ASSERT_EQ(got.detect_cycle.size(), want.detect_cycle.size());
+    for (std::size_t i = 0; i < fx.faults.size(); ++i) {
+      EXPECT_EQ(got.detect_cycle[i], want.detect_cycle[i])
+          << fault_name(fx.nl, fx.faults[i]) << " width " << width;
+    }
+  }
+}
+
+TEST(SeqFaultSim, RunPairsMatchesSerialPerPair) {
+  // Pairs with *different* sequences of different lengths (one empty) packed
+  // into the same passes; each pair must behave exactly like its own serial
+  // run.
+  const WidthFixture fx;
+  const Levelizer lv(fx.nl);
+  TestSequence shorter(fx.seq.begin(), fx.seq.begin() + 7);
+  const TestSequence empty;
+  const TestSequence* seqs[3] = {&fx.seq, &shorter, &empty};
+
+  std::vector<FaultSeqPair> pairs;
+  for (std::size_t i = 0; i < fx.faults.size(); ++i) {
+    pairs.push_back({fx.faults[i], seqs[i % 3]});
+  }
+  const SeqFaultSim ref(lv, fx.nl.outputs(), 64);
+  for (const int width : kSimdWidths) {
+    const SeqFaultSim sim(lv, fx.nl.outputs(), width);
+    const std::vector<int> got = sim.run_pairs(pairs);
+    ASSERT_EQ(got.size(), pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const Fault one[1] = {pairs[i].fault};
+      EXPECT_EQ(got[i], ref.run_serial(*pairs[i].seq, one).detect_cycle[0])
+          << fault_name(fx.nl, pairs[i].fault) << " width " << width;
+    }
+  }
+}
+
+TEST(SeqFaultSim, PackedPassCountsArePureFunctionOfCountAndWidth) {
+  // The counter contract (seq_fault_sim.h): run() partitions into
+  // ceil(n / (63 * W/64)) passes, run_pairs() into ceil(n / (32 * W/64)) —
+  // independent of detections, schedule or pool size.  600 jobs spans
+  // multiple passes at every width (duplicated faults are fine: lanes are
+  // independent).
+  const WidthFixture fx;
+  const Levelizer lv(fx.nl);
+  std::vector<Fault> faults;
+  std::vector<FaultSeqPair> pairs;
+  for (std::size_t i = 0; i < 600; ++i) {
+    faults.push_back(fx.faults[i % fx.faults.size()]);
+    pairs.push_back({faults.back(), &fx.seq});
+  }
+
+  const struct { int width; std::uint64_t run_passes, pair_passes; } want[] = {
+      {64, 10, 19},   // ceil(600/63),  ceil(600/32)
+      {256, 3, 5},    // ceil(600/252), ceil(600/128)
+      {512, 2, 3},    // ceil(600/504), ceil(600/256)
+  };
+  for (const auto& w : want) {
+    const SeqFaultSim sim(lv, fx.nl.outputs(), w.width);
+    ObsRegistry reg_run;
+    sim.run(fx.seq, faults, Val::X, nullptr, &reg_run);
+    EXPECT_EQ(reg_run.total(Ctr::SeqSimPackedPasses), w.run_passes)
+        << "run() width " << w.width;
+    ObsRegistry reg_pairs;
+    sim.run_pairs(pairs, Val::X, nullptr, &reg_pairs);
+    EXPECT_EQ(reg_pairs.total(Ctr::SeqSimPackedPasses), w.pair_passes)
+        << "run_pairs() width " << w.width;
+
+    // Detection counts are width-independent.
+    ObsRegistry reg_again;
+    sim.run(fx.seq, faults, Val::X, nullptr, &reg_again);
+    EXPECT_EQ(reg_again.total(Ctr::SeqSimPackedPasses), w.run_passes);
+  }
+}
+
+TEST(SeqFaultSim, InvalidWidthThrows) {
+  const Netlist nl = shift3();
+  const Levelizer lv(nl);
+  EXPECT_THROW(SeqFaultSim(lv, {nl.find("q3")}, 128), std::invalid_argument);
+  EXPECT_THROW(SeqFaultSim(lv, {nl.find("q3")}, -1), std::invalid_argument);
 }
 
 }  // namespace

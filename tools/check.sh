@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Build + test, then rebuild with ThreadSanitizer and re-run the tests that
 # drive the fault-parallel execution layer — the race detector must be clean
-# on the new parallel paths.
+# on the new parallel paths — and with UBSan over the wide SIMD kernels
+# (alignment, shifts, aliasing in the multi-word lane code).
 #
-#   tools/check.sh              # full check (plain build + full ctest + TSan)
+#   tools/check.sh              # full check (plain build + full ctest +
+#                               # width sweep + TSan + UBSan)
 #   tools/check.sh --tsan-only  # only the TSan build + concurrency tests
 #   tools/check.sh --coverage   # only the gcov build + line-floor check on
 #                               # src/fault and src/core (opt-in; slow -O0)
@@ -126,7 +128,7 @@ EOF
   python3 -m json.tool "$OBS_TMP/metrics.json" > /dev/null
   echo "check.sh: observability smoke OK (trace + metrics JSON parse)"
 
-  # Differential fuzz smoke: a fixed-seed sweep of all five selfcheck oracles
+  # Differential fuzz smoke: a fixed-seed sweep of all seven selfcheck oracles
   # plus a replay of the checked-in minimized corpus (see core/selfcheck.h).
   ./build/tools/fsct fuzz --seed 1 --iters 100 -o "$OBS_TMP/fuzz"
   ./build/tools/fsct fuzz --corpus tests/integration/fuzz_corpus
@@ -141,6 +143,30 @@ EOF
   ./build/tools/fsct bench compare "$OBS_TMP/bench_smoke.json" \
     "$OBS_TMP/bench_smoke.json"
   echo "check.sh: bench smoke OK (run + JSON parse + self-compare)"
+
+  # Width sweep: the full pipeline at every SIMD lane width must produce an
+  # identical run report (timings and RSS stripped — wider lanes legitimately
+  # use more memory; only results and deterministic counters are compared).
+  for W in 64 256 512; do
+    ./build/tools/fsct test "$OBS_TMP/s27.bench" --jobs 1 --simd-width "$W" \
+      --metrics "$OBS_TMP/metrics_w$W.json" > /dev/null
+    python3 - "$OBS_TMP/metrics_w$W.json" "$OBS_TMP/metrics_w$W.norm" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+def strip(o):
+    if isinstance(o, dict):
+        return {k: strip(v) for k, v in sorted(o.items())
+                if "seconds" not in k and "time" not in k and "passes" not in k
+                and "cycles" not in k and "rss" not in k}
+    if isinstance(o, list):
+        return [strip(v) for v in o]
+    return o
+json.dump(strip(doc), open(sys.argv[2], "w"), indent=1)
+EOF
+  done
+  cmp "$OBS_TMP/metrics_w64.norm" "$OBS_TMP/metrics_w256.norm"
+  cmp "$OBS_TMP/metrics_w64.norm" "$OBS_TMP/metrics_w512.norm"
+  echo "check.sh: width sweep OK (identical run reports at 64/256/512)"
 fi
 
 cmake -B build-tsan -S . -DFSCT_SANITIZE=thread "$@"
@@ -150,4 +176,16 @@ cmake --build build-tsan -j \
            selfcheck_test bench_harness_test
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
   --output-on-failure -R "$CONCURRENCY_TESTS"
+
+if [[ "$TSAN_ONLY" == 0 ]]; then
+  # UBSan over the new SoA/wide kernels: the multi-word lane types lean on
+  # alignas + fixed-trip-count word loops, so shifts, alignment and aliasing
+  # must be provably clean at every width.
+  cmake -B build-ubsan -S . -DFSCT_SANITIZE=undefined "$@"
+  cmake --build build-ubsan -j \
+    --target soa_sim_test seq_fault_sim_test pair_sim_test podem_test
+  UBSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-ubsan \
+    --output-on-failure -R 'SoaCircuit\.|WideSim\.|WideSeqSim\.|SimdWidth\.|SeqFaultSim\.|PairSim\.|Podem\.'
+  echo "check.sh: UBSan clean over the SoA/wide kernels"
+fi
 echo "check.sh: OK (plain tests $( [[ $TSAN_ONLY == 1 ]] && echo skipped || echo passed ), TSan clean)"

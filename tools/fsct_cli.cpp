@@ -10,8 +10,8 @@
 //       write the scanned netlist.
 //
 //   fsct test     <circuit.bench> [--chains N] [--partial permille]
-//                 [--jobs N] [-o program.fsct] [--trace t.json]
-//                 [--metrics m.json] [-v]
+//                 [--jobs N] [--simd-width W] [-o program.fsct]
+//                 [--trace t.json] [--metrics m.json] [-v]
 //       full flow: TPI + three-step screening pipeline; prints the paper's
 //       Table-2/3 style summary and (with -o) writes the complete chain test
 //       program (flush + vectors + verified sequential tests) plus the
@@ -70,6 +70,7 @@
 #include "netlist/bench_io.h"
 #include "netlist/stats.h"
 #include "scan/tpi.h"
+#include "sim/soa_circuit.h"
 
 namespace {
 
@@ -85,6 +86,7 @@ struct Args {
   int chains = 1;
   int partial = 1000;
   int jobs = 0;  // 0 = one executor per hardware thread
+  int simd_width = 0;  // 0 = build-time default (FSCT_SIMD_WIDTH)
   std::string out;
   std::string fault_net;
   int fault_value = -1;
@@ -181,6 +183,12 @@ Args parse(int argc, char** argv) {
       } else {
         a.jobs = static_cast<int>(parse_int(s, v.c_str(), 0, 4096));
         a.jobs_list = {a.jobs};
+      }
+    } else if (s == "--simd-width") {
+      a.simd_width = static_cast<int>(int_operand(s, 1, 4096));
+      if (!is_valid_simd_width(a.simd_width)) {
+        throw UsageError("--simd-width: expected 64, 256 or 512, got " +
+                         std::to_string(a.simd_width));
       }
     } else if (s == "--label") {
       a.label = operand(s);
@@ -310,6 +318,7 @@ int cmd_test(const Args& a) {
   PipelineOptions opt;
   opt.verify_easy = true;
   opt.jobs = a.jobs;
+  opt.simd_width = a.simd_width;
   opt.dominance = !a.no_dominance;
 
   ObsRegistry reg;
@@ -647,6 +656,9 @@ void print_usage(std::FILE* f = stdout) {
       "  --partial M       permille of flip-flops scanned (default 1000)\n"
       "  --jobs N          parallel executors; 0 = one per hardware thread\n"
       "                    (default), 1 = serial — results are identical\n"
+      "  --simd-width W    packed-simulation lane width in bits: 64, 256 or\n"
+      "                    512 (default: build-time FSCT_SIMD_WIDTH); affects\n"
+      "                    throughput only, per-fault results are identical\n"
       "  -o FILE           output file (scan: netlist, test: program +\n"
       "                    FILE.bench)\n"
       "  --fault NET 0|1   stuck-at fault to inject (replay, diagnose)\n"
@@ -680,7 +692,7 @@ void print_usage(std::FILE* f = stdout) {
       "                    with --offset K --iters 1)\n"
       "  --oracles LIST    comma-separated subset: packed-sim, ppsfp-seq,\n"
       "                    cat3-scanout, jobs-identity, export-replay,\n"
-      "                    dominance, all\n"
+      "                    dominance, simd, all\n"
       "  --max-gates N     largest random circuit drawn (default 70)\n"
       "  --max-ffs N       largest flip-flop count drawn (default 10)\n"
       "  --no-shrink       emit failing circuits unminimized\n"
@@ -704,6 +716,9 @@ int main(int argc, char** argv) {
   }
   try {
     const Args a = parse(argc, argv);
+    // Process-wide: every engine constructed with width 0 (the default)
+    // reads this, so one flag covers test/bench/selftest/fuzz alike.
+    if (a.simd_width) set_default_simd_width(a.simd_width);
     if (cmd == "stats") return cmd_stats(a);
     if (cmd == "scan") return cmd_scan(a);
     if (cmd == "test") return cmd_test(a);
