@@ -305,8 +305,31 @@ bool Podem::backtrace(Objective obj, NodeId& pi, Val& pv) const {
   }
 }
 
-AtpgResult Podem::generate(std::span<const FaultSite> sites) {
+AtpgResult Podem::generate(std::span<const FaultSite> sites,
+                           std::int64_t attr_fault) {
+  ObsRegistry* aobs = opt_.obs;
+  const bool attributed =
+      aobs && attr_fault >= 0 && aobs->attribution_enabled();
+  // The wall clock is read only on attributed calls, so the disabled path
+  // stays at one branch per generate() (the null-sink rule).
+  std::chrono::steady_clock::time_point at0;
+  if (attributed) at0 = std::chrono::steady_clock::now();
   AtpgResult res = generate_impl(sites);
+  if (attributed) {
+    const std::size_t f = static_cast<std::size_t>(attr_fault);
+    aobs->charge(Attr::PodemCalls, f);
+    if (!res.hit_time_limit) {
+      aobs->charge(Attr::PodemDecisions, f,
+                   static_cast<std::uint64_t>(res.decisions));
+      aobs->charge(Attr::PodemBacktracks, f,
+                   static_cast<std::uint64_t>(res.backtracks));
+    }
+    aobs->charge(Attr::WallNanos, f,
+                 static_cast<std::uint64_t>(
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - at0)
+                         .count()));
+  }
   if (ObsRegistry* obs = opt_.obs) {
     obs->add(Ctr::PodemCalls);
     switch (res.status) {

@@ -59,8 +59,13 @@ class Podem {
   Podem(const Levelizer& lv, std::vector<char> controllable,
         std::vector<NodeId> observe, AtpgOptions opt = {});
 
-  /// Generates a test for the fault given by its site overrides.
-  AtpgResult generate(std::span<const FaultSite> sites);
+  /// Generates a test for the fault given by its site overrides.  When
+  /// `attr_fault` >= 0 and the obs sink has attribution enabled, the call's
+  /// work (calls/decisions/backtracks, the wall-truncation exclusion rule
+  /// matching the counters, plus wall nanoseconds) is charged to that fault
+  /// id in the per-fault attribution ledger.
+  AtpgResult generate(std::span<const FaultSite> sites,
+                      std::int64_t attr_fault = -1);
 
   const Levelizer& levelizer() const { return lv_; }
 

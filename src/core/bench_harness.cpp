@@ -16,6 +16,7 @@
 #endif
 
 #include "bench_circuits/suite.h"
+#include "core/json.h"
 #include "core/obs.h"
 #include "core/parallel.h"
 #include "core/pipeline.h"
@@ -171,6 +172,18 @@ BenchDocument run_bench(const BenchRunConfig& cfg) {
 
       for (int rep = -cfg.warmup; rep < cfg.reps; ++rep) {
         ObsRegistry reg;
+        if (cfg.attribution) reg.request_attribution();
+        // Label the live-status / heartbeat lines with what is being timed,
+        // so a long bench is observable mid-flight.
+        char ctx[96];
+        if (rep < 0) {
+          std::snprintf(ctx, sizeof ctx, "%s jobs=%d warmup", e.name.c_str(),
+                        jobs);
+        } else {
+          std::snprintf(ctx, sizeof ctx, "%s jobs=%d rep %d/%d",
+                        e.name.c_str(), jobs, rep + 1, cfg.reps);
+        }
+        reg.set_context(ctx);
         PipelineOptions opt;
         opt.jobs = jobs;
         opt.obs = &reg;
@@ -268,27 +281,6 @@ BenchDocument run_bench(const BenchRunConfig& cfg) {
 
 namespace {
 
-std::string jesc(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 std::string jnum(double v) {
   char buf[48];
   std::snprintf(buf, sizeof buf, "%.9g", v);
@@ -310,29 +302,29 @@ std::string write_bench_json(const BenchDocument& doc) {
   std::ostringstream os;
   os << "{\n";
   os << "  \"schema\": \"fsct-bench-v2\",\n";
-  os << "  \"label\": \"" << jesc(doc.label) << "\",\n";
-  os << "  \"note\": \"" << jesc(doc.note) << "\",\n";
+  os << "  \"label\": \"" << json_escape(doc.label) << "\",\n";
+  os << "  \"note\": \"" << json_escape(doc.note) << "\",\n";
   const BenchMachine& m = doc.machine;
   os << "  \"machine\": {\n"
      << "    \"nproc\": " << m.nproc << ",\n"
-     << "    \"governor\": \"" << jesc(m.governor) << "\",\n"
-     << "    \"compiler\": \"" << jesc(m.compiler) << "\",\n"
-     << "    \"git_sha\": \"" << jesc(m.git_sha) << "\",\n"
-     << "    \"sanitizer\": \"" << jesc(m.sanitizer) << "\",\n"
-     << "    \"os\": \"" << jesc(m.os) << "\"\n"
+     << "    \"governor\": \"" << json_escape(m.governor) << "\",\n"
+     << "    \"compiler\": \"" << json_escape(m.compiler) << "\",\n"
+     << "    \"git_sha\": \"" << json_escape(m.git_sha) << "\",\n"
+     << "    \"sanitizer\": \"" << json_escape(m.sanitizer) << "\",\n"
+     << "    \"os\": \"" << json_escape(m.os) << "\"\n"
      << "  },\n";
   os << "  \"reps\": " << doc.reps << ",\n";
   os << "  \"warmup\": " << doc.warmup << ",\n";
   os << "  \"warnings\": [";
   for (std::size_t i = 0; i < doc.warnings.size(); ++i) {
-    os << (i ? ", " : "") << "\"" << jesc(doc.warnings[i]) << "\"";
+    os << (i ? ", " : "") << "\"" << json_escape(doc.warnings[i]) << "\"";
   }
   os << "],\n";
   os << "  \"rows\": [\n";
   for (std::size_t ri = 0; ri < doc.rows.size(); ++ri) {
     const BenchRow& row = doc.rows[ri];
     os << "    {\n";
-    os << "      \"circuit\": \"" << jesc(row.circuit) << "\",\n";
+    os << "      \"circuit\": \"" << json_escape(row.circuit) << "\",\n";
     os << "      \"jobs\": " << row.jobs << ",\n";
     os << "      \"reps\": " << row.reps << ",\n";
     os << "      \"jobs_oversubscribed\": "
@@ -341,7 +333,7 @@ std::string write_bench_json(const BenchDocument& doc) {
     os << "      \"phases\": [\n";
     for (std::size_t pi = 0; pi < row.phases.size(); ++pi) {
       const BenchPhase& p = row.phases[pi];
-      os << "        {\"name\": \"" << jesc(p.name) << "\",\n";
+      os << "        {\"name\": \"" << json_escape(p.name) << "\",\n";
       write_stat(os, "wall", p.wall, "         ");
       if (p.has_cpu) {
         os << ",\n";
@@ -352,13 +344,13 @@ std::string write_bench_json(const BenchDocument& doc) {
     os << "      ],\n";
     os << "      \"counters\": {";
     for (std::size_t i = 0; i < row.counters.size(); ++i) {
-      os << (i ? ", " : "") << "\"" << jesc(row.counters[i].first)
+      os << (i ? ", " : "") << "\"" << json_escape(row.counters[i].first)
          << "\": " << row.counters[i].second;
     }
     os << "},\n";
     os << "      \"results\": {";
     for (std::size_t i = 0; i < row.results.size(); ++i) {
-      os << (i ? ", " : "") << "\"" << jesc(row.results[i].first)
+      os << (i ? ", " : "") << "\"" << json_escape(row.results[i].first)
          << "\": " << row.results[i].second;
     }
     os << "}\n";
@@ -373,243 +365,16 @@ std::string write_bench_json(const BenchDocument& doc) {
 
 namespace {
 
-/// Minimal JSON value with the source line of its first byte, so schema
-/// errors can be anchored ("baseline.json: line 37: ...").
-struct JVal {
-  enum Kind { Null, Bool, Num, Str, Arr, Obj } kind = Null;
-  bool b = false;
-  double num = 0;
-  std::string str;
-  std::vector<JVal> arr;
-  std::vector<std::pair<std::string, JVal>> obj;  // insertion order
-  int line = 1;
-
-  const JVal* find(const char* key) const {
-    for (const auto& [k, v] : obj) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  JsonParser(const std::string& text, const std::string& name)
-      : text_(text), name_(name) {}
-
-  JVal parse() {
-    JVal v = value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing content after JSON value");
-    return v;
-  }
-
-  [[noreturn]] void fail_at(int line, const std::string& msg) const {
-    throw BenchParseError(name_ + ": line " + std::to_string(line) + ": " +
-                          msg);
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& msg) const {
-    fail_at(line_, msg);
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c == '\n') ++line_;
-      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (pos_ >= text_.size() || text_[pos_] != c) {
-      fail(std::string("expected '") + c + "'");
-    }
-    ++pos_;
-  }
-
-  JVal value() {
-    skip_ws();
-    JVal v;
-    v.line = line_;
-    const char c = peek();
-    switch (c) {
-      case '{': object(v); break;
-      case '[': array(v); break;
-      case '"':
-        v.kind = JVal::Str;
-        v.str = string();
-        break;
-      case 't':
-      case 'f':
-        v.kind = JVal::Bool;
-        v.b = (c == 't');
-        literal(c == 't' ? "true" : "false");
-        break;
-      case 'n':
-        literal("null");
-        break;
-      default:
-        if (c == '-' || (c >= '0' && c <= '9')) {
-          v.kind = JVal::Num;
-          v.num = number();
-        } else {
-          fail(std::string("unexpected character '") + c + "'");
-        }
-    }
-    return v;
-  }
-
-  void object(JVal& v) {
-    v.kind = JVal::Obj;
-    expect('{');
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return;
-    }
-    while (true) {
-      skip_ws();
-      std::string key = string();
-      skip_ws();
-      expect(':');
-      v.obj.emplace_back(std::move(key), value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return;
-    }
-  }
-
-  void array(JVal& v) {
-    v.kind = JVal::Arr;
-    expect('[');
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return;
-    }
-    while (true) {
-      v.arr.push_back(value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return;
-    }
-  }
-
-  std::string string() {
-    if (peek() != '"') fail("expected string");
-    ++pos_;
-    std::string out;
-    while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c == '\n') fail("unterminated string");
-      if (c == '\\') {
-        if (pos_ >= text_.size()) fail("unterminated escape");
-        const char e = text_[pos_++];
-        switch (e) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'r': out += '\r'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-            // Decoded as a raw byte; bench documents are ASCII in practice.
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = text_[pos_++];
-              code <<= 4;
-              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-              else fail("bad \\u escape");
-            }
-            out += static_cast<char>(code < 0x80 ? code : '?');
-            break;
-          }
-          default:
-            fail(std::string("bad escape '\\") + e + "'");
-        }
-      } else {
-        out += c;
-      }
-    }
-  }
-
-  double number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    try {
-      return std::stod(text_.substr(start, pos_ - start));
-    } catch (const std::exception&) {
-      fail("invalid number");
-    }
-  }
-
-  void literal(const char* word) {
-    const std::size_t n = std::strlen(word);
-    if (text_.compare(pos_, n, word) != 0) {
-      fail(std::string("expected '") + word + "'");
-    }
-    pos_ += n;
-  }
-
-  const std::string& text_;
-  const std::string& name_;
-  std::size_t pos_ = 0;
-  int line_ = 1;
-};
-
+// Thin forwards onto the shared line-anchored JSON layer (core/json.h);
+// kept as local names so the schema readers below stay terse.
 double get_num(const JsonParser& p, const JVal& obj, const char* key,
                double fallback = 0, bool required = false) {
-  const JVal* v = obj.find(key);
-  if (!v) {
-    if (required) {
-      p.fail_at(obj.line, std::string("missing required field \"") + key +
-                              "\"");
-    }
-    return fallback;
-  }
-  if (v->kind != JVal::Num) {
-    p.fail_at(v->line, std::string("field \"") + key + "\" must be a number");
-  }
-  return v->num;
+  return json_num(p, obj, key, fallback, required);
 }
 
 std::string get_str(const JsonParser& p, const JVal& obj, const char* key,
                     const char* fallback = "") {
-  const JVal* v = obj.find(key);
-  if (!v) return fallback;
-  if (v->kind != JVal::Str) {
-    p.fail_at(v->line, std::string("field \"") + key + "\" must be a string");
-  }
-  return v->str;
+  return json_str(p, obj, key, fallback);
 }
 
 BenchStat parse_stat(const JsonParser& p, const JVal& v) {
@@ -624,11 +389,7 @@ BenchStat parse_stat(const JsonParser& p, const JVal& v) {
 
 void parse_uint_map(const JsonParser& p, const JVal& v,
                     std::vector<std::pair<std::string, std::uint64_t>>& out) {
-  if (v.kind != JVal::Obj) p.fail_at(v.line, "expected an object of numbers");
-  for (const auto& [k, e] : v.obj) {
-    if (e.kind != JVal::Num) continue;  // tolerate non-numeric extras
-    out.emplace_back(k, static_cast<std::uint64_t>(e.num));
-  }
+  json_uint_map(p, v, out);
 }
 
 /// Legacy (PR-1 era) row: flat result fields plus phase_seconds{classify,

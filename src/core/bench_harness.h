@@ -26,18 +26,19 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
-#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/json.h"
+
 namespace fsct {
 
 /// Thrown on malformed / wrong-schema bench JSON; the message is anchored
-/// ("<name>: line N: ...") so CI logs point at the offending byte.
-struct BenchParseError : std::runtime_error {
-  using std::runtime_error::runtime_error;
-};
+/// ("<name>: line N: ...") so CI logs point at the offending byte.  The bench
+/// reader is built on the shared line-anchored JSON layer, so this is the
+/// same exception the profile loader throws.
+using BenchParseError = JsonParseError;
 
 /// Host fingerprint recorded in every document: enough to spot an
 /// apples-to-oranges comparison (different core count, governor, compiler,
@@ -111,6 +112,11 @@ struct BenchRunConfig {
   std::vector<int> jobs = {1};  ///< one set of rows per entry (resolved)
   int reps = 5;
   int warmup = 1;
+  /// Enable the per-fault attribution ledger during every repetition.  Used
+  /// by the overhead gate (attribution on vs off must compare clean); the
+  /// ledger itself is discarded — bench rows carry only the deterministic
+  /// counters.
+  bool attribution = false;
   /// Per-rep progress lines ("s1488 jobs=1 rep 3/5: total 0.012s"), unset =
   /// silent.
   std::function<void(const std::string&)> progress;

@@ -1,0 +1,238 @@
+#include "core/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+
+namespace fsct {
+
+JVal JsonParser::parse() {
+  JVal v = value();
+  skip_ws();
+  if (pos_ != text_.size()) fail("trailing content after JSON value");
+  return v;
+}
+
+void JsonParser::skip_ws() {
+  while (pos_ < text_.size()) {
+    const char c = text_[pos_];
+    if (c == '\n') ++line_;
+    if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+    ++pos_;
+  }
+}
+
+char JsonParser::peek() {
+  if (pos_ >= text_.size()) fail("unexpected end of input");
+  return text_[pos_];
+}
+
+void JsonParser::expect(char c) {
+  if (pos_ >= text_.size() || text_[pos_] != c) {
+    fail(std::string("expected '") + c + "'");
+  }
+  ++pos_;
+}
+
+JVal JsonParser::value() {
+  skip_ws();
+  JVal v;
+  v.line = line_;
+  const char c = peek();
+  switch (c) {
+    case '{': object(v); break;
+    case '[': array(v); break;
+    case '"':
+      v.kind = JVal::Str;
+      v.str = string();
+      break;
+    case 't':
+    case 'f':
+      v.kind = JVal::Bool;
+      v.b = (c == 't');
+      literal(c == 't' ? "true" : "false");
+      break;
+    case 'n':
+      literal("null");
+      break;
+    default:
+      if (c == '-' || (c >= '0' && c <= '9')) {
+        v.kind = JVal::Num;
+        v.num = number();
+      } else {
+        fail(std::string("unexpected character '") + c + "'");
+      }
+  }
+  return v;
+}
+
+void JsonParser::object(JVal& v) {
+  v.kind = JVal::Obj;
+  expect('{');
+  skip_ws();
+  if (peek() == '}') {
+    ++pos_;
+    return;
+  }
+  while (true) {
+    skip_ws();
+    std::string key = string();
+    skip_ws();
+    expect(':');
+    v.obj.emplace_back(std::move(key), value());
+    skip_ws();
+    if (peek() == ',') {
+      ++pos_;
+      continue;
+    }
+    expect('}');
+    return;
+  }
+}
+
+void JsonParser::array(JVal& v) {
+  v.kind = JVal::Arr;
+  expect('[');
+  skip_ws();
+  if (peek() == ']') {
+    ++pos_;
+    return;
+  }
+  while (true) {
+    v.arr.push_back(value());
+    skip_ws();
+    if (peek() == ',') {
+      ++pos_;
+      continue;
+    }
+    expect(']');
+    return;
+  }
+}
+
+std::string JsonParser::string() {
+  if (peek() != '"') fail("expected string");
+  ++pos_;
+  std::string out;
+  while (true) {
+    if (pos_ >= text_.size()) fail("unterminated string");
+    char c = text_[pos_++];
+    if (c == '"') return out;
+    if (c == '\n') fail("unterminated string");
+    if (c == '\\') {
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          // Decoded as a raw byte; our documents are ASCII in practice.
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          out += static_cast<char>(code < 0x80 ? code : '?');
+          break;
+        }
+        default:
+          fail(std::string("bad escape '\\") + e + "'");
+      }
+    } else {
+      out += c;
+    }
+  }
+}
+
+double JsonParser::number() {
+  const std::size_t start = pos_;
+  if (peek() == '-') ++pos_;
+  while (pos_ < text_.size() &&
+         (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+          text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+          text_[pos_] == '+' || text_[pos_] == '-')) {
+    ++pos_;
+  }
+  try {
+    return std::stod(text_.substr(start, pos_ - start));
+  } catch (const std::exception&) {
+    fail("invalid number");
+  }
+}
+
+void JsonParser::literal(const char* word) {
+  const std::size_t n = std::strlen(word);
+  if (text_.compare(pos_, n, word) != 0) {
+    fail(std::string("expected '") + word + "'");
+  }
+  pos_ += n;
+}
+
+double json_num(const JsonParser& p, const JVal& obj, const char* key,
+                double fallback, bool required) {
+  const JVal* v = obj.find(key);
+  if (!v) {
+    if (required) {
+      p.fail_at(obj.line,
+                std::string("missing required field \"") + key + "\"");
+    }
+    return fallback;
+  }
+  if (v->kind != JVal::Num) {
+    p.fail_at(v->line, std::string("field \"") + key + "\" must be a number");
+  }
+  return v->num;
+}
+
+std::string json_str(const JsonParser& p, const JVal& obj, const char* key,
+                     const char* fallback) {
+  const JVal* v = obj.find(key);
+  if (!v) return fallback;
+  if (v->kind != JVal::Str) {
+    p.fail_at(v->line, std::string("field \"") + key + "\" must be a string");
+  }
+  return v->str;
+}
+
+void json_uint_map(const JsonParser& p, const JVal& v,
+                   std::vector<std::pair<std::string, std::uint64_t>>& out) {
+  if (v.kind != JVal::Obj) p.fail_at(v.line, "expected an object of numbers");
+  for (const auto& [k, e] : v.obj) {
+    if (e.kind != JVal::Num) continue;  // tolerate non-numeric extras
+    out.emplace_back(k, static_cast<std::uint64_t>(e.num));
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace fsct

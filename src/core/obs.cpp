@@ -12,6 +12,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "core/json.h"
 #include "core/pipeline.h"
 
 namespace fsct {
@@ -44,6 +45,7 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "flush_credit_detected",
     "dropped_by_ledger",
     "untestable_propagated",
+    "trace_events_dropped",
 };
 
 constexpr const char* kGaugeNames[kNumGauges] = {
@@ -59,6 +61,17 @@ constexpr const char* kHistNames[kNumHists] = {
     "podem_decision_depth",
     "podem_backtracks_per_call",
     "s3_group_size",
+};
+
+constexpr const char* kAttrNames[kNumAttrs] = {
+    "podem_calls",
+    "podem_decisions",
+    "podem_backtracks",
+    "seq_sims",
+    "seq_cycles",
+    "pair_replays",
+    "credit_events",
+    "wall_nanos",
 };
 
 std::string fmt_double(double v) {
@@ -97,6 +110,9 @@ const char* gauge_name(Gauge g) {
 }
 const char* hist_name(Hist h) {
   return kHistNames[static_cast<std::size_t>(h)];
+}
+const char* attr_name(Attr a) {
+  return kAttrNames[static_cast<std::size_t>(a)];
 }
 
 namespace {
@@ -166,8 +182,97 @@ ObsRegistry::ObsRegistry()
       epoch_(std::chrono::steady_clock::now()) {}
 
 ObsRegistry::~ObsRegistry() {
-  std::lock_guard<std::mutex> lk(g_status_m);
-  if (g_status_reg == this) g_status_reg = nullptr;
+  {
+    // Detach from the status registry first: the monitor dereferences the
+    // registry only while holding g_status_m, so after this block no other
+    // thread can observe the cells we free below.
+    std::lock_guard<std::mutex> lk(g_status_m);
+    if (g_status_reg == this) g_status_reg = nullptr;
+  }
+  for (std::size_t s = 0; s < kShards; ++s) {
+    delete[] shards_[s].attr.load(std::memory_order_relaxed);
+  }
+}
+
+// --- per-fault work attribution ---------------------------------------------
+
+void ObsRegistry::init_attribution(std::size_t num_faults) {
+  attr_faults_ = num_faults;
+  attr_on_.store(num_faults > 0, std::memory_order_relaxed);
+}
+
+void ObsRegistry::charge_slow(Attr a, std::size_t fault, std::uint64_t n) {
+  Shard& s = shard();
+  std::atomic<std::uint64_t>* cells = s.attr.load(std::memory_order_acquire);
+  if (!cells) {
+    std::lock_guard<std::mutex> lk(attr_m_);
+    cells = s.attr.load(std::memory_order_relaxed);
+    if (!cells) {
+      cells = new std::atomic<std::uint64_t>[attr_faults_ * kNumAttrs]();
+      s.attr.store(cells, std::memory_order_release);
+    }
+  }
+  cells[fault * kNumAttrs + static_cast<std::size_t>(a)].fetch_add(
+      n, std::memory_order_relaxed);
+}
+
+std::uint64_t ObsRegistry::attr_total(Attr a, std::size_t fault) const {
+  std::uint64_t sum = 0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    const std::atomic<std::uint64_t>* cells =
+        shards_[s].attr.load(std::memory_order_acquire);
+    if (cells) {
+      sum += cells[fault * kNumAttrs + static_cast<std::size_t>(a)].load(
+          std::memory_order_relaxed);
+    }
+  }
+  return sum;
+}
+
+std::vector<std::uint64_t> ObsRegistry::attribution_table() const {
+  std::vector<std::uint64_t> out(attr_faults_ * kNumDetAttrs, 0);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    const std::atomic<std::uint64_t>* cells =
+        shards_[s].attr.load(std::memory_order_acquire);
+    if (!cells) continue;
+    for (std::size_t f = 0; f < attr_faults_; ++f) {
+      for (std::size_t a = 0; a < kNumDetAttrs; ++a) {
+        out[f * kNumDetAttrs + a] +=
+            cells[f * kNumAttrs + a].load(std::memory_order_relaxed);
+      }
+    }
+  }
+  return out;
+}
+
+std::string ObsRegistry::attribution_json() const {
+  const std::vector<std::uint64_t> t = attribution_table();
+  std::string out = "{\"faults\": " + std::to_string(attr_faults_) +
+                    ", \"columns\": [";
+  for (std::size_t a = 0; a < kNumDetAttrs; ++a) {
+    if (a) out += ", ";
+    out += "\"";
+    out += kAttrNames[a];
+    out += "\"";
+  }
+  out += "], \"rows\": {";
+  bool first = true;
+  for (std::size_t f = 0; f < attr_faults_; ++f) {
+    bool any = false;
+    for (std::size_t a = 0; a < kNumDetAttrs; ++a) {
+      any |= t[f * kNumDetAttrs + a] != 0;
+    }
+    if (!any) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + std::to_string(f) + "\": [";
+    for (std::size_t a = 0; a < kNumDetAttrs; ++a) {
+      if (a) out += ", ";
+      out += std::to_string(t[f * kNumDetAttrs + a]);
+    }
+    out += "]";
+  }
+  return out + "}}";
 }
 
 std::size_t ObsRegistry::bucket(std::uint64_t value) {
@@ -194,21 +299,61 @@ std::array<std::uint64_t, kHistBuckets> ObsRegistry::hist_total(Hist h) const {
   return out;
 }
 
+std::uint64_t ObsRegistry::hist_sum(Hist h) const {
+  std::uint64_t sum = 0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    sum += shards_[s].hist_sums[static_cast<std::size_t>(h)].load(
+        std::memory_order_relaxed);
+  }
+  return sum;
+}
+
 double ObsRegistry::now_us() const {
   return std::chrono::duration<double, std::micro>(
              std::chrono::steady_clock::now() - epoch_)
       .count();
 }
 
+void ObsRegistry::set_trace_limit_bytes(std::size_t bytes) {
+  std::lock_guard<std::mutex> lk(trace_m_);
+  trace_limit_bytes_ = bytes;
+}
+
 void ObsRegistry::add_trace_event(const char* name, unsigned tid, double t0_us,
                                   double t1_us) {
-  std::lock_guard<std::mutex> lk(trace_m_);
-  trace_events_.push_back({name, tid, t0_us, t1_us});
+  bool dropped = false;
+  {
+    std::lock_guard<std::mutex> lk(trace_m_);
+    // Conservative estimate of the two JSON lines a span becomes; keeping
+    // the budget in eventual-output bytes makes --trace-max-mb honest.
+    const std::size_t est = 96 + 2 * std::strlen(name);
+    if (trace_limit_bytes_ != 0 && trace_bytes_ + est > trace_limit_bytes_) {
+      if (!trace_truncated_) {
+        trace_truncated_ = true;
+        trace_events_.push_back({"trace.truncated", tid, t0_us, t1_us});
+      }
+      dropped = true;
+    } else {
+      trace_bytes_ += est;
+      trace_events_.push_back({name, tid, t0_us, t1_us});
+    }
+  }
+  if (dropped) add(Ctr::TraceEventsDropped);
 }
 
 std::size_t ObsRegistry::trace_event_count() const {
   std::lock_guard<std::mutex> lk(trace_m_);
   return trace_events_.size();
+}
+
+std::vector<ObsRegistry::SpanEvent> ObsRegistry::trace_snapshot() const {
+  std::lock_guard<std::mutex> lk(trace_m_);
+  std::vector<SpanEvent> out;
+  out.reserve(trace_events_.size());
+  for (const TraceEvent& e : trace_events_) {
+    out.push_back({e.name, e.tid, e.t0_us, e.t1_us});
+  }
+  return out;
 }
 
 void ObsRegistry::write_trace(std::ostream& os) const {
@@ -287,8 +432,22 @@ void ObsRegistry::attach_pool(const ThreadPool* pool) {
   live_pool_ = pool;
 }
 
+void ObsRegistry::set_context(std::string ctx) {
+  std::lock_guard<std::mutex> lk(live_m_);
+  context_ = std::move(ctx);
+}
+
+std::string ObsRegistry::context() const {
+  std::lock_guard<std::mutex> lk(live_m_);
+  return context_;
+}
+
 void ObsRegistry::write_status(std::ostream& os) const {
   os << "=== fsct status ===\n";
+  {
+    const std::string ctx = context();
+    if (!ctx.empty()) os << "run: " << ctx << "\n";
+  }
   os << "elapsed: " << fmt_double(now_us() / 1e6) << "s, cpu: "
      << fmt_double(process_cpu_seconds()) << "s\n";
   const PhaseProgress p = phase_progress();
@@ -386,10 +545,12 @@ void ObsMonitor::emit_status() {
 
 void ObsMonitor::emit_heartbeat() {
   ObsRegistry::PhaseProgress p;
+  std::string ctx;
   {
     std::lock_guard<std::mutex> lk(g_status_m);
     if (!g_status_reg) return;
     p = g_status_reg->phase_progress();
+    ctx = g_status_reg->context();
   }
   if (!p.name) return;
   const auto now = std::chrono::steady_clock::now();
@@ -409,7 +570,7 @@ void ObsMonitor::emit_heartbeat() {
       rate = static_cast<double>(p.done - window_.front().done) / dt;
     }
   }
-  char buf[256];
+  char buf[384];
   char eta[32] = "?";
   if (rate > 0 && p.total >= p.done) {
     std::snprintf(eta, sizeof eta, "%.0fs",
@@ -417,10 +578,12 @@ void ObsMonitor::emit_heartbeat() {
   }
   long cur = 0, peak = 0;
   ObsRegistry::read_rss_kb(cur, peak);
+  char run[96] = "";
+  if (!ctx.empty()) std::snprintf(run, sizeof run, "[%s] ", ctx.c_str());
   std::snprintf(buf, sizeof buf,
-                "heartbeat phase=%s done=%llu/%llu rate=%.1f/s eta=%s "
+                "heartbeat %sphase=%s done=%llu/%llu rate=%.1f/s eta=%s "
                 "rss=%ldMB peak=%ldMB",
-                p.name, static_cast<unsigned long long>(p.done),
+                run, p.name, static_cast<unsigned long long>(p.done),
                 static_cast<unsigned long long>(p.total), rate, eta,
                 cur / 1024, peak / 1024);
   opt_.sink(buf);
@@ -446,9 +609,47 @@ std::string ObsRegistry::counters_json() const {
   return out + "}}";
 }
 
-void ObsRegistry::write_run_report(std::ostream& os,
-                                   const PipelineResult& r) const {
-  os << "{\n\"schema\": \"fsct-run-report-v1\",\n";
+void ObsRegistry::write_openmetrics(std::ostream& os) const {
+  // Counters: the TYPE line names the metric family, samples carry the
+  // mandatory `_total` suffix.
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    os << "# TYPE fsct_" << kCounterNames[i] << " counter\n";
+    os << "fsct_" << kCounterNames[i] << "_total "
+       << total(static_cast<Ctr>(i)) << "\n";
+  }
+  for (std::size_t i = 0; i < kNumGauges; ++i) {
+    os << "# TYPE fsct_" << kGaugeNames[i] << " gauge\n";
+    os << "fsct_" << kGaugeNames[i] << " " << gauges_[i] << "\n";
+  }
+  // Histograms: cumulative buckets with the log2 scheme's upper bounds
+  // (bucket 0 holds value 0 -> le="0"; bucket i holds [2^(i-1), 2^i - 1]
+  // -> le = 2^i - 1; the tail bucket becomes le="+Inf").
+  for (std::size_t i = 0; i < kNumHists; ++i) {
+    const Hist h = static_cast<Hist>(i);
+    const auto b = hist_total(h);
+    os << "# TYPE fsct_" << kHistNames[i] << " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t j = 0; j < kHistBuckets; ++j) {
+      cum += b[j];
+      os << "fsct_" << kHistNames[i] << "_bucket{le=\"";
+      if (j == 0) {
+        os << "0";
+      } else if (j + 1 < kHistBuckets) {
+        os << ((std::uint64_t{1} << j) - 1);
+      } else {
+        os << "+Inf";
+      }
+      os << "\"} " << cum << "\n";
+    }
+    os << "fsct_" << kHistNames[i] << "_sum " << hist_sum(h) << "\n";
+    os << "fsct_" << kHistNames[i] << "_count " << cum << "\n";
+  }
+  os << "# EOF\n";
+}
+
+void ObsRegistry::write_run_report(std::ostream& os, const PipelineResult& r,
+                                   const AttrContext* ctx) const {
+  os << "{\n\"schema\": \"fsct-run-report-v2\",\n";
 
   // Every PipelineResult field; bulky vectors are reported as sizes plus the
   // derived data a consumer actually plots (the detection curve, the per-
@@ -518,6 +719,63 @@ void ObsRegistry::write_run_report(std::ostream& os,
        << "\": " << gauges_[i];
   }
   os << "},\n";
+
+  // Per-fault attribution hotlist, bounded to the top kTopK so reports stay
+  // small on big circuits; the full deterministic table is available via
+  // attribution_json() / `fsct profile`.
+  os << "\"attribution\": ";
+  if (!attribution_enabled()) {
+    os << "{\"enabled\": false},\n";
+  } else {
+    constexpr std::size_t kTopK = 20;
+    std::vector<std::size_t> ids;
+    std::vector<std::array<std::uint64_t, kNumAttrs>> rows(attr_faults_);
+    for (std::size_t f = 0; f < attr_faults_; ++f) {
+      bool any = false;
+      for (std::size_t a = 0; a < kNumAttrs; ++a) {
+        rows[f][a] = attr_total(static_cast<Attr>(a), f);
+        any |= rows[f][a] != 0;
+      }
+      if (any) ids.push_back(f);
+    }
+    auto col = [&](std::size_t f, Attr a) {
+      return rows[f][static_cast<std::size_t>(a)];
+    };
+    std::sort(ids.begin(), ids.end(), [&](std::size_t x, std::size_t y) {
+      if (col(x, Attr::WallNanos) != col(y, Attr::WallNanos)) {
+        return col(x, Attr::WallNanos) > col(y, Attr::WallNanos);
+      }
+      if (col(x, Attr::PodemDecisions) != col(y, Attr::PodemDecisions)) {
+        return col(x, Attr::PodemDecisions) > col(y, Attr::PodemDecisions);
+      }
+      if (col(x, Attr::SeqCycles) != col(y, Attr::SeqCycles)) {
+        return col(x, Attr::SeqCycles) > col(y, Attr::SeqCycles);
+      }
+      return x < y;
+    });
+    os << "{\"enabled\": true, \"faults\": " << attr_faults_
+       << ", \"active\": " << ids.size() << ", \"columns\": [";
+    for (std::size_t a = 0; a < kNumAttrs; ++a) {
+      os << (a ? ", " : "") << "\"" << kAttrNames[a] << "\"";
+    }
+    os << "], \"top\": [";
+    const std::size_t k = std::min(kTopK, ids.size());
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t f = ids[i];
+      os << (i ? ",\n  " : "\n  ") << "{\"id\": " << f;
+      if (ctx && f < ctx->fault_names.size()) {
+        os << ", \"name\": \"" << json_escape(ctx->fault_names[f])
+           << "\", \"rep\": " << ctx->rep[f] << ", \"gate\": " << ctx->gate[f]
+           << ", \"level\": " << ctx->level[f];
+      }
+      os << ", \"work\": [";
+      for (std::size_t a = 0; a < kNumAttrs; ++a) {
+        os << (a ? ", " : "") << rows[f][a];
+      }
+      os << "]}";
+    }
+    os << "]},\n";
+  }
 
   // Per-phase resident-set samples (kB), taken at each phase boundary.
   os << "\"rss_phases\": {";

@@ -72,6 +72,7 @@ enum class Ctr : std::uint16_t {
   FlushCreditDetected,   ///< hard faults credited to the alternating flush
   DroppedByLedger,       ///< faults dropped from later phases by earned credit
   UntestablePropagated,  ///< untestability proofs transferred down dominance
+  TraceEventsDropped,    ///< spans discarded by the --trace-max-mb cap
   kCount,
 };
 
@@ -95,14 +96,52 @@ enum class Hist : std::uint16_t {
   kCount,
 };
 
+/// Per-fault work-attribution columns.  Every column except WallNanos is
+/// deterministic: the units charged to a fault id depend only on the work the
+/// pipeline performed *for that fault*, never on the schedule or the SIMD
+/// lane width, so merged tables are bitwise identical at any `--jobs N` and
+/// `--simd-width 64/256/512`.  Sequential-sim cost is charged as **resolved
+/// cycles** (cycles until the fault's own detection, or the full sequence
+/// length when it stays undetected) — a pure per-fault function — rather
+/// than the pass-granular SeqSimCycles counter, which legitimately varies
+/// with lane packing.  WallNanos is wall-clock and schedule-dependent by
+/// nature; it is the ranking signal for hotlists and is excluded from the
+/// deterministic table/JSON (same principle as the wall-truncated PODEM
+/// exclusion in the counter contract).
+enum class Attr : std::uint16_t {
+  PodemCalls,       ///< Podem::generate calls targeting this fault
+  PodemDecisions,   ///< PI decisions in those calls (wall-truncated excluded)
+  PodemBacktracks,  ///< backtracks in those calls (same exclusion)
+  SeqSims,          ///< sequential-sim resolutions of this fault
+  SeqCycles,        ///< resolved machine-cycles across those resolutions
+  PairReplays,      ///< (fault, sequence) pair-verification replays
+  CreditEvents,     ///< ledger credits (flush, ride-along, cross-group)
+  WallNanos,        ///< attributed PODEM wall ns (non-deterministic; last)
+  kCount,
+};
+
 inline constexpr std::size_t kNumCounters = static_cast<std::size_t>(Ctr::kCount);
 inline constexpr std::size_t kNumGauges = static_cast<std::size_t>(Gauge::kCount);
 inline constexpr std::size_t kNumHists = static_cast<std::size_t>(Hist::kCount);
 inline constexpr std::size_t kHistBuckets = 20;
+inline constexpr std::size_t kNumAttrs = static_cast<std::size_t>(Attr::kCount);
+/// The leading columns form the deterministic slice (all but WallNanos).
+inline constexpr std::size_t kNumDetAttrs = kNumAttrs - 1;
 
 const char* counter_name(Ctr c);
 const char* gauge_name(Gauge g);
 const char* hist_name(Hist h);
+const char* attr_name(Attr a);
+
+/// Optional sidecar naming the fault ids in attribution output; built by
+/// make_attr_context (core/profile.h) from the netlist + collapsed fault
+/// list so the obs layer itself stays netlist-free.
+struct AttrContext {
+  std::vector<std::string> fault_names;  ///< per fault id, "net s-a-v"
+  std::vector<std::int32_t> rep;         ///< dominance representative id
+  std::vector<std::int32_t> gate;        ///< owning gate NodeId
+  std::vector<std::int32_t> level;       ///< owning gate's logic level
+};
 
 /// The registry.  One instance observes one pipeline run (or any sequence of
 /// library calls); all record methods are safe to call concurrently from
@@ -120,8 +159,11 @@ class ObsRegistry {
         n, std::memory_order_relaxed);
   }
   void observe(Hist h, std::uint64_t value) {
-    shard().hists[static_cast<std::size_t>(h)][bucket(value)].fetch_add(
+    Shard& s = shard();
+    s.hists[static_cast<std::size_t>(h)][bucket(value)].fetch_add(
         1, std::memory_order_relaxed);
+    s.hist_sums[static_cast<std::size_t>(h)].fetch_add(
+        value, std::memory_order_relaxed);
   }
   /// Last write wins; call from the coordinating thread only.
   void set_gauge(Gauge g, std::int64_t v) {
@@ -134,9 +176,43 @@ class ObsRegistry {
     return gauges_[static_cast<std::size_t>(g)];
   }
   std::array<std::uint64_t, kHistBuckets> hist_total(Hist h) const;
+  /// Merged sum of all observed samples of `h` (pairs with the bucket counts
+  /// for the OpenMetrics `_sum` / `_count` samples).
+  std::uint64_t hist_sum(Hist h) const;
 
   /// Log2 bucket index of a histogram sample.
   static std::size_t bucket(std::uint64_t value);
+
+  // --- per-fault work attribution ----------------------------------------
+  /// Asks the next pipeline run observed through this registry to enable the
+  /// ledger: run_fsct_pipeline calls init_attribution with its collapsed
+  /// fault count when it sees the request.  Coordinating thread only.
+  void request_attribution() { attr_requested_ = true; }
+  bool attribution_requested() const { return attr_requested_; }
+  /// Sizes the ledger for fault ids [0, num_faults) and turns charging on.
+  /// Call before any worker charges (task submission orders the plain
+  /// writes); per-shard cell arrays are allocated lazily on first charge, so
+  /// idle shards cost nothing.
+  void init_attribution(std::size_t num_faults);
+  bool attribution_enabled() const {
+    return attr_on_.load(std::memory_order_relaxed);
+  }
+  std::size_t attribution_faults() const { return attr_faults_; }
+  /// Charges `n` units of column `a` to fault id `fault`; any executor.
+  /// Disabled attribution costs exactly this one predictable branch.
+  void charge(Attr a, std::size_t fault, std::uint64_t n = 1) {
+    if (!attr_on_.load(std::memory_order_relaxed)) return;
+    charge_slow(a, fault, n);
+  }
+  /// Merged per-(fault, column) total (commutative shard sum).
+  std::uint64_t attr_total(Attr a, std::size_t fault) const;
+  /// Merged table, attribution_faults() x kNumDetAttrs row-major, WallNanos
+  /// excluded: bitwise identical at any `--jobs N` and `--simd-width` (the
+  /// deterministic-counter contract, per fault).
+  std::vector<std::uint64_t> attribution_table() const;
+  /// The deterministic table as one JSON object (all-zero rows elided);
+  /// equal strings at any job count and lane width.
+  std::string attribution_json() const;
 
   // --- trace spans --------------------------------------------------------
   void enable_trace(bool on = true) {
@@ -147,10 +223,23 @@ class ObsRegistry {
   }
   /// Microseconds since registry construction (the trace time base).
   double now_us() const;
+  /// Caps the in-memory trace buffer at roughly `bytes` of eventual JSON
+  /// (0 = no cap, the default).  Once the cap is reached new spans are
+  /// counted in Ctr::TraceEventsDropped and a single "trace.truncated"
+  /// marker event is recorded in their place, so long runs on big generator
+  /// circuits cannot fill the disk.
+  void set_trace_limit_bytes(std::size_t bytes);
   /// Records one completed span on `tid`'s track (called by ObsSpan).
   void add_trace_event(const char* name, unsigned tid, double t0_us,
                        double t1_us);
   std::size_t trace_event_count() const;
+  struct SpanEvent {
+    std::string name;
+    unsigned tid = 0;
+    double t0_us = 0, t1_us = 0;
+  };
+  /// Copy of the recorded spans, for in-process profile aggregation.
+  std::vector<SpanEvent> trace_snapshot() const;
   /// Chrome trace-event JSON ({"traceEvents": [...]}); loads in
   /// chrome://tracing and Perfetto.  One track ("thread") per pool executor;
   /// tid 0 is the submitting thread.
@@ -216,6 +305,12 @@ class ObsRegistry {
   void attach_pool(const ThreadPool* pool);
   void detach_pool() { attach_pool(nullptr); }
 
+  /// Free-form label for the run this registry currently observes (circuit,
+  /// jobs, bench rep ...); shown in heartbeat lines and status dumps so
+  /// multi-rep benches are tellable apart.  Any thread.
+  void set_context(std::string ctx);
+  std::string context() const;
+
   /// Multi-line human-readable live status: elapsed, active phase +
   /// progress, RSS, live worker stats, and the counter totals.  Safe to
   /// call from a monitor thread while the pipeline is running.
@@ -225,15 +320,27 @@ class ObsRegistry {
   /// The deterministic slice only — counters and histograms, no gauges, no
   /// pool stats — as one JSON object; equal strings at any job count.
   std::string counters_json() const;
-  /// Full structured run report: every PipelineResult field, the counters,
-  /// histograms, gauges, and the per-worker pool statistics.
-  void write_run_report(std::ostream& os, const PipelineResult& r) const;
+  /// Full structured run report (`fsct-run-report-v2`): every PipelineResult
+  /// field, the counters, histograms, gauges, per-worker pool statistics,
+  /// and — when attribution ran — a size-bounded `attribution` section with
+  /// the top-K hotlist (named via `ctx` when provided).
+  void write_run_report(std::ostream& os, const PipelineResult& r,
+                        const AttrContext* ctx = nullptr) const;
+  /// OpenMetrics / Prometheus text exposition of the counters, gauges and
+  /// histograms — the scrape surface a future `fsct serve` mounts.  Ends
+  /// with the required "# EOF" terminator.
+  void write_openmetrics(std::ostream& os) const;
 
  private:
   struct alignas(64) Shard {
     std::array<std::atomic<std::uint64_t>, kNumCounters> counters{};
+    std::array<std::atomic<std::uint64_t>, kNumHists> hist_sums{};
     std::array<std::array<std::atomic<std::uint64_t>, kHistBuckets>, kNumHists>
         hists{};
+    /// Lazily allocated attribution cells (attr_faults x kNumAttrs,
+    /// row-major); published with release so a racing reader only ever sees
+    /// fully value-initialized (zeroed) memory.
+    std::atomic<std::atomic<std::uint64_t>*> attr{nullptr};
   };
 
   Shard& shard() {
@@ -247,6 +354,11 @@ class ObsRegistry {
     double t0_us, t1_us;
   };
 
+  /// Out-of-line slow path of charge(): resolves the shard, allocates its
+  /// cell array on first use (mutex-guarded, double-checked), then one
+  /// relaxed fetch_add.
+  void charge_slow(Attr a, std::size_t fault, std::uint64_t n);
+
   // 1 submitting thread + up to 63 workers before shards are shared (sharing
   // is still correct — the slots are atomics — just slower).
   static constexpr std::size_t kShards = 64;
@@ -254,15 +366,23 @@ class ObsRegistry {
   std::array<std::int64_t, kNumGauges> gauges_{};
   std::atomic<bool> trace_on_{false};
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex trace_m_;
+  mutable std::mutex trace_m_;  // guards trace_events_ and the byte budget
   std::vector<TraceEvent> trace_events_;
+  std::size_t trace_limit_bytes_ = 0;  // 0 = unlimited
+  std::size_t trace_bytes_ = 0;        // estimated JSON bytes recorded so far
+  bool trace_truncated_ = false;
   std::vector<ThreadPool::WorkerStats> pool_stats_;
   std::atomic<const char*> phase_name_{nullptr};
   std::atomic<std::uint64_t> phase_done_{0};
   std::atomic<std::uint64_t> phase_total_{0};
-  mutable std::mutex live_m_;  // guards live_pool_ and rss_phases_
+  bool attr_requested_ = false;
+  std::atomic<bool> attr_on_{false};
+  std::size_t attr_faults_ = 0;
+  std::mutex attr_m_;  // serializes per-shard cell allocation
+  mutable std::mutex live_m_;  // guards live_pool_, rss_phases_ and context_
   const ThreadPool* live_pool_ = nullptr;
   std::vector<std::pair<std::string, long>> rss_phases_;
+  std::string context_;
 };
 
 /// RAII scoped span: records a begin/end pair on the current executor's

@@ -47,6 +47,9 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
     // status dumps snapshot the pool while phases run.
     obs->attach_pool(&pool);
     prev_status = set_status_registry(obs);
+    // Size the per-fault attribution ledger before any task can charge it
+    // (fault ids used throughout are indices into `faults`).
+    if (obs->attribution_requested()) obs->init_attribution(faults.size());
   }
   char pbuf[192];
   const bool verbose = obs != nullptr && obs->progress_enabled();
@@ -162,14 +165,16 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
                                    ? opt.alternating_cycles
                                    : 2 * maxlen + 8;
     std::vector<Fault> easy_faults;
+    std::vector<std::size_t> easy_idx;
     for (std::size_t i = 0; i < faults.size(); ++i) {
       if (res.info[i].category == ChainFaultCategory::Easy) {
         easy_faults.push_back(faults[i]);
+        easy_idx.push_back(i);
       }
     }
     SeqFaultSim sim(lv, observe, opt.simd_width);
-    const SeqFaultSimResult r =
-        sim.run(sb.alternating(cycles), easy_faults, Val::X, &pool, obs);
+    const SeqFaultSimResult r = sim.run(sb.alternating(cycles), easy_faults,
+                                        Val::X, &pool, obs, easy_idx);
     res.easy_verified = r.num_detected();
     if (obs) {
       obs->add(Ctr::AlternatingCycles, cycles);
@@ -214,12 +219,13 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
     hard_faults.reserve(hard_idx.size());
     for (std::size_t j : hard_idx) hard_faults.push_back(faults[j]);
     SeqFaultSim fsim(lv, observe, opt.simd_width);
-    const SeqFaultSimResult r =
-        fsim.run(sb.alternating(cycles), hard_faults, Val::X, &pool, obs);
+    const SeqFaultSimResult r = fsim.run(sb.alternating(cycles), hard_faults,
+                                         Val::X, &pool, obs, hard_idx);
     for (std::size_t k = 0; k < hard_idx.size(); ++k) {
       if (r.detect_cycle[k] >= 0) {
         res.outcome[hard_idx[k]] = FaultOutcome::DetectedFlush;
         ++res.flush_detected;
+        if (obs) obs->charge(Attr::CreditEvents, hard_idx[k]);
       }
     }
     if (obs && res.flush_detected) {
@@ -330,7 +336,8 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
       if (comb_covered[idx]) continue;
       if (res.outcome[idx] != FaultOutcome::Undetected) continue;
       if (obs) obs->phase_tick();
-      const AtpgResult r = podem.generate(cm.map_fault(faults[idx]));
+      const AtpgResult r = podem.generate(cm.map_fault(faults[idx]),
+                                          static_cast<std::int64_t>(idx));
       if (r.status == AtpgStatus::Untestable) {
         res.outcome[idx] = FaultOutcome::Undetectable;
         ++res.s2_undetectable;
@@ -420,7 +427,8 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
       if (!open.empty()) {
         const TestSequence seq =
             sb.apply_comb_vector(v.ff_state, v.pi_vals, observe_cycles);
-        const SeqFaultSimResult r = ssim.run(seq, open, Val::X, &pool, obs);
+        const SeqFaultSimResult r =
+            ssim.run(seq, open, Val::X, &pool, obs, open_idx);
         for (std::size_t k = 0; k < open.size(); ++k) {
           if (r.detect_cycle[k] >= 0) {
             res.outcome[open_idx[k]] = FaultOutcome::DetectedComb;
@@ -467,7 +475,8 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
     TestSequence seq = bld.realize(t, maxlen + 2);
     if (opt.verify_seq) {
       const Fault one[1] = {faults[fault_idx]};
-      if (s3sim.run_serial(seq, one, Val::X, obs).detect_cycle[0] < 0) {
+      const std::size_t aid[1] = {fault_idx};
+      if (s3sim.run_serial(seq, one, Val::X, obs, aid).detect_cycle[0] < 0) {
         return std::nullopt;
       }
     }
@@ -522,7 +531,8 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
         if (credited[k]) continue;  // this group's ledger already covers it
         const auto sites = rm.um.map_fault(faults[j]);
         if (sites.empty()) continue;  // pruned away: retried in final pass
-        const AtpgResult r = rm.podem->generate(sites);
+        const AtpgResult r =
+            rm.podem->generate(sites, static_cast<std::int64_t>(j));
         if (r.status != AtpgStatus::Detected) continue;
         // Untestable in a *shared* window is not conclusive for absorbed
         // faults (they may have more ctrl/obs alone): final pass decides.
@@ -539,19 +549,25 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
         if (opt.dominance && k + 1 < g.fault_indices.size()) {
           std::vector<Fault> open;
           std::vector<std::size_t> open_pos;
+          std::vector<std::size_t> open_ids;
           for (std::size_t m = k + 1; m < g.fault_indices.size(); ++m) {
             if (!credited[m]) {
               open.push_back(faults[g.fault_indices[m]]);
               open_pos.push_back(m);
+              open_ids.push_back(g.fault_indices[m]);
             }
           }
           if (!open.empty()) {
             const SeqFaultSimResult rr =
-                s3sim.run(*seq, open, Val::X, nullptr, obs);
+                s3sim.run(*seq, open, Val::X, nullptr, obs, open_ids);
             for (std::size_t m = 0; m < open.size(); ++m) {
               if (rr.detect_cycle[m] >= 0) {
                 credited[open_pos[m]] = 1;
                 done[gi].credited.push_back(g.fault_indices[open_pos[m]]);
+                // Which faults earn ride-along credit is schedule-independent
+                // (group-local state), so this charge keeps the ledger
+                // deterministic even though it happens inside a pool task.
+                if (obs) obs->charge(Attr::CreditEvents, open_ids[m]);
               }
             }
           }
@@ -613,13 +629,15 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
       for (const TestSequence& s : res.s3_sequences) {
         all.insert(all.end(), s.begin(), s.end());
       }
-      const SeqFaultSimResult r = s3sim.run(all, open, Val::X, &pool, obs);
+      const SeqFaultSimResult r =
+          s3sim.run(all, open, Val::X, &pool, obs, open_idx);
       std::size_t credited = 0;
       for (std::size_t k = 0; k < open.size(); ++k) {
         if (r.detect_cycle[k] >= 0) {
           res.outcome[open_idx[k]] = FaultOutcome::DetectedSeq;
           ++res.s3_detected;
           ++credited;
+          if (obs) obs->charge(Attr::CreditEvents, open_idx[k]);
         }
       }
       res.ledger_dropped += credited;
@@ -671,7 +689,8 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
         final_builder.build(g, std::span(&f, 1), opt.final_extra_frames);
     const auto sites = rm.um.map_fault(f);
     if (sites.empty()) return;  // NoSites
-    const AtpgResult r = rm.podem->generate(sites);
+    const AtpgResult r =
+        rm.podem->generate(sites, static_cast<std::int64_t>(j));
     if (r.status == AtpgStatus::Detected) {
       // Realise the in-model test now; end-to-end verification of all final
       // detections is batched below as (fault, sequence) pairs so many
@@ -698,15 +717,18 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
   if (opt.verify_seq) {
     std::vector<FaultSeqPair> vpairs;
     std::vector<std::size_t> vslot;
+    std::vector<std::size_t> vids;
     for (std::size_t k = 0; k < final_idx.size(); ++k) {
       if (fdone[k].verdict == FinalVerdict::Detected) {
         vpairs.push_back({faults[final_idx[k]], &fdone[k].seq});
         vslot.push_back(k);
+        vids.push_back(final_idx[k]);
       }
     }
     if (!vpairs.empty()) {
       const ObsSpan span(obs, "step3.final_verify");
-      const std::vector<int> vr = s3sim.run_pairs(vpairs, Val::X, &pool, obs);
+      const std::vector<int> vr =
+          s3sim.run_pairs(vpairs, Val::X, &pool, obs, vids);
       for (std::size_t i = 0; i < vpairs.size(); ++i) {
         if (vr[i] < 0) {
           fdone[vslot[i]].verdict = FinalVerdict::Unverified;

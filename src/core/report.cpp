@@ -84,6 +84,25 @@ void print_table3_total(std::ostream& os, const Table3Row& total) {
   print_table3_row(os, total);
 }
 
+void print_hotspot_header(std::ostream& os) {
+  row(os,
+      {"#", "fault", "lvl", "calls", "decisions", "backtracks", "seq_cycles",
+       "credits", "wall"},
+      {4, 24, 4, 6, 10, 10, 10, 8, 10});
+}
+
+void print_hotspot_row(std::ostream& os, const HotspotRow& r) {
+  char wall[32];
+  std::snprintf(wall, sizeof wall, "%.2fms", r.wall_ms);
+  row(os,
+      {std::to_string(r.id), r.name.empty() ? "(fault)" : r.name,
+       r.level >= 0 ? std::to_string(r.level) : "?",
+       std::to_string(r.podem_calls), std::to_string(r.decisions),
+       std::to_string(r.backtracks), std::to_string(r.seq_cycles),
+       std::to_string(r.credits), wall},
+      {4, 24, 4, 6, 10, 10, 10, 8, 10});
+}
+
 Table2Row to_table2(const std::string& name, const PipelineResult& r) {
   Table2Row t;
   t.name = name;

@@ -54,4 +54,21 @@ void print_table3_total(std::ostream& os, const Table3Row& total);
 Table2Row to_table2(const std::string& name, const PipelineResult& r);
 Table3Row to_table3(const std::string& name, const PipelineResult& r);
 
+/// Hardest-fault hotlist row (`fsct profile`): one fault and the work the
+/// attribution ledger charged to it.
+struct HotspotRow {
+  std::size_t id = 0;
+  std::string name;            ///< "net s-a-v" (may be empty for raw reports)
+  int level = -1;              ///< owning gate's logic level, -1 = unknown
+  std::uint64_t podem_calls = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t backtracks = 0;
+  std::uint64_t seq_cycles = 0;
+  std::uint64_t credits = 0;
+  double wall_ms = 0;
+};
+
+void print_hotspot_header(std::ostream& os);
+void print_hotspot_row(std::ostream& os, const HotspotRow& r);
+
 }  // namespace fsct

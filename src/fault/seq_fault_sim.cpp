@@ -18,10 +18,9 @@ SeqFaultSim::SeqFaultSim(const Levelizer& lv, std::vector<NodeId> observe,
   }
 }
 
-SeqFaultSimResult SeqFaultSim::run_serial(const TestSequence& seq,
-                                          std::span<const Fault> faults,
-                                          Val initial_state,
-                                          ObsRegistry* obs) const {
+SeqFaultSimResult SeqFaultSim::run_serial(
+    const TestSequence& seq, std::span<const Fault> faults, Val initial_state,
+    ObsRegistry* obs, std::span<const std::size_t> attr_ids) const {
   SeqFaultSimResult res;
   res.detect_cycle.assign(faults.size(), -1);
 
@@ -59,6 +58,15 @@ SeqFaultSimResult SeqFaultSim::run_serial(const TestSequence& seq,
     obs->add(Ctr::SeqSimSerialRuns);
     obs->add(Ctr::SeqSimCycles, cycles);
     obs->add(Ctr::SeqSimFaultsDropped, res.num_detected());
+    if (!attr_ids.empty()) {
+      for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+        const int dc = res.detect_cycle[fi];
+        obs->charge(Attr::SeqSims, attr_ids[fi]);
+        obs->charge(Attr::SeqCycles, attr_ids[fi],
+                    dc >= 0 ? static_cast<std::uint64_t>(dc) + 1
+                            : static_cast<std::uint64_t>(seq.size()));
+      }
+    }
   }
   return res;
 }
@@ -92,6 +100,7 @@ template <int NW>
 void SeqFaultSim::run_width(const TestSequence& seq,
                             std::span<const Fault> faults, Val initial_state,
                             ThreadPool* pool, ObsRegistry* obs,
+                            std::span<const std::size_t> attr_ids,
                             SeqFaultSimResult& res) const {
   constexpr std::size_t kPerWord = 63;
   constexpr std::size_t kPerPass = kPerWord * NW;
@@ -147,6 +156,20 @@ void SeqFaultSim::run_width(const TestSequence& seq,
       obs->add(Ctr::SeqSimPackedPasses);
       obs->add(Ctr::SeqSimCycles, cycles);
       obs->add(Ctr::SeqSimFaultsDropped, dropped);
+      if (!attr_ids.empty()) {
+        // Charged as resolved cycles (a pure per-fault function), not the
+        // pass's shared cycle count — see the attribution contract in the
+        // header.  Writes land in this pass's disjoint id slice, so the
+        // parallel dispatch needs no extra synchronisation beyond the
+        // sharded ledger itself.
+        for (std::size_t k = 0; k < chunk; ++k) {
+          const int dc = res.detect_cycle[base + k];
+          obs->charge(Attr::SeqSims, attr_ids[base + k]);
+          obs->charge(Attr::SeqCycles, attr_ids[base + k],
+                      dc >= 0 ? static_cast<std::uint64_t>(dc) + 1
+                              : static_cast<std::uint64_t>(seq.size()));
+        }
+      }
     }
   };
 
@@ -164,7 +187,8 @@ SeqFaultSimResult SeqFaultSim::run(const TestSequence& seq,
                                    std::span<const Fault> faults,
                                    Val initial_state,
                                    ThreadPool* pool,
-                                   ObsRegistry* obs) const {
+                                   ObsRegistry* obs,
+                                   std::span<const std::size_t> attr_ids) const {
   SeqFaultSimResult res;
   res.detect_cycle.assign(faults.size(), -1);
   // Small batches clamp to the narrowest lane width that still fits in one
@@ -177,9 +201,15 @@ SeqFaultSimResult SeqFaultSim::run(const TestSequence& seq,
   if (faults.size() <= 63) w = 64;
   else if (faults.size() <= 63 * 4 && w > 256) w = 256;
   switch (w) {
-    case 64: run_width<1>(seq, faults, initial_state, pool, obs, res); break;
-    case 256: run_width<4>(seq, faults, initial_state, pool, obs, res); break;
-    default: run_width<8>(seq, faults, initial_state, pool, obs, res); break;
+    case 64:
+      run_width<1>(seq, faults, initial_state, pool, obs, attr_ids, res);
+      break;
+    case 256:
+      run_width<4>(seq, faults, initial_state, pool, obs, attr_ids, res);
+      break;
+    default:
+      run_width<8>(seq, faults, initial_state, pool, obs, attr_ids, res);
+      break;
   }
   return res;
 }
@@ -192,6 +222,7 @@ template <int NW>
 void SeqFaultSim::run_pairs_width(std::span<const FaultSeqPair> pairs,
                                   Val initial_state, ThreadPool* pool,
                                   ObsRegistry* obs,
+                                  std::span<const std::size_t> attr_ids,
                                   std::vector<int>& out) const {
   constexpr std::size_t kPerWord = 32;
   constexpr std::size_t kPerPass = kPerWord * NW;
@@ -260,6 +291,18 @@ void SeqFaultSim::run_pairs_width(std::span<const FaultSeqPair> pairs,
       obs->add(Ctr::SeqSimPackedPasses);
       obs->add(Ctr::SeqSimCycles, cycles);
       obs->add(Ctr::SeqSimFaultsDropped, dropped);
+      if (!attr_ids.empty()) {
+        // Resolved cycles against the pair's own sequence length (pairs in
+        // one pass can follow sequences of different lengths).
+        for (std::size_t q = 0; q < chunk; ++q) {
+          const int dc = out[base + q];
+          obs->charge(Attr::PairReplays, attr_ids[base + q]);
+          obs->charge(
+              Attr::SeqCycles, attr_ids[base + q],
+              dc >= 0 ? static_cast<std::uint64_t>(dc) + 1
+                      : static_cast<std::uint64_t>(pairs[base + q].seq->size()));
+        }
+      }
     }
   };
 
@@ -273,18 +316,24 @@ void SeqFaultSim::run_pairs_width(std::span<const FaultSeqPair> pairs,
   }
 }
 
-std::vector<int> SeqFaultSim::run_pairs(std::span<const FaultSeqPair> pairs,
-                                        Val initial_state, ThreadPool* pool,
-                                        ObsRegistry* obs) const {
+std::vector<int> SeqFaultSim::run_pairs(
+    std::span<const FaultSeqPair> pairs, Val initial_state, ThreadPool* pool,
+    ObsRegistry* obs, std::span<const std::size_t> attr_ids) const {
   std::vector<int> out(pairs.size(), -1);
   // Same small-batch clamp as run(): 32 pairs per word.
   int w = width_;
   if (pairs.size() <= 32) w = 64;
   else if (pairs.size() <= 32 * 4 && w > 256) w = 256;
   switch (w) {
-    case 64: run_pairs_width<1>(pairs, initial_state, pool, obs, out); break;
-    case 256: run_pairs_width<4>(pairs, initial_state, pool, obs, out); break;
-    default: run_pairs_width<8>(pairs, initial_state, pool, obs, out); break;
+    case 64:
+      run_pairs_width<1>(pairs, initial_state, pool, obs, attr_ids, out);
+      break;
+    case 256:
+      run_pairs_width<4>(pairs, initial_state, pool, obs, attr_ids, out);
+      break;
+    default:
+      run_pairs_width<8>(pairs, initial_state, pool, obs, attr_ids, out);
+      break;
   }
   return out;
 }

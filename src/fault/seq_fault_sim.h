@@ -31,6 +31,15 @@
 //    (sequence, fault list, initial state, lane width) — wider passes retire
 //    in fewer aggregate cycles.
 //  * SeqSimFaultsDropped counts detections; identical at every width.
+//
+// Per-fault attribution (optional `attr_ids`, parallel to the fault/pair
+// span): each engine charges Attr::SeqSims (or Attr::PairReplays) once per
+// fault and Attr::SeqCycles with the fault's **resolved cycles** — its
+// detecting cycle + 1, or the full sequence length when undetected.  Unlike
+// the pass-granular SeqSimCycles counter (which varies with lane packing),
+// resolved cycles are a pure function of (sequence, fault, initial state),
+// so per-fault charges are bitwise identical at every lane width and job
+// count.  An empty span (the default) records nothing.
 #pragma once
 
 #include <memory>
@@ -79,11 +88,13 @@ class SeqFaultSim {
               int simd_width = 0);
 
   /// Serial reference engine.  `obs` (optional) receives run/cycle/drop
-  /// counters.
+  /// counters; `attr_ids` (optional, parallel to `faults`) routes per-fault
+  /// attribution charges (see the file comment).
   SeqFaultSimResult run_serial(const TestSequence& seq,
                                std::span<const Fault> faults,
                                Val initial_state = Val::X,
-                               ObsRegistry* obs = nullptr) const;
+                               ObsRegistry* obs = nullptr,
+                               std::span<const std::size_t> attr_ids = {}) const;
 
   /// Parallel-fault engine (63 * W/64 faults per packed pass; see the file
   /// comment for the counter contract).  The packed passes are mutually
@@ -93,7 +104,8 @@ class SeqFaultSim {
   SeqFaultSimResult run(const TestSequence& seq, std::span<const Fault> faults,
                         Val initial_state = Val::X,
                         ThreadPool* pool = nullptr,
-                        ObsRegistry* obs = nullptr) const;
+                        ObsRegistry* obs = nullptr,
+                        std::span<const std::size_t> attr_ids = {}) const;
 
   /// Batched independent (fault, sequence) pairs, 32 * W/64 per pass.
   /// Returns the first detecting cycle per pair (-1 = not detected), exactly
@@ -101,7 +113,8 @@ class SeqFaultSim {
   std::vector<int> run_pairs(std::span<const FaultSeqPair> pairs,
                              Val initial_state = Val::X,
                              ThreadPool* pool = nullptr,
-                             ObsRegistry* obs = nullptr) const;
+                             ObsRegistry* obs = nullptr,
+                             std::span<const std::size_t> attr_ids = {}) const;
 
   const std::vector<NodeId>& observe() const { return observe_; }
   int simd_width() const { return width_; }
@@ -110,10 +123,12 @@ class SeqFaultSim {
   template <int NW>
   void run_width(const TestSequence& seq, std::span<const Fault> faults,
                  Val initial_state, ThreadPool* pool, ObsRegistry* obs,
+                 std::span<const std::size_t> attr_ids,
                  SeqFaultSimResult& res) const;
   template <int NW>
   void run_pairs_width(std::span<const FaultSeqPair> pairs, Val initial_state,
                        ThreadPool* pool, ObsRegistry* obs,
+                       std::span<const std::size_t> attr_ids,
                        std::vector<int>& out) const;
 
   const Levelizer& lv_;

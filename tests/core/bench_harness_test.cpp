@@ -238,6 +238,24 @@ TEST(Bench, RunTinyCircuitRoundTrips) {
   EXPECT_EQ(compare_bench(doc, back).exit_code(), 0);
 }
 
+TEST(Bench, RunWithAttributionKeepsCountersIdentical) {
+  BenchRunConfig cfg;
+  cfg.label = "attr";
+  cfg.circuits = {"s1488"};
+  cfg.reps = 1;
+  cfg.warmup = 0;
+  cfg.jobs = {2};
+  const BenchDocument off = run_bench(cfg);
+  cfg.attribution = true;
+  const BenchDocument on = run_bench(cfg);
+  ASSERT_EQ(off.rows.size(), 1u);
+  ASSERT_EQ(on.rows.size(), 1u);
+  // The ledger is pure observation: the deterministic counters and results
+  // are unchanged whether it is charging or not.
+  EXPECT_EQ(off.rows[0].counters, on.rows[0].counters);
+  EXPECT_EQ(off.rows[0].results, on.rows[0].results);
+}
+
 TEST(Bench, RunRejectsUnknownCircuit) {
   BenchRunConfig cfg;
   cfg.circuits = {"not-a-circuit"};
@@ -285,6 +303,30 @@ TEST(Bench, MonitorHeartbeatEmitsLines) {
   EXPECT_TRUE(out.any_contains("heartbeat"));
   EXPECT_TRUE(out.any_contains("phase=step2.atpg"));
   EXPECT_TRUE(out.any_contains("done=25/100"));
+}
+
+TEST(Bench, HeartbeatCarriesRunContext) {
+  // What run_bench sets per repetition: the context labels every heartbeat
+  // so a long multi-circuit bench is attributable mid-flight.
+  ObsRegistry reg;
+  reg.set_context("s1488 jobs=2 rep 3/5");
+  ObsRegistry* prev = set_status_registry(&reg);
+  reg.begin_phase("classify", 10);
+  SinkLines out;
+  {
+    ObsMonitor::Options mopt;
+    mopt.poll_ms = 5;
+    mopt.heartbeat = true;
+    mopt.heartbeat_ms = 10;
+    mopt.sink = out.sink();
+    const ObsMonitor monitor(mopt);
+    for (int i = 0; i < 100 && !out.any_contains("heartbeat"); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  reg.end_phase();
+  set_status_registry(prev);
+  EXPECT_TRUE(out.any_contains("[s1488 jobs=2 rep 3/5]"));
 }
 
 TEST(Bench, Sigusr1StatusDump) {

@@ -1,0 +1,76 @@
+#include "core/json.h"
+
+#include <gtest/gtest.h>
+
+namespace fsct {
+namespace {
+
+TEST(Json, ParsesScalarsArraysObjects) {
+  const std::string text = R"({
+  "s": "a\nb\"c\\d",
+  "n": -12.5e1,
+  "t": true, "f": false, "z": null,
+  "a": [1, 2, 3],
+  "o": {"k": 7}
+})";
+  JsonParser p(text, "t.json");
+  const JVal root = p.parse();
+  ASSERT_EQ(root.kind, JVal::Obj);
+  EXPECT_EQ(root.find("s")->str, "a\nb\"c\\d");
+  EXPECT_DOUBLE_EQ(root.find("n")->num, -125.0);
+  EXPECT_TRUE(root.find("t")->b);
+  EXPECT_FALSE(root.find("f")->b);
+  EXPECT_EQ(root.find("z")->kind, JVal::Null);
+  ASSERT_EQ(root.find("a")->arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(root.find("a")->arr[2].num, 3.0);
+  EXPECT_DOUBLE_EQ(root.find("o")->find("k")->num, 7.0);
+  EXPECT_EQ(root.find("missing"), nullptr);
+}
+
+TEST(Json, ErrorsCarryNameAndLineAnchor) {
+  const std::string text = "{\n  \"a\": 1,\n  \"b\": bogus\n}";
+  JsonParser p(text, "broken.json");
+  try {
+    p.parse();
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("broken.json: line 3"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Json, RejectsTrailingContent) {
+  const std::string text = "{} extra";
+  JsonParser p(text, "t.json");
+  EXPECT_THROW(p.parse(), JsonParseError);
+}
+
+TEST(Json, HelpersValidateTypesAndRequiredness) {
+  const std::string text = R"({"n": 3, "s": "x", "m": {"a": 1, "b": "skip"}})";
+  JsonParser p(text, "t.json");
+  const JVal root = p.parse();
+  EXPECT_DOUBLE_EQ(json_num(p, root, "n"), 3.0);
+  EXPECT_DOUBLE_EQ(json_num(p, root, "absent", 9.0), 9.0);
+  EXPECT_THROW(json_num(p, root, "absent", 0, /*required=*/true),
+               JsonParseError);
+  EXPECT_THROW(json_num(p, root, "s"), JsonParseError);
+  EXPECT_EQ(json_str(p, root, "s"), "x");
+  EXPECT_EQ(json_str(p, root, "absent", "d"), "d");
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  json_uint_map(p, *root.find("m"), out);
+  ASSERT_EQ(out.size(), 1u);  // the string member is tolerated and skipped
+  EXPECT_EQ(out[0].first, "a");
+  EXPECT_EQ(out[0].second, 1u);
+}
+
+TEST(Json, EscapeRoundTripsThroughParser) {
+  const std::string raw = "a\"b\\c\nd\te\x01f";
+  const std::string doc = "{\"k\": \"" + json_escape(raw) + "\"}";
+  JsonParser p(doc, "t.json");
+  const JVal root = p.parse();
+  EXPECT_EQ(root.find("k")->str, raw);
+}
+
+}  // namespace
+}  // namespace fsct

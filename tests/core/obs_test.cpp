@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <sstream>
 #include <string>
 
 #include "bench_circuits/paper_examples.h"
+#include "bench_circuits/suite.h"
 #include "core/pipeline.h"
 #include "scan/tpi.h"
 
@@ -180,12 +182,168 @@ TEST(Obs, RunReportCoversResultCountersAndPool) {
   const std::string rep = os.str();
   EXPECT_TRUE(json_well_formed(rep)) << rep.substr(0, 400);
   for (const char* key :
-       {"fsct-run-report-v1", "total_faults", "easy_verified", "s2_detected",
+       {"fsct-run-report-v2", "total_faults", "easy_verified", "s2_detected",
         "detection_curve", "outcomes", "podem_backtracks",
         "podem_decision_depth", "histograms", "gauges",
         "hardware_concurrency", "pool", "workers", "idle_seconds"}) {
     EXPECT_NE(rep.find(key), std::string::npos) << key;
   }
+  // Attribution was not requested: the section says so and carries no rows.
+  EXPECT_NE(rep.find("\"attribution\": {\"enabled\": false}"),
+            std::string::npos);
+}
+
+// Runs the pipeline with the attribution ledger on and returns the
+// deterministic attribution table as JSON.  ATPG wall budgets are disabled:
+// wall truncation is the one schedule-dependent source of attributed PODEM
+// work, and these tests assert bitwise equality.
+std::string attr_run(Built& b, int jobs, int width, ObsRegistry* out = nullptr,
+                     PipelineResult* res = nullptr) {
+  ObsRegistry local;
+  ObsRegistry& reg = out ? *out : local;
+  reg.request_attribution();
+  PipelineOptions opt;
+  opt.jobs = jobs;
+  opt.simd_width = width;
+  opt.obs = &reg;
+  opt.comb_time_limit_ms = 0;
+  opt.seq_time_limit_ms = 0;
+  opt.final_time_limit_ms = 0;
+  const PipelineResult r = run_fsct_pipeline(b.model, b.faults, opt);
+  if (res) *res = r;
+  return reg.attribution_json();
+}
+
+TEST(Obs, AttributionChargeMergesAcrossExecutors) {
+  ObsRegistry reg;
+  reg.request_attribution();
+  reg.init_attribution(100);
+  ASSERT_TRUE(reg.attribution_enabled());
+  ThreadPool pool(4);
+  const std::size_t n = 10000;
+  parallel_for(pool, n, 16, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      reg.charge(Attr::SeqCycles, i % 100, 2);
+      reg.charge(Attr::PodemDecisions, i % 100);
+    }
+  });
+  for (std::size_t f = 0; f < 100; ++f) {
+    EXPECT_EQ(reg.attr_total(Attr::SeqCycles, f), 200u) << f;
+    EXPECT_EQ(reg.attr_total(Attr::PodemDecisions, f), 100u) << f;
+    EXPECT_EQ(reg.attr_total(Attr::PodemBacktracks, f), 0u) << f;
+  }
+  EXPECT_EQ(reg.attribution_table().size(), 100 * kNumDetAttrs);
+}
+
+TEST(Obs, AttributionDisabledIsInert) {
+  ObsRegistry reg;
+  EXPECT_FALSE(reg.attribution_enabled());
+  // Charges against a disabled ledger are dropped at the fast-path branch.
+  reg.charge(Attr::SeqCycles, 3, 100);
+  EXPECT_EQ(reg.attribution_faults(), 0u);
+  EXPECT_TRUE(reg.attribution_table().empty());
+}
+
+TEST(Obs, AttributionIdenticalAcrossJobCounts) {
+  for (const char* name : {"s1488", "s1494", "s1423"}) {
+    Built b(build_suite_circuit(suite_entry(name)));
+    const std::string serial = attr_run(b, 1, 0);
+    const std::string parallel = attr_run(b, 4, 0);
+    EXPECT_EQ(serial, parallel) << name;
+    EXPECT_NE(serial.find("\"rows\""), std::string::npos) << name;
+  }
+}
+
+TEST(Obs, AttributionIdenticalAcrossSimdWidths) {
+  for (const char* name : {"s1488", "s1494", "s1423"}) {
+    Built b(build_suite_circuit(suite_entry(name)));
+    const std::string w64 = attr_run(b, 4, 64);
+    EXPECT_EQ(w64, attr_run(b, 4, 256)) << name << " width 256";
+    EXPECT_EQ(w64, attr_run(b, 4, 512)) << name << " width 512";
+  }
+}
+
+TEST(Obs, AttributionReconcilesWithDeterministicCounters) {
+  Built b(build_suite_circuit(suite_entry("s1488")));
+  ObsRegistry reg;
+  attr_run(b, 4, 0, &reg);
+  const std::vector<std::uint64_t> t = reg.attribution_table();
+  ASSERT_EQ(t.size(), b.faults.size() * kNumDetAttrs);
+  std::array<std::uint64_t, kNumDetAttrs> sums{};
+  for (std::size_t f = 0; f < b.faults.size(); ++f) {
+    for (std::size_t a = 0; a < kNumDetAttrs; ++a) {
+      sums[a] += t[f * kNumDetAttrs + a];
+    }
+  }
+  const auto col = [&](Attr a) { return sums[static_cast<std::size_t>(a)]; };
+  // Every PODEM call in the pipeline is attributed, and both the counters
+  // and the ledger exclude wall-truncated work, so the columns reconcile
+  // exactly with the deterministic counters.
+  EXPECT_EQ(col(Attr::PodemCalls), reg.total(Ctr::PodemCalls));
+  EXPECT_EQ(col(Attr::PodemDecisions), reg.total(Ctr::PodemDecisions));
+  EXPECT_EQ(col(Attr::PodemBacktracks), reg.total(Ctr::PodemBacktracks));
+  // Detection credit is charged at every credit site: the total matches the
+  // flush-credited + ledger-dropped counts.
+  EXPECT_EQ(col(Attr::CreditEvents), reg.total(Ctr::FlushCreditDetected) +
+                                         reg.total(Ctr::DroppedByLedger));
+  EXPECT_GT(col(Attr::SeqCycles), 0u);
+  EXPECT_GT(col(Attr::SeqSims), 0u);
+}
+
+TEST(Obs, RunReportV2CarriesAttributionTopList) {
+  Built b(small_pipeline());
+  ObsRegistry reg;
+  PipelineResult r;
+  attr_run(b, 2, 0, &reg, &r);
+  std::ostringstream os;
+  reg.write_run_report(os, r);
+  const std::string rep = os.str();
+  EXPECT_TRUE(json_well_formed(rep)) << rep.substr(0, 400);
+  EXPECT_NE(rep.find("\"attribution\": {\"enabled\": true"),
+            std::string::npos);
+  for (const char* key : {"\"columns\"", "\"top\"", "\"work\"", "seq_cycles",
+                          "wall_nanos", "credit_events"}) {
+    EXPECT_NE(rep.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(Obs, TraceLimitDropsEventsAndMarksTruncation) {
+  Built b(small_pipeline());
+  ObsRegistry reg;
+  reg.enable_trace();
+  reg.set_trace_limit_bytes(512);  // a handful of spans at most
+  run_with(&reg, 2, b);
+  EXPECT_GT(reg.total(Ctr::TraceEventsDropped), 0u);
+  bool marked = false;
+  for (const auto& e : reg.trace_snapshot()) {
+    if (e.name == "trace.truncated") marked = true;
+  }
+  EXPECT_TRUE(marked);
+  // The capped buffer must still serialize as valid trace JSON.
+  std::ostringstream os;
+  reg.write_trace(os);
+  EXPECT_TRUE(json_well_formed(os.str()));
+}
+
+TEST(Obs, OpenMetricsExpositionFormat) {
+  Built b(small_pipeline());
+  ObsRegistry reg;
+  run_with(&reg, 2, b);
+  std::ostringstream os;
+  reg.write_openmetrics(os);
+  const std::string m = os.str();
+  EXPECT_NE(m.find("# TYPE fsct_classify_faults counter"), std::string::npos);
+  EXPECT_NE(m.find("fsct_classify_faults_total "), std::string::npos);
+  EXPECT_NE(m.find("# TYPE fsct_jobs gauge"), std::string::npos);
+  EXPECT_NE(m.find("# TYPE fsct_podem_decision_depth histogram"),
+            std::string::npos);
+  EXPECT_NE(m.find("fsct_podem_decision_depth_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(m.find("fsct_podem_decision_depth_sum "), std::string::npos);
+  EXPECT_NE(m.find("fsct_podem_decision_depth_count "), std::string::npos);
+  // OpenMetrics requires the EOF marker as the final line.
+  ASSERT_GE(m.size(), 6u);
+  EXPECT_EQ(m.substr(m.size() - 6), "# EOF\n");
 }
 
 TEST(Obs, ProgressLinesDeliveredPerPhase) {

@@ -33,7 +33,7 @@ if [[ "${1:-}" == "--coverage" ]]; then
              grouping_test reduced_atpg_test pipeline_test
              pipeline_options_test compaction_test diagnose_test
              test_export_test selfcheck_test report_test obs_test
-             parallel_test bench_harness_test)
+             profile_test json_test parallel_test bench_harness_test)
   cmake --build build-cov -j --target "${COV_TESTS[@]}"
   for t in "${COV_TESTS[@]}"; do
     "./build-cov/tests/$t" --gtest_brief=1
@@ -123,10 +123,18 @@ G12 = NOR(G1, G7)
 G13 = NAND(G2, G12)
 EOF
   ./build/tools/fsct test "$OBS_TMP/s27.bench" --jobs 2 -v \
-    --trace "$OBS_TMP/trace.json" --metrics "$OBS_TMP/metrics.json"
+    --trace "$OBS_TMP/trace.json" --metrics "$OBS_TMP/metrics.json" \
+    --trace-max-mb 64 --profile "$OBS_TMP/profile.json" \
+    --folded "$OBS_TMP/profile.folded" --metrics-out "$OBS_TMP/metrics.prom"
   python3 -m json.tool "$OBS_TMP/trace.json" > /dev/null
   python3 -m json.tool "$OBS_TMP/metrics.json" > /dev/null
-  echo "check.sh: observability smoke OK (trace + metrics JSON parse)"
+  python3 -m json.tool "$OBS_TMP/profile.json" > /dev/null
+  python3 tools/promtext_lint.py "$OBS_TMP/metrics.prom"
+  # The saved profile and the run report's attribution section both render.
+  ./build/tools/fsct profile "$OBS_TMP/profile.json" > /dev/null
+  ./build/tools/fsct profile "$OBS_TMP/metrics.json" --top 5 > /dev/null
+  echo "check.sh: observability smoke OK (trace/metrics/profile JSON parse," \
+       "OpenMetrics lint, profile render)"
 
   # Differential fuzz smoke: a fixed-seed sweep of all seven selfcheck oracles
   # plus a replay of the checked-in minimized corpus (see core/selfcheck.h).
@@ -143,6 +151,17 @@ EOF
   ./build/tools/fsct bench compare "$OBS_TMP/bench_smoke.json" \
     "$OBS_TMP/bench_smoke.json"
   echo "check.sh: bench smoke OK (run + JSON parse + self-compare)"
+
+  # Attribution overhead gate: the per-fault ledger must stay inside the
+  # compare harness's noise window (max(rel, 3*MAD, 5ms floor)) — the
+  # null-sink rule says observation never becomes the workload.
+  ./build/tools/fsct bench run s1488 --reps 3 --warmup 1 --jobs 2 \
+    --label attr-off -o "$OBS_TMP/bench_attr_off.json"
+  ./build/tools/fsct bench run s1488 --reps 3 --warmup 1 --jobs 2 \
+    --attribution --label attr-on -o "$OBS_TMP/bench_attr_on.json"
+  ./build/tools/fsct bench compare "$OBS_TMP/bench_attr_off.json" \
+    "$OBS_TMP/bench_attr_on.json"
+  echo "check.sh: attribution overhead gate OK (ledger within noise)"
 
   # Width sweep: the full pipeline at every SIMD lane width must produce an
   # identical run report (timings and RSS stripped — wider lanes legitimately

@@ -11,13 +11,21 @@
 //
 //   fsct test     <circuit.bench> [--chains N] [--partial permille]
 //                 [--jobs N] [--simd-width W] [-o program.fsct]
-//                 [--trace t.json] [--metrics m.json] [-v]
+//                 [--trace t.json] [--metrics m.json] [--profile p.json]
+//                 [--folded p.folded] [--metrics-out m.prom] [-v]
 //       full flow: TPI + three-step screening pipeline; prints the paper's
 //       Table-2/3 style summary and (with -o) writes the complete chain test
 //       program (flush + vectors + verified sequential tests) plus the
 //       scanned netlist it applies to (<out>.bench).  --trace writes a
 //       Chrome trace-event JSON of the run, --metrics a structured JSON run
-//       report, -v streams per-phase progress to stderr.
+//       report, --profile a per-fault work-attribution hotspot profile
+//       (fsct-profile-v1), --folded flamegraph folded stacks, --metrics-out
+//       an OpenMetrics text exposition, -v streams per-phase progress to
+//       stderr.
+//
+//   fsct profile  <profile.json|report.json> [--top K]
+//       render a saved hotspot profile (or the attribution section of a
+//       fsct-run-report-v2) as the hardest-fault table.
 //
 //   fsct replay   <program.fsct> <circuit.bench> [--fault NET 0|1]
 //       run a test program against a (possibly faulty) device; exit status 1
@@ -58,6 +66,7 @@
 #include <iostream>
 #include <limits>
 #include <random>
+#include <sstream>
 #include <string>
 
 #include "bench_circuits/paper_examples.h"
@@ -65,6 +74,7 @@
 #include "core/diagnose.h"
 #include "core/obs.h"
 #include "core/pipeline.h"
+#include "core/profile.h"
 #include "core/selfcheck.h"
 #include "core/test_export.h"
 #include "netlist/bench_io.h"
@@ -92,6 +102,12 @@ struct Args {
   int fault_value = -1;
   std::string trace_path;    // --trace: Chrome trace-event JSON
   std::string metrics_path;  // --metrics: structured run report JSON
+  std::string profile_path;  // --profile: fsct-profile-v1 hotspot JSON
+  std::string folded_path;   // --folded: flamegraph folded-stack lines
+  std::string metrics_out;   // --metrics-out: OpenMetrics text exposition
+  int trace_max_mb = 0;      // --trace-max-mb: trace buffer cap, 0 = unbounded
+  int top = 20;              // --top: hotlist size for profile output
+  bool attribution = false;  // --attribution: per-fault ledger, no profile
   bool verbose = false;      // -v: per-phase progress on stderr
   bool progress = false;     // --progress: heartbeat lines on stderr
   bool no_dominance = false; // --no-dominance: plain target order, no credit
@@ -213,6 +229,18 @@ Args parse(int argc, char** argv) {
       a.trace_path = operand(s);
     } else if (s == "--metrics") {
       a.metrics_path = operand(s);
+    } else if (s == "--profile") {
+      a.profile_path = operand(s);
+    } else if (s == "--folded") {
+      a.folded_path = operand(s);
+    } else if (s == "--metrics-out") {
+      a.metrics_out = operand(s);
+    } else if (s == "--trace-max-mb") {
+      a.trace_max_mb = static_cast<int>(int_operand(s, 1, 65536));
+    } else if (s == "--top") {
+      a.top = static_cast<int>(int_operand(s, 1, 1000000));
+    } else if (s == "--attribution") {
+      a.attribution = true;
     } else if (s == "--seed") {
       a.seed = static_cast<std::uint64_t>(
           int_operand(s, 0, std::numeric_limits<long long>::max()));
@@ -322,11 +350,23 @@ int cmd_test(const Args& a) {
   opt.dominance = !a.no_dominance;
 
   ObsRegistry reg;
+  // --profile / --folded imply the attribution ledger; the phase breakdown in
+  // the profile additionally needs trace spans.
+  const bool want_profile =
+      !a.profile_path.empty() || !a.folded_path.empty();
+  const bool want_attr = a.attribution || want_profile;
   const bool want_obs = !a.trace_path.empty() || !a.metrics_path.empty() ||
-                        a.verbose || a.progress;
+                        !a.metrics_out.empty() || want_attr || a.verbose ||
+                        a.progress;
   if (want_obs) {
     opt.obs = &reg;
-    reg.enable_trace(!a.trace_path.empty());
+    reg.enable_trace(!a.trace_path.empty() || want_profile);
+    if (a.trace_max_mb) {
+      reg.set_trace_limit_bytes(static_cast<std::size_t>(a.trace_max_mb) *
+                                1024 * 1024);
+    }
+    if (want_attr) reg.request_attribution();
+    reg.set_context(nl.name());
     if (a.verbose) {
       reg.progress = [](const std::string& line) {
         std::fprintf(stderr, "[fsct] %s\n", line.c_str());
@@ -349,11 +389,37 @@ int cmd_test(const Args& a) {
     std::printf("wrote trace %s (%zu spans)\n", a.trace_path.c_str(),
                 reg.trace_event_count());
   }
+  AttrContext actx;
+  if (want_attr) actx = make_attr_context(lv, faults, !a.no_dominance);
   if (!a.metrics_path.empty()) {
     std::ofstream ms(a.metrics_path);
     if (!ms) throw std::runtime_error("cannot open " + a.metrics_path);
-    reg.write_run_report(ms, r);
+    reg.write_run_report(ms, r, want_attr ? &actx : nullptr);
     std::printf("wrote metrics %s\n", a.metrics_path.c_str());
+  }
+  if (!a.metrics_out.empty()) {
+    std::ofstream os(a.metrics_out);
+    if (!os) throw std::runtime_error("cannot open " + a.metrics_out);
+    reg.write_openmetrics(os);
+    std::printf("wrote OpenMetrics %s\n", a.metrics_out.c_str());
+  }
+  if (want_profile) {
+    const ProfileDoc doc = build_profile(reg, actx, nl.name(),
+                                         static_cast<std::size_t>(a.top));
+    if (!a.profile_path.empty()) {
+      std::ofstream ps(a.profile_path);
+      if (!ps) throw std::runtime_error("cannot open " + a.profile_path);
+      write_profile_json(ps, doc);
+      std::printf("wrote profile %s (%zu active faults)\n",
+                  a.profile_path.c_str(), doc.active);
+    }
+    if (!a.folded_path.empty()) {
+      std::ofstream fs(a.folded_path);
+      if (!fs) throw std::runtime_error("cannot open " + a.folded_path);
+      write_folded(fs, doc);
+      std::printf("wrote folded stacks %s (%zu phase nodes)\n",
+                  a.folded_path.c_str(), doc.phases.size());
+    }
   }
 
   std::printf("jobs: %u | classify %.3fs | step 2 %.3fs | step 3 %.3fs\n",
@@ -584,6 +650,7 @@ int cmd_bench_run(const Args& a) {
   if (!a.jobs_list.empty()) cfg.jobs = a.jobs_list;
   cfg.reps = a.reps;
   cfg.warmup = a.warmup;
+  cfg.attribution = a.attribution;
   if (a.verbose || a.progress) {
     cfg.progress = [](const std::string& line) {
       std::fprintf(stderr, "[bench] %s\n", line.c_str());
@@ -625,6 +692,17 @@ int cmd_bench_compare(const Args& a) {
   return rep.exit_code();
 }
 
+int cmd_profile(const Args& a) {
+  const std::string& path = positional(a, 0, "<profile.json|report.json>");
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  const ProfileDoc doc = parse_profile_json(ss.str(), path);
+  print_profile(std::cout, doc, static_cast<std::size_t>(a.top));
+  return 0;
+}
+
 int cmd_bench(const Args& a) {
   const std::string& sub = positional(a, 0, "<run|compare>");
   if (sub == "run") return cmd_bench_run(a);
@@ -645,6 +723,8 @@ void print_usage(std::FILE* f = stdout) {
       "  diagnose <circuit.bench> --fault NET V  rank chain-defect suspects\n"
       "  selftest                                end-to-end check on s27\n"
       "  fuzz     [--seed S] [--iters N]         differential self-fuzzing\n"
+      "  profile  <profile.json|report.json>     render a saved hotspot\n"
+      "                                          profile as tables\n"
       "  bench    run [circuit ...]              timed suite benchmark ->\n"
       "                                          BENCH_<label>.json\n"
       "  bench    compare <old.json> <new.json>  noise-aware regression diff\n"
@@ -668,7 +748,20 @@ void print_usage(std::FILE* f = stdout) {
       "  --trace FILE      write a Chrome trace-event JSON of the run;\n"
       "                    load in chrome://tracing or Perfetto (test)\n"
       "  --metrics FILE    write a structured JSON run report: results,\n"
-      "                    counters, histograms, pool stats (test)\n"
+      "                    counters, histograms, pool stats, attribution\n"
+      "                    top list when the ledger is on (test)\n"
+      "  --profile FILE    write a fsct-profile-v1 hotspot profile: top-K\n"
+      "                    hardest faults, per-gate/per-level activity,\n"
+      "                    phase self/total tree; implies attribution (test)\n"
+      "  --folded FILE     write flamegraph folded stacks of the phase tree\n"
+      "                    (flamegraph.pl / speedscope format; test)\n"
+      "  --metrics-out FILE  write counters/gauges/histograms as OpenMetrics\n"
+      "                    text for Prometheus scraping (test)\n"
+      "  --attribution     charge per-fault work to the attribution ledger\n"
+      "                    without writing a profile (test, bench run)\n"
+      "  --top K           hotlist rows in profile output (default 20)\n"
+      "  --trace-max-mb N  cap the in-memory trace buffer; past the cap new\n"
+      "                    spans are dropped (counted + truncation marker)\n"
       "  -v, --verbose     per-phase progress lines on stderr (test, fuzz)\n"
       "  --progress        periodic heartbeat line with phase, done/total,\n"
       "                    rate, ETA, RSS on stderr (test, bench run); a\n"
@@ -726,6 +819,7 @@ int main(int argc, char** argv) {
     if (cmd == "diagnose") return cmd_diagnose(a);
     if (cmd == "selftest") return cmd_selftest();
     if (cmd == "fuzz") return cmd_fuzz(a);
+    if (cmd == "profile") return cmd_profile(a);
     if (cmd == "bench") return cmd_bench(a);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     print_usage(stderr);

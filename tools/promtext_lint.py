@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validator for the OpenMetrics text exposition fsct writes (--metrics-out).
+
+Checks the subset of the OpenMetrics spec the writer uses:
+  * every sample line matches  name[{labels}] value
+  * every sample's metric family has a preceding # TYPE line
+  * counter samples use the _total suffix
+  * histogram bucket counts are cumulative (monotone in le, capped by _count)
+    and every histogram has _sum and _count
+  * exactly one terminating # EOF line, nothing after it
+
+Exit 0 clean, 1 on any violation (each printed with its line number).
+"""
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'       # metric name
+    r'(\{[a-zA-Z0-9_="+.,%\- ]*\})?'     # optional label set
+    r' (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]Inf|NaN)$')
+TYPE_RE = re.compile(r'^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) '
+                     r'(counter|gauge|histogram|summary|unknown)$')
+LE_RE = re.compile(r'le="([^"]*)"')
+
+
+def base_family(name):
+    for suffix in ('_total', '_bucket', '_sum', '_count'):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def lint(lines):
+    errors = []
+    types = {}           # family -> type
+    buckets = {}         # family -> [(le, value, lineno)]
+    hist_parts = {}      # family -> set of seen parts
+    saw_eof = False
+
+    for no, line in enumerate(lines, 1):
+        line = line.rstrip('\n')
+        if saw_eof:
+            errors.append(f'line {no}: content after # EOF')
+            continue
+        if line == '# EOF':
+            saw_eof = True
+            continue
+        if not line:
+            errors.append(f'line {no}: blank line (not allowed)')
+            continue
+        if line.startswith('#'):
+            m = TYPE_RE.match(line)
+            if m:
+                family, kind = m.group(1), m.group(2)
+                if family in types:
+                    errors.append(f'line {no}: duplicate # TYPE for {family}')
+                types[family] = kind
+            elif not line.startswith('# HELP') and not line.startswith('# UNIT'):
+                errors.append(f'line {no}: unrecognized comment line: {line!r}')
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f'line {no}: malformed sample line: {line!r}')
+            continue
+        name, labels, value = m.group(1), m.group(2) or '', m.group(3)
+        family = base_family(name)
+        if family not in types:
+            errors.append(f'line {no}: sample {name} has no preceding # TYPE')
+            continue
+        kind = types[family]
+        if kind == 'counter' and not name.endswith('_total'):
+            errors.append(
+                f'line {no}: counter sample {name} must end in _total')
+        if kind == 'histogram':
+            parts = hist_parts.setdefault(family, set())
+            if name.endswith('_bucket'):
+                parts.add('bucket')
+                le = LE_RE.search(labels)
+                if not le:
+                    errors.append(
+                        f'line {no}: histogram bucket without le label')
+                else:
+                    bound = (float('inf') if le.group(1) == '+Inf'
+                             else float(le.group(1)))
+                    buckets.setdefault(family, []).append(
+                        (bound, float(value), no))
+            elif name.endswith('_sum'):
+                parts.add('sum')
+            elif name.endswith('_count'):
+                parts.add('count')
+
+    if not saw_eof:
+        errors.append('missing terminating # EOF line')
+
+    for family, bs in buckets.items():
+        prev = None
+        for bound, value, no in bs:  # writer emits in ascending-le order
+            if prev is not None:
+                if bound <= prev[0]:
+                    errors.append(
+                        f'line {no}: {family} bucket le out of order')
+                if value < prev[1]:
+                    errors.append(
+                        f'line {no}: {family} bucket counts not cumulative')
+            prev = (bound, value)
+        if bs and bs[-1][0] != float('inf'):
+            errors.append(f'{family}: histogram missing +Inf bucket')
+    for family, parts in hist_parts.items():
+        for need in ('bucket', 'sum', 'count'):
+            if need not in parts:
+                errors.append(f'{family}: histogram missing _{need}')
+    return errors
+
+
+def main():
+    if len(sys.argv) != 2:
+        print('usage: promtext_lint.py <metrics.prom>', file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        errors = lint(f.readlines())
+    for e in errors:
+        print(e, file=sys.stderr)
+    if not errors:
+        print(f'{sys.argv[1]}: OK')
+    return 1 if errors else 0
+
+
+if __name__ == '__main__':
+    sys.exit(main())
