@@ -214,22 +214,71 @@ void json_uint_map(const JsonParser& p, const JVal& v,
   }
 }
 
+namespace {
+
+/// Length of the valid UTF-8 sequence starting at s[i], or 0 if the bytes
+/// there are not well-formed UTF-8 (bad lead byte, truncated or non-
+/// continuation tail, overlong encoding, surrogate, or > U+10FFFF).
+std::size_t utf8_seq_len(const std::string& s, std::size_t i) {
+  const auto b = [&](std::size_t k) {
+    return static_cast<unsigned char>(s[i + k]);
+  };
+  const unsigned char lead = b(0);
+  std::size_t len = 0;
+  if (lead < 0x80) return 1;
+  if (lead >= 0xC2 && lead <= 0xDF) len = 2;        // C0/C1 are overlong
+  else if (lead >= 0xE0 && lead <= 0xEF) len = 3;
+  else if (lead >= 0xF0 && lead <= 0xF4) len = 4;   // F5+ exceed U+10FFFF
+  else return 0;
+  if (i + len > s.size()) return 0;
+  for (std::size_t k = 1; k < len; ++k) {
+    if ((b(k) & 0xC0) != 0x80) return 0;
+  }
+  // Reject overlong 3/4-byte forms, surrogates, and > U+10FFFF.
+  if (len == 3) {
+    if (lead == 0xE0 && b(1) < 0xA0) return 0;           // overlong
+    if (lead == 0xED && b(1) >= 0xA0) return 0;          // UTF-16 surrogate
+  } else if (len == 4) {
+    if (lead == 0xF0 && b(1) < 0x90) return 0;           // overlong
+    if (lead == 0xF4 && b(1) >= 0x90) return 0;          // > U+10FFFF
+  }
+  return len;
+}
+
+}  // namespace
+
 std::string json_escape(const std::string& s) {
   std::string out;
-  for (char c : s) {
+  for (std::size_t i = 0; i < s.size();) {
+    const char c = s[i];
     switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
+      case '"': out += "\\\""; ++i; continue;
+      case '\\': out += "\\\\"; ++i; continue;
+      case '\n': out += "\\n"; ++i; continue;
+      case '\t': out += "\\t"; ++i; continue;
+      default: break;
+    }
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", u);
+      out += buf;
+      ++i;
+    } else if (u < 0x80) {
+      out += c;
+      ++i;
+    } else {
+      // Non-ASCII: pass through only well-formed UTF-8.  Anything else (a
+      // Latin-1 gate name, a truncated sequence) would make the whole run
+      // report unparseable, so each bad byte becomes U+FFFD instead.
+      const std::size_t len = utf8_seq_len(s, i);
+      if (len == 0) {
+        out += "\xEF\xBF\xBD";  // U+FFFD REPLACEMENT CHARACTER
+        ++i;
+      } else {
+        out.append(s, i, len);
+        i += len;
+      }
     }
   }
   return out;

@@ -12,6 +12,11 @@
 #include <ostream>
 #include <sstream>
 
+#ifndef _WIN32
+#include <signal.h>  // sigaction: save/restore needs more than std::signal
+#endif
+
+#include "core/io_util.h"
 #include "core/json.h"
 #include "core/pipeline.h"
 
@@ -138,6 +143,50 @@ bool take_sigusr1() {
   return g_sigusr1_pending.exchange(0, std::memory_order_relaxed) != 0;
 }
 
+// Reference-counted sigaction installation.  A monitor acquires the handler
+// on start and releases it on teardown; the action that was installed before
+// the *first* acquire is restored when the count reaches zero, so a daemon
+// cycling one monitor per session never leaves our handler pointing at a
+// dead registry.  install_sigusr1_handler() sets g_sig_pinned, which keeps
+// the handler installed for the rest of the process (the CLI's behaviour).
+std::mutex g_sig_m;
+int g_sig_refs = 0;
+bool g_sig_pinned = false;
+bool g_sig_installed = false;
+#ifndef _WIN32
+struct sigaction g_sig_prev {};
+
+void sigusr1_install_locked() {
+  struct sigaction sa {};
+  sa.sa_handler = sigusr1_handler;
+  sigemptyset(&sa.sa_mask);
+  // Deliberately no SA_RESTART: blocking syscalls must wake with EINTR so a
+  // serving daemon's poll/accept loops notice signals promptly.  Every write
+  // on the status/heartbeat paths goes through core/io_util.h's retry
+  // helpers, which absorb the interruptions this causes.
+  sa.sa_flags = 0;
+  sigaction(SIGUSR1, &sa, &g_sig_prev);
+  g_sig_installed = true;
+}
+#endif
+
+void sigusr1_acquire() {
+#ifndef _WIN32
+  std::lock_guard<std::mutex> lk(g_sig_m);
+  if (g_sig_refs++ == 0 && !g_sig_installed) sigusr1_install_locked();
+#endif
+}
+
+void sigusr1_release() {
+#ifndef _WIN32
+  std::lock_guard<std::mutex> lk(g_sig_m);
+  if (--g_sig_refs == 0 && !g_sig_pinned) {
+    sigaction(SIGUSR1, &g_sig_prev, nullptr);
+    g_sig_installed = false;
+  }
+#endif
+}
+
 }  // namespace
 
 ObsRegistry* set_status_registry(ObsRegistry* reg) {
@@ -148,8 +197,20 @@ ObsRegistry* set_status_registry(ObsRegistry* reg) {
 }
 
 void install_sigusr1_handler() {
-#ifdef SIGUSR1
-  std::signal(SIGUSR1, sigusr1_handler);
+#ifndef _WIN32
+  std::lock_guard<std::mutex> lk(g_sig_m);
+  g_sig_pinned = true;
+  if (!g_sig_installed) sigusr1_install_locked();
+#endif
+}
+
+bool sigusr1_handler_active() {
+#ifndef _WIN32
+  struct sigaction cur {};
+  if (sigaction(SIGUSR1, nullptr, &cur) != 0) return false;
+  return cur.sa_handler == &sigusr1_handler;
+#else
+  return false;
 #endif
 }
 
@@ -491,9 +552,12 @@ ObsMonitor::ObsMonitor() : ObsMonitor(Options()) {}
 ObsMonitor::ObsMonitor(Options opt) : opt_(std::move(opt)) {
   if (!opt_.sink) {
     opt_.sink = [](const std::string& line) {
-      std::fprintf(stderr, "[fsct] %s\n", line.c_str());
+      // write_line, not fprintf: a SIGUSR1/SIGTERM landing mid-write must not
+      // truncate a heartbeat line (handlers are installed without SA_RESTART).
+      write_line(2, "[fsct] " + line);
     };
   }
+  if (opt_.sigusr1) sigusr1_acquire();
   thread_ = std::thread([this] { loop(); });
 }
 
@@ -504,6 +568,7 @@ ObsMonitor::~ObsMonitor() {
   }
   cv_.notify_all();
   thread_.join();
+  if (opt_.sigusr1) sigusr1_release();
 }
 
 void ObsMonitor::dump_now() { emit_status(); }
@@ -518,7 +583,7 @@ void ObsMonitor::loop() {
                    [this] { return stop_; });
       if (stop_) return;
     }
-    if (take_sigusr1()) emit_status();
+    if (opt_.sigusr1 && take_sigusr1()) emit_status();
     if (opt_.heartbeat &&
         std::chrono::steady_clock::now() >= next_heartbeat) {
       emit_heartbeat();
@@ -530,7 +595,9 @@ void ObsMonitor::loop() {
 
 void ObsMonitor::emit_status() {
   std::ostringstream oss;
-  {
+  if (opt_.registry) {
+    opt_.registry->write_status(oss);
+  } else {
     std::lock_guard<std::mutex> lk(g_status_m);
     if (!g_status_reg) {
       opt_.sink("status: no active run");
@@ -543,38 +610,53 @@ void ObsMonitor::emit_status() {
   for (std::string line; std::getline(iss, line);) opt_.sink(line);
 }
 
+HeartbeatRate::Estimate HeartbeatRate::update(
+    const char* phase, std::uint64_t done, std::uint64_t total,
+    std::chrono::steady_clock::time_point now) {
+  // Reset on phase change (the name literal's identity is the phase's
+  // identity) and on done moving backwards — a fresh pipeline run reusing
+  // the same phase literal must not inherit the previous run's samples.
+  if (phase != phase_ || (!window_.empty() && done < window_.back().done)) {
+    window_.clear();
+    phase_ = phase;
+  }
+  window_.push_back({now, done});
+  while (window_.size() > 16) window_.erase(window_.begin());
+  Estimate est;
+  if (window_.size() >= 2) {
+    const double dt =
+        std::chrono::duration<double>(now - window_.front().t).count();
+    if (dt > 0) {
+      est.rate = static_cast<double>(done - window_.front().done) / dt;
+    }
+  }
+  // Totals may legitimately shrink below done mid-phase (ledger drops cut
+  // step-3 totals); clamp remaining work at zero so the ETA can never go
+  // negative or wrap the unsigned subtraction into centuries.
+  const std::uint64_t remaining = total > done ? total - done : 0;
+  if (est.rate > 0) est.eta_seconds = static_cast<double>(remaining) / est.rate;
+  return est;
+}
+
 void ObsMonitor::emit_heartbeat() {
   ObsRegistry::PhaseProgress p;
   std::string ctx;
-  {
+  if (opt_.registry) {
+    p = opt_.registry->phase_progress();
+    ctx = opt_.registry->context();
+  } else {
     std::lock_guard<std::mutex> lk(g_status_m);
     if (!g_status_reg) return;
     p = g_status_reg->phase_progress();
     ctx = g_status_reg->context();
   }
   if (!p.name) return;
-  const auto now = std::chrono::steady_clock::now();
-  // Rolling rate over the retained window; reset when the phase changes
-  // (the `name` literal's identity is the phase's identity).
-  if (p.name != window_phase_) {
-    window_.clear();
-    window_phase_ = p.name;
-  }
-  window_.push_back({now, p.done});
-  while (window_.size() > 16) window_.erase(window_.begin());
-  double rate = 0;
-  if (window_.size() >= 2) {
-    const double dt =
-        std::chrono::duration<double>(now - window_.front().t).count();
-    if (dt > 0 && p.done >= window_.front().done) {
-      rate = static_cast<double>(p.done - window_.front().done) / dt;
-    }
-  }
+  const HeartbeatRate::Estimate est =
+      rate_.update(p.name, p.done, p.total, std::chrono::steady_clock::now());
   char buf[384];
   char eta[32] = "?";
-  if (rate > 0 && p.total >= p.done) {
-    std::snprintf(eta, sizeof eta, "%.0fs",
-                  static_cast<double>(p.total - p.done) / rate);
+  if (est.eta_seconds >= 0) {
+    std::snprintf(eta, sizeof eta, "%.0fs", est.eta_seconds);
   }
   long cur = 0, peak = 0;
   ObsRegistry::read_rss_kb(cur, peak);
@@ -584,7 +666,7 @@ void ObsMonitor::emit_heartbeat() {
                 "heartbeat %sphase=%s done=%llu/%llu rate=%.1f/s eta=%s "
                 "rss=%ldMB peak=%ldMB",
                 run, p.name, static_cast<unsigned long long>(p.done),
-                static_cast<unsigned long long>(p.total), rate, eta,
+                static_cast<unsigned long long>(p.total), est.rate, eta,
                 cur / 1024, peak / 1024);
   opt_.sink(buf);
 }

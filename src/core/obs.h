@@ -422,10 +422,22 @@ double process_cpu_seconds();
 /// for its own obs sink.
 ObsRegistry* set_status_registry(ObsRegistry* reg);
 
-/// Installs the SIGUSR1 handler (idempotent).  The handler only sets a
-/// flag; an ObsMonitor polls it and prints the dump from its own thread,
-/// so results are never touched from signal context.
+/// Pins the SIGUSR1 handler for the rest of the process (idempotent).  The
+/// handler only sets a flag; an ObsMonitor polls it and prints the dump from
+/// its own thread, so results are never touched from signal context.
+///
+/// Installation is sigaction-based and reference-counted: each ObsMonitor
+/// acquires the handler on start and releases it on teardown, restoring the
+/// previously installed action once the last monitor is gone — a daemon that
+/// starts and stops a monitor per session never leaves a dangling handler
+/// behind.  This function is the CLI's "keep it for the whole run" variant:
+/// it installs the handler if needed and disables the restore-on-zero.  The
+/// handler is installed without SA_RESTART so blocking syscalls wake with
+/// EINTR (see core/io_util.h for the retry discipline this requires).
 void install_sigusr1_handler();
+
+/// Test hook: true while the fsct SIGUSR1 handler is the installed action.
+bool sigusr1_handler_active();
 
 /// Test failpoint: sleeps at the start of pipeline phase `phase` when the
 /// environment variable FSCT_TEST_PHASE_SLEEP is set to "<phase>:<ms>"
@@ -433,6 +445,36 @@ void install_sigusr1_handler();
 /// one getenv per coarse phase.  This is how the bench-harness tests inject
 /// a deliberate, deterministic slowdown into one phase.
 void test_phase_sleep(const char* phase);
+
+/// Rolling-rate / ETA estimator behind the heartbeat line.  A pure object so
+/// the window policy is unit-testable without a live monitor thread:
+///
+///  * the window resets when the phase changes (phase identity is the name
+///    literal's address) **and** when `done` moves backwards — a daemon
+///    re-running the pipeline reuses the same phase literals, so a fresh
+///    phase with the same name would otherwise poison the rate with stale
+///    samples and print an absurd ETA;
+///  * remaining work is clamped at zero: mid-phase total shrinkage (ledger
+///    drops reduce step-3 totals) can legitimately leave done > total, which
+///    must read as "done any moment now", never as a negative or wrapped
+///    ETA.
+class HeartbeatRate {
+ public:
+  struct Estimate {
+    double rate = 0;          ///< units/s over the rolling window
+    double eta_seconds = -1;  ///< seconds to finish; < 0 = unknown
+  };
+  Estimate update(const char* phase, std::uint64_t done, std::uint64_t total,
+                  std::chrono::steady_clock::time_point now);
+
+ private:
+  struct Sample {
+    std::chrono::steady_clock::time_point t;
+    std::uint64_t done;
+  };
+  std::vector<Sample> window_;  ///< rolling samples, oldest first
+  const char* phase_ = nullptr;
+};
 
 /// A small background thread giving long runs a pulse: it polls the status
 /// registry (set_status_registry) every poll_ms, prints a full status dump
@@ -450,8 +492,16 @@ class ObsMonitor {
     bool heartbeat = false;     ///< emit periodic heartbeat lines
     int heartbeat_ms = 1000;
     /// Receives every output line (no trailing newline); default writes
-    /// "[fsct] <line>" to stderr.
+    /// "[fsct] <line>" to stderr through the EINTR-safe write_all path.
     std::function<void(const std::string&)> sink;
+    /// When set, this monitor observes `registry` instead of the process-wide
+    /// status registry — the per-session monitors of `fsct serve` each watch
+    /// their own run.  The caller owns the registry and must keep it alive
+    /// for the monitor's lifetime (destroy the monitor first).
+    ObsRegistry* registry = nullptr;
+    /// Acquire the SIGUSR1 handler and answer dumps.  Per-session monitors
+    /// turn this off: only the daemon-wide (or CLI) monitor owns the signal.
+    bool sigusr1 = true;
   };
   ObsMonitor();  // default options: SIGUSR1 dumps only, no heartbeat
   explicit ObsMonitor(Options opt);
@@ -471,12 +521,7 @@ class ObsMonitor {
   std::mutex m_;
   std::condition_variable cv_;
   bool stop_ = false;
-  struct Sample {
-    std::chrono::steady_clock::time_point t;
-    std::uint64_t done;
-  };
-  std::vector<Sample> window_;      // rolling rate samples, oldest first
-  const char* window_phase_ = nullptr;
+  HeartbeatRate rate_;
   std::thread thread_;
 };
 

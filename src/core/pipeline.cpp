@@ -111,20 +111,31 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
   // set too (`domsets`).  Detection credit is never transferred through the
   // table (unsound across multi-cycle sequential tests); every fault the
   // simulations miss and no proof covers still gets its own ATPG call.
-  std::optional<DominanceInfo> dom;
-  std::vector<std::vector<std::size_t>> domsets;
-  std::vector<Cost> fcost;
+  std::shared_ptr<const DominanceInfo> dom;
+  std::shared_ptr<const std::vector<std::vector<std::size_t>>> domsets_sp;
+  std::shared_ptr<const std::vector<Cost>> fcost_sp;
   if (opt.dominance && !hard_idx.empty()) {
-    dom = collapse_dominant(nl, faults);
-    domsets = dominated_sets(nl, faults);
-    std::vector<char> controllable(nl.size(), 0);
-    for (NodeId pi : nl.inputs()) {
-      controllable[pi] = !model.design().is_constrained(pi);
+    if (opt.compiled && opt.compiled->dom && opt.compiled->domsets &&
+        opt.compiled->fcost) {
+      // Served from a compiled-model cache: the artifacts are pure functions
+      // of (netlist, fault list), so reuse is invisible to results.
+      dom = opt.compiled->dom;
+      domsets_sp = opt.compiled->domsets;
+      fcost_sp = opt.compiled->fcost;
+    } else {
+      dom = std::make_shared<DominanceInfo>(collapse_dominant(nl, faults));
+      domsets_sp = std::make_shared<std::vector<std::vector<std::size_t>>>(
+          dominated_sets(nl, faults));
+      std::vector<char> controllable(nl.size(), 0);
+      for (NodeId pi : nl.inputs()) {
+        controllable[pi] = !model.design().is_constrained(pi);
+      }
+      for (const ScanChain& c : model.design().chains) {
+        for (NodeId ff : c.ffs) controllable[ff] = 1;
+      }
+      fcost_sp = std::make_shared<std::vector<Cost>>(
+          fault_excitation_costs(lv, controllable, faults));
     }
-    for (const ScanChain& c : model.design().chains) {
-      for (NodeId ff : c.ffs) controllable[ff] = 1;
-    }
-    fcost = fault_excitation_costs(lv, controllable, faults);
     std::size_t dominated = 0;
     for (std::size_t j : hard_idx) {
       if (dom->rep[j] == j) {
@@ -141,6 +152,11 @@ PipelineResult run_fsct_pipeline(const ScanModeModel& model,
       obs->progress_line(pbuf);
     }
   }
+  const std::vector<std::vector<std::size_t>> no_domsets;
+  const std::vector<Cost> no_fcost;
+  const std::vector<std::vector<std::size_t>>& domsets =
+      domsets_sp ? *domsets_sp : no_domsets;
+  const std::vector<Cost>& fcost = fcost_sp ? *fcost_sp : no_fcost;
   // Orders fault indices by representative (cheapest excitation first) so a
   // group's faults are contiguous.  Within a group the dominating (dropped)
   // output faults go *before* the representative: if the group is untestable

@@ -16,17 +16,31 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/classify.h"
 #include "core/grouping.h"
 #include "core/reduced_atpg.h"
+#include "fault/fault.h"
 #include "fault/seq_fault_sim.h"
 #include "scan/scan_mode_model.h"
 
 namespace fsct {
 
 class ObsRegistry;
+
+/// Precomputed per-circuit dominance artifacts for run_fsct_pipeline.  All
+/// three are pure functions of (post-TPI netlist, collapsed fault list), so a
+/// long-running server computes them once per compiled model and shares them
+/// read-only across every request for that circuit; the pipeline recomputes
+/// exactly the same values when they are absent, so results never depend on
+/// whether a cache was warm.  Either provide all three or none.
+struct PipelineCompiled {
+  std::shared_ptr<const DominanceInfo> dom;
+  std::shared_ptr<const std::vector<std::vector<std::size_t>>> domsets;
+  std::shared_ptr<const std::vector<Cost>> fcost;
+};
 
 struct PipelineOptions {
   /// Distance parameters; when auto_dist is true they are derived from the
@@ -89,6 +103,12 @@ struct PipelineOptions {
   /// nullptr disables all observation.  The deterministic counters it
   /// collects are identical at any `jobs` value; see core/obs.h.
   ObsRegistry* obs = nullptr;
+
+  /// Optional precomputed dominance artifacts (see PipelineCompiled); the
+  /// pipeline computes its own when null.  Must match this run's netlist and
+  /// fault list.  The caller keeps the struct alive for the duration of the
+  /// call.
+  const PipelineCompiled* compiled = nullptr;
 };
 
 /// One scan-mode test vector of the step-2 set: free-PI values plus the

@@ -4,11 +4,24 @@
 // mutation; rebuild after TPI / scan insertion.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "netlist/netlist.h"
 
 namespace fsct {
+
+/// Per-snapshot memo cell for artifacts derived from one Levelizer (today:
+/// the SoaCircuit flat compilation, see SoaCircuit::compile).  Type-erased so
+/// this layer stays below the simulators that fill it.  Copies of a Levelizer
+/// share the cell — a copy is the same snapshot — which is also why the cell
+/// lives behind a shared_ptr instead of as direct members (a mutex member
+/// would make Levelizer non-copyable).
+struct LevelizerMemo {
+  std::mutex m;
+  std::shared_ptr<const void> value;
+};
 
 /// Immutable structural snapshot of a netlist.
 class Levelizer {
@@ -42,12 +55,16 @@ class Levelizer {
 
   const Netlist& netlist() const { return nl_; }
 
+  /// The snapshot's derived-artifact memo (never null).
+  const std::shared_ptr<LevelizerMemo>& memo() const { return memo_; }
+
  private:
   const Netlist& nl_;
   std::vector<std::vector<NodeId>> fanouts_;
   std::vector<int> levels_;
   std::vector<NodeId> topo_;
   int max_level_ = 0;
+  std::shared_ptr<LevelizerMemo> memo_ = std::make_shared<LevelizerMemo>();
 };
 
 }  // namespace fsct

@@ -1,0 +1,177 @@
+#include "serve/net.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include "core/io_util.h"
+
+namespace fsct {
+
+#ifndef _WIN32
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+int listen_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof addr.sun_path) {
+    throw std::runtime_error("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("socket");
+  ::unlink(path.c_str());  // a stale socket file from a killed daemon
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int e = errno;
+    ::close(fd);
+    errno = e;
+    fail_errno("bind " + path);
+  }
+  if (::listen(fd, 64) != 0) {
+    const int e = errno;
+    ::close(fd);
+    errno = e;
+    fail_errno("listen " + path);
+  }
+  return fd;
+}
+
+int listen_tcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only: no remote
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int e = errno;
+    ::close(fd);
+    errno = e;
+    fail_errno("bind port " + std::to_string(port));
+  }
+  if (::listen(fd, 64) != 0) {
+    const int e = errno;
+    ::close(fd);
+    errno = e;
+    fail_errno("listen port " + std::to_string(port));
+  }
+  return fd;
+}
+
+int bound_tcp_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    fail_errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof addr.sun_path) {
+    throw std::runtime_error("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("socket");
+  int r;
+  do {
+    r = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  } while (r != 0 && errno == EINTR);
+  if (r != 0) {
+    const int e = errno;
+    ::close(fd);
+    errno = e;
+    fail_errno("connect " + path);
+  }
+  return fd;
+}
+
+int connect_tcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  int r;
+  do {
+    r = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  } while (r != 0 && errno == EINTR);
+  if (r != 0) {
+    const int e = errno;
+    ::close(fd);
+    errno = e;
+    fail_errno("connect port " + std::to_string(port));
+  }
+  return fd;
+}
+
+#else  // _WIN32: serve is POSIX-only; every entry point reports that.
+
+namespace {
+[[noreturn]] void unsupported() {
+  throw std::runtime_error("fsct serve requires POSIX sockets");
+}
+}  // namespace
+
+int listen_unix(const std::string&) { unsupported(); }
+int listen_tcp(int) { unsupported(); }
+int bound_tcp_port(int) { unsupported(); }
+int connect_unix(const std::string&) { unsupported(); }
+int connect_tcp(int) { unsupported(); }
+
+#endif
+
+bool LineReader::next(std::string& line) {
+  for (;;) {
+    const std::size_t nl = buf_.find('\n', pos_);
+    if (nl != std::string::npos) {
+      line.assign(buf_, pos_, nl - pos_);
+      pos_ = nl + 1;
+      // Compact once the consumed prefix dominates the buffer.
+      if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+      }
+      return true;
+    }
+    if (eof_) {
+      if (pos_ < buf_.size()) {  // trailing unterminated fragment
+        line.assign(buf_, pos_, buf_.size() - pos_);
+        pos_ = buf_.size();
+        return true;
+      }
+      return false;
+    }
+    char chunk[4096];
+    const long r = read_retry(fd_, chunk, sizeof chunk);
+    if (r < 0) return false;
+    if (r == 0) {
+      eof_ = true;
+      continue;
+    }
+    buf_.append(chunk, static_cast<std::size_t>(r));
+  }
+}
+
+}  // namespace fsct

@@ -1,0 +1,46 @@
+// Minimal socket plumbing for `fsct serve`: Unix-domain / loopback-TCP
+// listeners, client-side connects (used by the integration tests), and a
+// buffered newline-delimited line reader.  Everything retries EINTR through
+// core/io_util.h — the daemon's signal handlers are installed without
+// SA_RESTART, so every blocking call here can and will be interrupted.
+#pragma once
+
+#include <string>
+
+namespace fsct {
+
+/// Creates, binds and listens on a Unix-domain stream socket at `path`
+/// (unlinking a stale socket file first).  Returns the listening fd; throws
+/// std::runtime_error on failure.
+int listen_unix(const std::string& path);
+
+/// Creates, binds and listens on loopback TCP `port` (0 = ephemeral).
+/// Returns the listening fd; throws std::runtime_error on failure.
+int listen_tcp(int port);
+
+/// Port a listening TCP fd is actually bound to (resolves port 0).
+int bound_tcp_port(int fd);
+
+/// Client-side connect; throw std::runtime_error on failure.
+int connect_unix(const std::string& path);
+int connect_tcp(int port);
+
+/// Buffered reader splitting an fd's byte stream into '\n'-terminated lines
+/// (terminator stripped).  next() blocks until a full line, EOF or error;
+/// EINTR is retried.  A final unterminated fragment before EOF is returned
+/// as a line.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// False on EOF (with no pending fragment) or on a read error.
+  bool next(std::string& line);
+
+ private:
+  int fd_;
+  std::string buf_;
+  std::size_t pos_ = 0;  // start of unconsumed bytes in buf_
+  bool eof_ = false;
+};
+
+}  // namespace fsct

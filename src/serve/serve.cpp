@@ -1,0 +1,664 @@
+#include "serve/serve.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#ifndef _WIN32
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "core/io_util.h"
+#include "core/json.h"
+#include "core/obs.h"
+#include "fault/fault.h"
+#include "netlist/bench_io.h"
+#include "serve/net.h"
+#include "sim/soa_circuit.h"
+
+namespace fsct {
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+namespace {
+
+/// Integers print as integers (counter values must round-trip bytewise);
+/// everything else gets enough digits to be unambiguous.
+std::string fmt_num(double d) {
+  if (d == std::floor(d) && std::fabs(d) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  return buf;
+}
+
+bool normalized_drop(const std::string& key) {
+  return key.find("seconds") != std::string::npos ||
+         key.find("time") != std::string::npos ||
+         key.find("passes") != std::string::npos ||
+         key.find("cycles") != std::string::npos ||
+         key.find("rss") != std::string::npos;
+}
+
+void dump_normalized(const JVal& v, std::string& out) {
+  switch (v.kind) {
+    case JVal::Null: out += "null"; break;
+    case JVal::Bool: out += v.b ? "true" : "false"; break;
+    case JVal::Num: out += fmt_num(v.num); break;
+    case JVal::Str:
+      out += '"';
+      out += json_escape(v.str);
+      out += '"';
+      break;
+    case JVal::Arr:
+      out += '[';
+      for (std::size_t i = 0; i < v.arr.size(); ++i) {
+        if (i) out += ',';
+        dump_normalized(v.arr[i], out);
+      }
+      out += ']';
+      break;
+    case JVal::Obj: {
+      std::vector<const std::pair<std::string, JVal>*> kept;
+      for (const auto& kv : v.obj) {
+        if (!normalized_drop(kv.first)) kept.push_back(&kv);
+      }
+      std::sort(kept.begin(), kept.end(),
+                [](const auto* a, const auto* b) { return a->first < b->first; });
+      out += '{';
+      for (std::size_t i = 0; i < kept.size(); ++i) {
+        if (i) out += ',';
+        out += '"';
+        out += json_escape(kept[i]->first);
+        out += "\":";
+        dump_normalized(kept[i]->second, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string id_of(const JVal& v) {
+  const JVal* id = v.find("id");
+  if (!id) return "";
+  if (id->kind == JVal::Str) return id->str;
+  if (id->kind == JVal::Num) return fmt_num(id->num);
+  return "";
+}
+
+std::string error_event(const std::string& id, const char* code,
+                        const std::string& message) {
+  return "{\"id\": \"" + json_escape(id) +
+         "\", \"event\": \"result\", \"status\": \"error\", \"code\": \"" +
+         code + "\", \"message\": \"" + json_escape(message) + "\"}";
+}
+
+std::string progress_event(const std::string& id, const std::string& line) {
+  return "{\"id\": \"" + json_escape(id) +
+         "\", \"event\": \"progress\", \"line\": \"" + json_escape(line) +
+         "\"}";
+}
+
+int int_field(const JsonParser& p, const JVal& obj, const char* key,
+              int fallback, int lo, int hi) {
+  const double d = json_num(p, obj, key, fallback);
+  const int n = static_cast<int>(d);
+  if (static_cast<double>(n) != d || n < lo || n > hi) {
+    throw std::runtime_error(std::string("config field \"") + key +
+                             "\" must be an integer in [" +
+                             std::to_string(lo) + ", " + std::to_string(hi) +
+                             "]");
+  }
+  return n;
+}
+
+bool bool_field(const JVal& obj, const char* key, bool fallback) {
+  const JVal* v = obj.find(key);
+  if (!v) return fallback;
+  if (v->kind != JVal::Bool) {
+    throw std::runtime_error(std::string("field \"") + key +
+                             "\" must be a boolean");
+  }
+  return v->b;
+}
+
+ServeRequest parse_request(const std::string& line) {
+  JsonParser p(line, "request");
+  const JVal v = p.parse();
+  if (v.kind != JVal::Obj) throw std::runtime_error("request must be an object");
+  ServeRequest req;
+  req.id = id_of(v);
+  const JVal* circuit = v.find("circuit");
+  if (!circuit || circuit->kind != JVal::Str || circuit->str.empty()) {
+    throw std::runtime_error("request needs a non-empty \"circuit\" string");
+  }
+  req.circuit = circuit->str;
+  req.priority = int_field(p, v, "priority", 0, -1000, 1000);
+  req.progress = bool_field(v, "progress", false);
+  req.use_result_cache = bool_field(v, "use_result_cache", true);
+  if (const JVal* cfg = v.find("config")) {
+    if (cfg->kind != JVal::Obj) {
+      throw std::runtime_error("\"config\" must be an object");
+    }
+    req.chains = int_field(p, *cfg, "chains", req.chains, 1, 64);
+    req.partial = int_field(p, *cfg, "partial", req.partial, 0, 1000);
+    req.jobs = int_field(p, *cfg, "jobs", req.jobs, 0, 1024);
+    req.simd_width = int_field(p, *cfg, "simd_width", req.simd_width, 0, 4096);
+    if (req.simd_width != 0 && !is_valid_simd_width(req.simd_width)) {
+      throw std::runtime_error("simd_width must be 0, 64, 256 or 512");
+    }
+    req.dominance = bool_field(*cfg, "dominance", req.dominance);
+    req.verify_easy = bool_field(*cfg, "verify_easy", req.verify_easy);
+  }
+  return req;
+}
+
+std::string model_key_of(const ServeRequest& req) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%016llx:%d:%d",
+                static_cast<unsigned long long>(fnv1a64(req.circuit)),
+                req.chains, req.partial);
+  return buf;
+}
+
+/// Everything the served result may depend on beyond the model key, in a
+/// fixed field order.  jobs and simd_width are included conservatively:
+/// per-fault outcomes are bitwise identical across both (the determinism
+/// contract), but the report's pool statistics and pass counters are not.
+std::string canonical_config(const ServeRequest& req) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "chains=%d;partial=%d;jobs=%d;simd=%d;dom=%d;veasy=%d",
+                req.chains, req.partial, req.jobs,
+                req.simd_width ? req.simd_width : default_simd_width(),
+                req.dominance ? 1 : 0, req.verify_easy ? 1 : 0);
+  return buf;
+}
+
+std::shared_ptr<const CompiledModel> build_model(const ServeRequest& req) {
+  auto cm = std::make_shared<CompiledModel>();
+  cm->nl = read_bench_string(req.circuit, "request");
+  if (cm->nl.find("scan_mode") != kNullNode) {
+    throw std::runtime_error(
+        "circuit already contains a scan_mode input — send the pre-scan "
+        "netlist (the daemon inserts the scan chain itself)");
+  }
+  TpiOptions topt;
+  topt.num_chains = req.chains;
+  topt.scan_permille = req.partial;
+  cm->design = run_tpi(cm->nl, topt);
+  cm->lv = std::make_unique<Levelizer>(cm->nl);
+  cm->model = std::make_unique<ScanModeModel>(*cm->lv, cm->design);
+  if (const std::string err = cm->model->check(); !err.empty()) {
+    throw std::runtime_error("scan-mode invariant violated: " + err);
+  }
+  cm->faults = collapsed_fault_list(cm->nl);
+
+  // Precompute the dominance artifacts exactly as run_fsct_pipeline would
+  // (same inputs, same calls — reuse must be invisible to results).
+  cm->compiled.dom =
+      std::make_shared<DominanceInfo>(collapse_dominant(cm->nl, cm->faults));
+  cm->compiled.domsets = std::make_shared<std::vector<std::vector<std::size_t>>>(
+      dominated_sets(cm->nl, cm->faults));
+  std::vector<char> controllable(cm->nl.size(), 0);
+  for (NodeId pi : cm->nl.inputs()) {
+    controllable[pi] = !cm->design.is_constrained(pi);
+  }
+  for (const ScanChain& c : cm->design.chains) {
+    for (NodeId ff : c.ffs) controllable[ff] = 1;
+  }
+  cm->compiled.fcost = std::make_shared<std::vector<Cost>>(
+      fault_excitation_costs(*cm->lv, controllable, cm->faults));
+
+  // Warm the SoA memo so every engine of every request served from this
+  // model shares one flat compilation (soa_compile_count() counts this one).
+  SoaCircuit::compile(*cm->lv);
+
+  // LRU accounting: a deliberate over-estimate per node/fault/artifact (the
+  // exact footprint is not observable; the budget only has to be honest
+  // enough that --cache-mb bounds the resident set's order of magnitude).
+  std::size_t bytes = 1 << 16;
+  bytes += cm->nl.size() * 160;
+  bytes += cm->faults.size() * 64;
+  for (const auto& s : *cm->compiled.domsets) bytes += 16 + s.size() * 8;
+  bytes += cm->compiled.fcost->size() * sizeof(Cost);
+  cm->approx_bytes = bytes;
+  return cm;
+}
+
+// Drain signal plumbing: the handler only writes one byte to the running
+// server's self-pipe (async-signal-safe); run()'s poll loop does the rest.
+std::atomic<int> g_serve_stop_fd{-1};
+
+void serve_stop_handler(int) {
+  const int fd = g_serve_stop_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char c = 'x';
+#ifndef _WIN32
+    [[maybe_unused]] const auto r = ::write(fd, &c, 1);
+#endif
+  }
+}
+
+}  // namespace
+
+std::string normalized_report(const std::string& report_json) {
+  JsonParser p(report_json, "report");
+  const JVal v = p.parse();
+  std::string out;
+  dump_normalized(v, out);
+  return out;
+}
+
+ServeServer::ServeServer(ServeOptions opt) : opt_(std::move(opt)) {
+  if (!opt_.log) {
+    opt_.log = [](const std::string& line) {
+      write_line(2, "[fsct-serve] " + line);
+    };
+  }
+  if (opt_.workers < 1) opt_.workers = 1;
+  if (opt_.queue_limit < 1) opt_.queue_limit = 1;
+  if (opt_.result_cache_entries < 1) opt_.result_cache_entries = 1;
+#ifndef _WIN32
+  if (::pipe(stop_pipe_) != 0) {
+    throw std::runtime_error(std::string("pipe: ") + std::strerror(errno));
+  }
+#endif
+  if (!opt_.unix_path.empty()) {
+    listen_fd_ = listen_unix(opt_.unix_path);
+  } else if (opt_.tcp_port >= 0) {
+    listen_fd_ = listen_tcp(opt_.tcp_port);
+    port_ = bound_tcp_port(listen_fd_);
+  } else {
+    throw std::runtime_error("serve: need a unix socket path or a TCP port");
+  }
+}
+
+ServeServer::~ServeServer() {
+#ifndef _WIN32
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    if (!opt_.unix_path.empty()) ::unlink(opt_.unix_path.c_str());
+  }
+  for (const int fd : stop_pipe_) {
+    if (fd >= 0) ::close(fd);
+  }
+#endif
+}
+
+void ServeServer::request_stop() {
+  const char c = 'x';
+  write_all(stop_pipe_[1], &c, 1);
+}
+
+ServeStats ServeServer::stats() const {
+  std::lock_guard<std::mutex> lk(stats_m_);
+  return stats_;
+}
+
+void ServeServer::log_line(const std::string& line) {
+  if (opt_.verbose) opt_.log(line);
+}
+
+std::shared_ptr<const CompiledModel> ServeServer::model_for(
+    const ServeRequest& req, bool& cache_hit) {
+  const std::string key = model_key_of(req);
+  {
+    std::lock_guard<std::mutex> lk(cache_m_);
+    const auto it = models_.find(key);
+    if (it != models_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      cache_hit = true;
+      std::lock_guard<std::mutex> slk(stats_m_);
+      ++stats_.model_cache_hits;
+      return it->second.model;
+    }
+  }
+  // Compile outside the cache lock: a slow build must not block requests for
+  // circuits that are already cached.  Two concurrent first requests for the
+  // same circuit may both compile; the first insert wins.
+  cache_hit = false;
+  std::shared_ptr<const CompiledModel> cm = build_model(req);
+  {
+    std::lock_guard<std::mutex> slk(stats_m_);
+    ++stats_.models_compiled;
+  }
+  std::lock_guard<std::mutex> lk(cache_m_);
+  const auto it = models_.find(key);
+  if (it != models_.end()) return it->second.model;  // lost the race
+  lru_.push_front(key);
+  models_[key] = {cm, lru_.begin()};
+  model_bytes_ += cm->approx_bytes;
+  const std::size_t budget = opt_.cache_mb << 20;
+  while (model_bytes_ > budget && models_.size() > 1) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    const auto vit = models_.find(victim);
+    model_bytes_ -= vit->second.model->approx_bytes;
+    models_.erase(vit);
+    std::lock_guard<std::mutex> slk(stats_m_);
+    ++stats_.model_evictions;
+  }
+  return cm;
+}
+
+std::string ServeServer::run_request(
+    const ServeRequest& req,
+    const std::function<void(const std::string&)>* progress_sink) {
+  const std::string model_key = model_key_of(req);
+  const std::string result_key = model_key + "|" + canonical_config(req);
+  const char* result_cache_tag = req.use_result_cache ? "miss" : "off";
+  if (req.use_result_cache) {
+    std::lock_guard<std::mutex> lk(cache_m_);
+    const auto it = results_.find(result_key);
+    if (it != results_.end()) {
+      result_lru_.splice(result_lru_.begin(), result_lru_, it->second.lru_it);
+      {
+        std::lock_guard<std::mutex> slk(stats_m_);
+        ++stats_.result_cache_hits;
+        ++stats_.ok;
+      }
+      return "{\"id\": \"" + json_escape(req.id) +
+             "\", \"event\": \"result\", \"status\": \"ok\", "
+             "\"model_cache\": \"hit\", \"result_cache\": \"hit\", "
+             "\"report\": " +
+             it->second.report + "}";
+    }
+  }
+
+  bool model_hit = false;
+  const std::shared_ptr<const CompiledModel> cm = model_for(req, model_hit);
+
+  PipelineOptions popt;
+  popt.verify_easy = req.verify_easy;
+  popt.jobs = req.jobs;
+  popt.simd_width = req.simd_width;
+  popt.dominance = req.dominance;
+  popt.compiled = &cm->compiled;
+
+  // Per-session registry, exactly like `fsct test --metrics`: observation
+  // never changes results (the null-sink rule), and each session's counters
+  // stay its own even with concurrent workers.
+  ObsRegistry reg;
+  popt.obs = &reg;
+  reg.set_context(req.id.empty() ? std::string("request") : req.id);
+  std::unique_ptr<ObsMonitor> monitor;
+  if (req.progress && progress_sink) {
+    const std::string id = req.id;
+    const auto sink = *progress_sink;
+    reg.progress = [id, sink](const std::string& line) {
+      sink(progress_event(id, line));
+    };
+    ObsMonitor::Options mopt;
+    mopt.heartbeat = true;
+    mopt.heartbeat_ms = 250;
+    mopt.registry = &reg;
+    mopt.sigusr1 = false;  // per-session monitor: no global signal ownership
+    mopt.sink = [id, sink](const std::string& line) {
+      sink(progress_event(id, line));
+    };
+    monitor = std::make_unique<ObsMonitor>(mopt);
+  }
+
+  const PipelineResult r = run_fsct_pipeline(*cm->model, cm->faults, popt);
+  monitor.reset();  // stop heartbeats before the result line
+
+  std::ostringstream ms;
+  reg.write_run_report(ms, r, nullptr);
+  std::string report = ms.str();
+  // The report is pretty-printed; NDJSON needs one line.  Newline -> space
+  // is invisible to any JSON consumer (and to normalized_report).
+  std::replace(report.begin(), report.end(), '\n', ' ');
+
+  if (req.use_result_cache) {
+    std::lock_guard<std::mutex> lk(cache_m_);
+    if (results_.find(result_key) == results_.end()) {
+      result_lru_.push_front(result_key);
+      results_[result_key] = {report, result_lru_.begin()};
+      while (results_.size() > opt_.result_cache_entries) {
+        results_.erase(result_lru_.back());
+        result_lru_.pop_back();
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> slk(stats_m_);
+    ++stats_.ok;
+  }
+  return "{\"id\": \"" + json_escape(req.id) +
+         "\", \"event\": \"result\", \"status\": \"ok\", \"model_cache\": \"" +
+         (model_hit ? "hit" : "miss") + "\", \"result_cache\": \"" +
+         result_cache_tag + "\", \"report\": " + report + "}";
+}
+
+std::string ServeServer::process_line(
+    const std::string& line,
+    const std::function<void(const std::string&)>* progress_sink) {
+  {
+    std::lock_guard<std::mutex> slk(stats_m_);
+    ++stats_.requests;
+  }
+  ServeRequest req;
+  try {
+    req = parse_request(line);
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> slk(stats_m_);
+    ++stats_.errors;
+    return error_event("", "bad_request", e.what());
+  }
+  try {
+    return run_request(req, progress_sink);
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard<std::mutex> slk(stats_m_);
+      ++stats_.errors;
+    }
+    return error_event(req.id, "bad_request", e.what());
+  }
+}
+
+bool ServeServer::enqueue(Job job, int priority) {
+  {
+    std::lock_guard<std::mutex> lk(queue_m_);
+    if (queue_size_ >= opt_.queue_limit) return false;
+    queue_[priority].push_back(std::move(job));
+    ++queue_size_;
+  }
+  queue_cv_.notify_one();
+  return true;
+}
+
+bool ServeServer::dequeue(Job& out) {
+  std::unique_lock<std::mutex> lk(queue_m_);
+  queue_cv_.wait(lk, [this] {
+    return queue_size_ > 0 || draining_.load(std::memory_order_relaxed);
+  });
+  if (queue_size_ == 0) return false;  // draining and nothing left
+  const auto it = queue_.begin();     // highest priority, FIFO within
+  out = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) queue_.erase(it);
+  --queue_size_;
+  return true;
+}
+
+void ServeServer::respond(const std::shared_ptr<Conn>& conn,
+                          const std::string& line) {
+  std::lock_guard<std::mutex> lk(conn->write_m);
+  write_line(conn->fd, line);  // peer may be gone; nothing useful to do then
+}
+
+void ServeServer::reader(std::shared_ptr<Conn> conn) {
+  LineReader lr(conn->fd);
+  std::string line;
+  while (lr.next(line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    // Peek id/priority without committing to a full parse; a malformed line
+    // still queues and gets its error from the worker.
+    std::string id;
+    int priority = 0;
+    try {
+      JsonParser p(line, "request");
+      const JVal v = p.parse();
+      id = id_of(v);
+      const double d = json_num(p, v, "priority", 0);
+      priority = static_cast<int>(d);
+    } catch (const std::exception&) {
+    }
+    if (draining_.load(std::memory_order_relaxed)) {
+      {
+        std::lock_guard<std::mutex> slk(stats_m_);
+        ++stats_.rejected_draining;
+      }
+      respond(conn, error_event(id, "draining",
+                                "daemon is draining; not accepting requests"));
+      continue;
+    }
+    if (!enqueue(Job{conn, line}, priority)) {
+      {
+        std::lock_guard<std::mutex> slk(stats_m_);
+        ++stats_.rejected_busy;
+      }
+      respond(conn, error_event(id, "busy", "request queue is full"));
+    }
+  }
+}
+
+void ServeServer::worker() {
+  Job job;
+  while (dequeue(job)) {
+    const std::shared_ptr<Conn> conn = job.conn;
+    const std::function<void(const std::string&)> sink =
+        [this, conn](const std::string& line) { respond(conn, line); };
+    const std::string resp = process_line(job.line, &sink);
+    respond(conn, resp);
+  }
+}
+
+void ServeServer::run() {
+#ifdef _WIN32
+  throw std::runtime_error("fsct serve requires POSIX sockets");
+#else
+  // SIGTERM/SIGINT trigger the drain via the self-pipe.  sigaction with
+  // save/restore, no SA_RESTART (the poll below must wake), exactly like the
+  // SIGUSR1 handling in core/obs.cpp.
+  g_serve_stop_fd.store(stop_pipe_[1], std::memory_order_relaxed);
+  struct sigaction sa {};
+  sa.sa_handler = serve_stop_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  struct sigaction prev_term {}, prev_int {};
+  sigaction(SIGTERM, &sa, &prev_term);
+  sigaction(SIGINT, &sa, &prev_int);
+
+  for (int i = 0; i < opt_.workers; ++i) {
+    worker_threads_.emplace_back([this] { worker(); });
+  }
+  log_line("listening on " +
+           (opt_.unix_path.empty() ? "tcp port " + std::to_string(port_)
+                                   : opt_.unix_path) +
+           " (" + std::to_string(opt_.workers) + " workers, queue " +
+           std::to_string(opt_.queue_limit) + ", cache " +
+           std::to_string(opt_.cache_mb) + " MB)");
+
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int r = ::poll(fds, 2, -1);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // drain requested
+    if (fds[0].revents == 0) continue;
+    int cfd;
+    do {
+      cfd = ::accept(listen_fd_, nullptr, nullptr);
+    } while (cfd < 0 && errno == EINTR);
+    if (cfd < 0) continue;
+    auto conn = std::make_shared<Conn>();
+    conn->fd = cfd;
+    std::lock_guard<std::mutex> lk(conns_m_);
+    conns_.push_back(conn);
+    reader_threads_.emplace_back([this, conn] { reader(conn); });
+  }
+
+  // --- graceful drain -------------------------------------------------------
+  draining_.store(true, std::memory_order_relaxed);
+  log_line("draining: finishing queued and in-flight requests");
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (!opt_.unix_path.empty()) ::unlink(opt_.unix_path.c_str());
+
+  // Workers exit once the queue is empty; everything already queued is
+  // finished and its response flushed first.
+  queue_cv_.notify_all();
+  for (std::thread& t : worker_threads_) t.join();
+  worker_threads_.clear();
+
+  // A reader may have raced one last job past the workers' exit; answer it
+  // with a drain rejection rather than dropping it silently.
+  {
+    std::lock_guard<std::mutex> lk(queue_m_);
+    for (auto& [prio, jobs] : queue_) {
+      for (Job& j : jobs) {
+        std::string id;
+        try {
+          JsonParser p(j.line, "request");
+          id = id_of(p.parse());
+        } catch (const std::exception&) {
+        }
+        respond(j.conn, error_event(id, "draining",
+                                    "daemon drained before this request ran"));
+      }
+    }
+    queue_.clear();
+    queue_size_ = 0;
+  }
+
+  // Unblock the readers and wait for them; then the sockets can close.
+  {
+    std::lock_guard<std::mutex> lk(conns_m_);
+    for (const auto& c : conns_) ::shutdown(c->fd, SHUT_RDWR);
+  }
+  for (std::thread& t : reader_threads_) t.join();
+  reader_threads_.clear();
+  {
+    std::lock_guard<std::mutex> lk(conns_m_);
+    for (const auto& c : conns_) ::close(c->fd);
+    conns_.clear();
+  }
+
+  sigaction(SIGTERM, &prev_term, nullptr);
+  sigaction(SIGINT, &prev_int, nullptr);
+  g_serve_stop_fd.store(-1, std::memory_order_relaxed);
+
+  const ServeStats s = stats();
+  log_line("drained: " + std::to_string(s.requests) + " requests, " +
+           std::to_string(s.ok) + " ok, " + std::to_string(s.errors) +
+           " errors, " + std::to_string(s.rejected_busy) + " busy, " +
+           std::to_string(s.models_compiled) + " models compiled, " +
+           std::to_string(s.model_cache_hits) + " model hits, " +
+           std::to_string(s.result_cache_hits) + " result hits");
+#endif
+}
+
+}  // namespace fsct

@@ -1,0 +1,216 @@
+// `fsct serve`: a long-running screening daemon that amortizes circuit
+// compilation across requests (ROADMAP item 2).
+//
+// Protocol: newline-delimited JSON over a Unix-domain or loopback-TCP
+// stream.  One request per line:
+//
+//   {"id": "r1", "circuit": "INPUT(G0)\n...", "priority": 5,
+//    "progress": false, "use_result_cache": true,
+//    "config": {"chains": 1, "partial": 1000, "jobs": 1, "simd_width": 0,
+//               "dominance": true, "verify_easy": true}}
+//
+// `circuit` is the .bench text itself (the daemon never touches the client's
+// filesystem).  Every config field is optional; the defaults above mirror
+// `fsct test`.  Responses are one JSON object per line, tagged by request id:
+//
+//   {"id": "r1", "event": "progress", "line": "..."}            (0..n, opt-in)
+//   {"id": "r1", "event": "result", "status": "ok",
+//    "model_cache": "hit|miss", "result_cache": "hit|miss|off",
+//    "report": { ...fsct-run-report-v2... }}
+//   {"id": "r1", "event": "result", "status": "error",
+//    "code": "bad_request|busy|draining", "message": "..."}
+//
+// Caching: the compiled-model cache is keyed by (FNV-1a 64 hash of the
+// circuit text, chains, partial) — everything run_tpi's netlist mutation
+// depends on — and holds the post-TPI netlist, Levelizer, ScanModeModel,
+// collapsed fault list, dominance artifacts (PipelineCompiled) and the SoA
+// compilation (via the Levelizer memo) behind one shared_ptr<const>, shared
+// read-only across concurrent requests and LRU-evicted against --cache-mb.
+// The result cache maps (model key, canonicalized config) to the finished
+// report.  Determinism contract: a served report, timings/RSS stripped (see
+// normalized_report), is bitwise identical to the same request through
+// `fsct test --metrics` — caches only skip recomputing pure functions.
+//
+// Drain: SIGTERM/SIGINT (or request_stop()) stops accepting, rejects new
+// requests with code "draining", finishes everything queued and in flight,
+// flushes the responses, then joins all threads and returns from run().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "netlist/levelize.h"
+#include "netlist/netlist.h"
+#include "scan/scan_mode_model.h"
+#include "scan/tpi.h"
+
+namespace fsct {
+
+/// FNV-1a 64-bit over the raw bytes; the compiled-model cache's content hash.
+std::uint64_t fnv1a64(const std::string& s);
+
+/// Canonical comparison form of a run report: parsed, every key containing
+/// "seconds"/"time"/"passes"/"cycles"/"rss" dropped recursively (the width-
+/// sweep normalization: timings, RSS and pass counts legitimately vary),
+/// keys sorted, re-serialized compactly.  Two reports describe the same
+/// screening result iff their normalized forms are bytewise equal.
+std::string normalized_report(const std::string& report_json);
+
+/// One parsed screening request (defaults mirror `fsct test`).
+struct ServeRequest {
+  std::string id;
+  std::string circuit;        ///< .bench text
+  int chains = 1;
+  int partial = 1000;         ///< scan permille
+  int jobs = 1;
+  int simd_width = 0;         ///< 0 = process default
+  bool dominance = true;
+  bool verify_easy = true;
+  int priority = 0;           ///< higher runs first
+  bool progress = false;      ///< stream heartbeat/progress events
+  bool use_result_cache = true;
+};
+
+/// Everything derivable from (circuit text, chains, partial) alone, compiled
+/// once and shared read-only (the pipeline only reads it; see
+/// PipelineCompiled).  Heap-allocated and never copied or moved: lv/model
+/// hold references into nl/design.
+struct CompiledModel {
+  Netlist nl;  ///< post-TPI
+  ScanDesign design;
+  std::unique_ptr<Levelizer> lv;
+  std::unique_ptr<ScanModeModel> model;
+  std::vector<Fault> faults;
+  PipelineCompiled compiled;
+  std::size_t approx_bytes = 0;  ///< LRU accounting estimate
+};
+
+/// Counters the tests and the drain log read; returned by value as one
+/// consistent snapshot.
+struct ServeStats {
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t rejected_busy = 0;
+  std::uint64_t rejected_draining = 0;
+  std::uint64_t models_compiled = 0;
+  std::uint64_t model_cache_hits = 0;
+  std::uint64_t model_evictions = 0;
+  std::uint64_t result_cache_hits = 0;
+};
+
+struct ServeOptions {
+  std::string unix_path;  ///< Unix-domain socket path; "" = use tcp_port
+  int tcp_port = -1;      ///< loopback TCP port (0 = ephemeral); -1 = off
+  int workers = 1;        ///< concurrent screening sessions
+  std::size_t queue_limit = 16;   ///< queued requests beyond in-flight
+  std::size_t cache_mb = 256;     ///< compiled-model cache budget
+  std::size_t result_cache_entries = 128;
+  bool verbose = false;
+  /// Daemon log sink (one line, no trailing newline); default writes
+  /// "[fsct-serve] <line>" to stderr through the EINTR-safe path.
+  std::function<void(const std::string&)> log;
+};
+
+class ServeServer {
+ public:
+  /// Binds the listener (so clients can connect as soon as the constructor
+  /// returns) but accepts nothing until run().  Throws on bind failure.
+  explicit ServeServer(ServeOptions opt);
+  ~ServeServer();
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  /// Serves until SIGTERM/SIGINT or request_stop(), then drains: stops
+  /// accepting, finishes queued + in-flight requests, flushes responses,
+  /// joins every thread.  Blocking; call from the owning thread.
+  void run();
+
+  /// In-process drain trigger (what the signal handler does); safe from any
+  /// thread, idempotent.
+  void request_stop();
+
+  /// Actual TCP port when listening on TCP (resolves tcp_port = 0).
+  int port() const { return port_; }
+
+  ServeStats stats() const;
+
+  /// Handles one request line synchronously and returns the result event
+  /// line; progress events go to `progress_sink` when provided.  This is the
+  /// exact path the socket workers run — exposed so tests can drive the
+  /// cache and determinism contracts without a live socket.
+  std::string process_line(
+      const std::string& line,
+      const std::function<void(const std::string&)>* progress_sink = nullptr);
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::mutex write_m;  ///< serializes response/progress lines
+  };
+  struct Job {
+    std::shared_ptr<Conn> conn;
+    std::string line;
+  };
+
+  void reader(std::shared_ptr<Conn> conn);
+  void worker();
+  bool enqueue(Job job, int priority);  ///< false when full
+  bool dequeue(Job& out);               ///< false when draining and empty
+  void respond(const std::shared_ptr<Conn>& conn, const std::string& line);
+  std::shared_ptr<const CompiledModel> model_for(const ServeRequest& req,
+                                                 bool& cache_hit);
+  std::string run_request(
+      const ServeRequest& req,
+      const std::function<void(const std::string&)>* progress_sink);
+  void log_line(const std::string& line);
+
+  ServeOptions opt_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  int stop_pipe_[2] = {-1, -1};
+  std::atomic<bool> draining_{false};
+
+  // Request queue: priority-major, FIFO within a priority.
+  std::mutex queue_m_;
+  std::condition_variable queue_cv_;
+  std::map<int, std::list<Job>, std::greater<int>> queue_;
+  std::size_t queue_size_ = 0;
+
+  // Compiled-model LRU (front = most recent) + result cache.
+  mutable std::mutex cache_m_;
+  std::list<std::string> lru_;
+  struct ModelEntry {
+    std::shared_ptr<const CompiledModel> model;
+    std::list<std::string>::iterator lru_it;
+  };
+  std::unordered_map<std::string, ModelEntry> models_;
+  std::size_t model_bytes_ = 0;
+  std::list<std::string> result_lru_;
+  struct ResultEntry {
+    std::string report;  ///< single-line report JSON
+    std::list<std::string>::iterator lru_it;
+  };
+  std::unordered_map<std::string, ResultEntry> results_;
+
+  mutable std::mutex stats_m_;
+  ServeStats stats_;
+
+  std::mutex conns_m_;
+  std::vector<std::shared_ptr<Conn>> conns_;
+  std::vector<std::thread> reader_threads_;
+  std::vector<std::thread> worker_threads_;
+};
+
+}  // namespace fsct

@@ -72,5 +72,28 @@ TEST(Json, EscapeRoundTripsThroughParser) {
   EXPECT_EQ(root.find("k")->str, raw);
 }
 
+TEST(Json, EscapePassesValidUtf8Through) {
+  EXPECT_EQ(json_escape("caf\xC3\xA9"), "caf\xC3\xA9");          // U+00E9
+  EXPECT_EQ(json_escape("\xE2\x82\xAC"), "\xE2\x82\xAC");        // U+20AC
+  EXPECT_EQ(json_escape("\xF0\x9F\x99\x82"), "\xF0\x9F\x99\x82");  // U+1F642
+}
+
+TEST(Json, EscapeReplacesInvalidBytesWithReplacementChar) {
+  const std::string fffd = "\xEF\xBF\xBD";  // U+FFFD
+  // A Latin-1 gate name ("café" as 0xE9): the lone byte is not UTF-8 and
+  // must come out as U+FFFD, never as a raw byte that breaks the document.
+  EXPECT_EQ(json_escape("caf\xE9"), "caf" + fffd);
+  // Lone continuation byte.
+  EXPECT_EQ(json_escape("\x80"), fffd);
+  // Sequence truncated by end of string: lead and stray continuation each
+  // become one replacement.
+  EXPECT_EQ(json_escape("a\xE2\x82"), "a" + fffd + fffd);
+  // Overlong encoding (of '/') and a UTF-16 surrogate are invalid UTF-8.
+  EXPECT_EQ(json_escape("\xE0\x80\xAF"), fffd + fffd + fffd);
+  EXPECT_EQ(json_escape("\xED\xA0\x80"), fffd + fffd + fffd);
+  // Above U+10FFFF.
+  EXPECT_EQ(json_escape("\xF4\x90\x80\x80"), fffd + fffd + fffd + fffd);
+}
+
 }  // namespace
 }  // namespace fsct

@@ -357,5 +357,64 @@ TEST(Obs, ProgressLinesDeliveredPerPhase) {
   EXPECT_NE(lines.back().find("step3:"), std::string::npos);
 }
 
+#ifndef _WIN32
+TEST(Obs, MonitorInstallsAndRestoresSigusr1Handler) {
+  // Nothing in this binary pins the handler, so monitor lifetime alone
+  // decides whether our sigaction is installed.
+  ASSERT_FALSE(sigusr1_handler_active());
+  {
+    ObsMonitor m;
+    EXPECT_TRUE(sigusr1_handler_active());
+  }
+  EXPECT_FALSE(sigusr1_handler_active());
+  {
+    ObsMonitor again;  // start/stop/start: the saved action round-trips
+    EXPECT_TRUE(sigusr1_handler_active());
+    {
+      ObsMonitor nested;  // refcounted: the inner release must not uninstall
+    }
+    EXPECT_TRUE(sigusr1_handler_active());
+  }
+  EXPECT_FALSE(sigusr1_handler_active());
+
+  ObsMonitor::Options opt;
+  opt.sigusr1 = false;  // per-session serve monitors never touch the signal
+  const ObsMonitor silent(opt);
+  EXPECT_FALSE(sigusr1_handler_active());
+}
+#endif
+
+TEST(Obs, HeartbeatRateEtaClampsWhenTotalShrinksBelowDone) {
+  HeartbeatRate hr;
+  const auto t0 = std::chrono::steady_clock::time_point{};
+  static const char* const kPhase = "step3";
+  // One sample is no rate: ETA unknown, not zero or garbage.
+  EXPECT_EQ(hr.update(kPhase, 0, 100, t0).rate, 0);
+  EXPECT_LT(hr.update(kPhase, 0, 100, t0).eta_seconds, 0);
+  const auto e1 = hr.update(kPhase, 40, 100, t0 + std::chrono::seconds(4));
+  EXPECT_NEAR(e1.rate, 10.0, 1e-9);
+  EXPECT_NEAR(e1.eta_seconds, 6.0, 1e-9);
+  // Ledger drops shrank the total below done mid-phase: the estimate must
+  // clamp remaining work to zero, never wrap the unsigned subtraction.
+  const auto e2 = hr.update(kPhase, 50, 30, t0 + std::chrono::seconds(5));
+  EXPECT_GT(e2.rate, 0);
+  EXPECT_EQ(e2.eta_seconds, 0);
+}
+
+TEST(Obs, HeartbeatRateResetsOnPhaseChangeAndDoneRegression) {
+  HeartbeatRate hr;
+  const auto t0 = std::chrono::steady_clock::time_point{};
+  static const char* const kA = "stepA";
+  static const char* const kB = "stepB";
+  hr.update(kA, 0, 100, t0);
+  EXPECT_GT(hr.update(kA, 50, 100, t0 + std::chrono::seconds(1)).rate, 0);
+  // New phase literal: the old window must not poison the new rate.
+  EXPECT_EQ(hr.update(kB, 10, 100, t0 + std::chrono::seconds(2)).rate, 0);
+  EXPECT_GT(hr.update(kB, 20, 100, t0 + std::chrono::seconds(3)).rate, 0);
+  // A daemon's next run reuses the same literal; done regressing to the
+  // fresh run's small count must also reset the window.
+  EXPECT_EQ(hr.update(kB, 5, 100, t0 + std::chrono::seconds(4)).rate, 0);
+}
+
 }  // namespace
 }  // namespace fsct

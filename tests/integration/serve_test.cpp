@@ -1,0 +1,256 @@
+// `fsct serve` contract tests (the Serve.* prefix is in the TSan gate, see
+// tools/check.sh):
+//
+//  * determinism — a served report, normalized (timings/RSS stripped), is
+//    bitwise identical to the `fsct test` flow for the same request, on
+//    several suite circuits and across two concurrent socket sessions;
+//  * caching — a repeated request hits the compiled-model cache (counter-
+//    asserted: zero SoA compilations in the cached run) and, when enabled,
+//    the result cache, without changing the report;
+//  * lifecycle — bad requests come back as error events, and a drain
+//    request lets run() return.
+#include "serve/serve.h"
+
+#include <gtest/gtest.h>
+
+#ifndef _WIN32
+
+#include <unistd.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_circuits/suite.h"
+#include "core/io_util.h"
+#include "core/json.h"
+#include "core/obs.h"
+#include "core/pipeline.h"
+#include "fault/fault.h"
+#include "netlist/bench_io.h"
+#include "netlist/levelize.h"
+#include "scan/scan_mode_model.h"
+#include "scan/tpi.h"
+#include "serve/net.h"
+#include "sim/soa_circuit.h"
+
+namespace fsct {
+namespace {
+
+ServeOptions quiet_options() {
+  ServeOptions opt;
+  opt.tcp_port = 0;  // ephemeral loopback listener; tests use process_line
+  opt.log = [](const std::string&) {};
+  return opt;
+}
+
+std::string suite_bench(int i) {
+  return write_bench_string(build_suite_circuit(paper_suite()[i]));
+}
+
+// ISCAS'89 s27: small enough that every phase finishes orders of magnitude
+// under the ATPG wall budgets even at sanitizer speed, so per-run work (and
+// with it the SoA compile count) is exactly reproducible.
+const char* kS27 =
+    "INPUT(G0)\nINPUT(G1)\nINPUT(G2)\nINPUT(G3)\nOUTPUT(G17)\n"
+    "G5 = DFF(G10)\nG6 = DFF(G11)\nG7 = DFF(G13)\nG14 = NOT(G0)\n"
+    "G17 = NOT(G11)\nG8 = AND(G14, G6)\nG15 = OR(G12, G8)\n"
+    "G16 = OR(G3, G8)\nG9 = NAND(G16, G15)\nG10 = NOR(G14, G11)\n"
+    "G11 = NOR(G5, G9)\nG12 = NOR(G1, G7)\nG13 = NAND(G2, G12)\n";
+
+// Independent re-implementation of the `fsct test --metrics` flow — no serve
+// code, no caches, no PipelineCompiled — producing the run report the daemon
+// must match (the determinism contract of DESIGN.md §5j).
+std::string cli_reference_report(const std::string& bench, int chains) {
+  Netlist nl = read_bench_string(bench, "ref");
+  TpiOptions topt;
+  topt.num_chains = chains;
+  const ScanDesign design = run_tpi(nl, topt);
+  const Levelizer lv(nl);
+  const ScanModeModel model(lv, design);
+  EXPECT_EQ(model.check(), "");
+  const std::vector<Fault> faults = collapsed_fault_list(nl);
+  PipelineOptions opt;
+  opt.verify_easy = true;
+  opt.jobs = 1;
+  ObsRegistry reg;
+  opt.obs = &reg;
+  reg.set_context("ref");
+  const PipelineResult r = run_fsct_pipeline(model, faults, opt);
+  std::ostringstream ms;
+  reg.write_run_report(ms, r, nullptr);
+  return ms.str();
+}
+
+std::string request_line(const std::string& id, const std::string& bench,
+                         int chains, bool use_result_cache = true) {
+  return "{\"id\": \"" + id + "\", \"circuit\": \"" + json_escape(bench) +
+         "\", \"use_result_cache\": " +
+         (use_result_cache ? "true" : "false") +
+         ", \"config\": {\"chains\": " + std::to_string(chains) +
+         ", \"jobs\": 1}}";
+}
+
+// The raw report object of a result event; the report is the line's last
+// member (see ServeServer::run_request).
+std::string report_of(const std::string& result_line) {
+  const std::string key = "\"report\": ";
+  const auto pos = result_line.find(key);
+  EXPECT_NE(pos, std::string::npos) << result_line;
+  if (pos == std::string::npos) return "";
+  return result_line.substr(pos + key.size(),
+                            result_line.size() - (pos + key.size()) - 1);
+}
+
+TEST(Serve, NormalizedReportStripsVolatileKeysAndSortsKeys) {
+  const std::string a =
+      "{\"z\": 1, \"elapsed_seconds\": 2.5, \"rss_phases\": {\"x\": 1}, "
+      "\"a\": {\"cpu_time_ms\": 3, \"n\": 4, \"sim_passes\": 7}}";
+  const std::string b =
+      "{\"a\": {\"n\": 4, \"cpu_time_ms\": 9}, \"z\": 1, "
+      "\"rss_phases\": {\"y\": 2}}";
+  EXPECT_EQ(normalized_report(a), "{\"a\":{\"n\":4},\"z\":1}");
+  EXPECT_EQ(normalized_report(a), normalized_report(b));
+}
+
+TEST(Serve, ServedReportMatchesCliBitwiseOnSuiteCircuits) {
+  ServeServer srv(quiet_options());
+  for (int i = 0; i < 3; ++i) {
+    const SuiteEntry& e = paper_suite()[i];
+    const std::string bench = suite_bench(i);
+    const std::string line =
+        srv.process_line(request_line(e.name, bench, e.chains));
+    ASSERT_NE(line.find("\"status\": \"ok\""), std::string::npos) << line;
+    EXPECT_EQ(normalized_report(report_of(line)),
+              normalized_report(cli_reference_report(bench, e.chains)))
+        << e.name;
+  }
+}
+
+TEST(Serve, SoaMemoCompilesOncePerLevelizer) {
+  const Netlist nl = read_bench_string(suite_bench(0), "memo");
+  const Levelizer lv(nl);
+  const std::uint64_t before = soa_compile_count();
+  const auto a = SoaCircuit::compile(lv);
+  const auto b = SoaCircuit::compile(lv);
+  EXPECT_EQ(a.get(), b.get());  // one shared flat compilation
+  EXPECT_EQ(soa_compile_count(), before + 1);
+}
+
+TEST(Serve, RepeatedRequestHitsModelCacheWithoutRecompiling) {
+  ServeServer srv(quiet_options());
+  const std::string bench = kS27;
+  // Result cache off, so the second request re-runs the pipeline against
+  // the cached model instead of replaying a stored report.
+  const std::uint64_t base = soa_compile_count();
+  const std::string first = srv.process_line(request_line("a", bench, 1, false));
+  ASSERT_NE(first.find("\"model_cache\": \"miss\""), std::string::npos)
+      << first;
+  const std::uint64_t after_first = soa_compile_count();
+  const std::string second =
+      srv.process_line(request_line("b", bench, 1, false));
+  EXPECT_NE(second.find("\"model_cache\": \"hit\""), std::string::npos)
+      << second;
+  // Counter-asserted cache hit.  The pipeline compiles fresh unrolled ATPG
+  // models every run (identically on identical runs at jobs=1, and s27 is
+  // far too small for a wall budget to ever truncate work), so the cached
+  // request's compile count must come in exactly one short of the cold
+  // one: the model's compile phase — and only it — was skipped.
+  EXPECT_EQ(soa_compile_count() - after_first, (after_first - base) - 1);
+  const ServeStats st = srv.stats();
+  EXPECT_EQ(st.models_compiled, 1u);
+  EXPECT_EQ(st.model_cache_hits, 1u);
+  // Cache warmth never leaks into results.
+  EXPECT_EQ(normalized_report(report_of(first)),
+            normalized_report(report_of(second)));
+}
+
+TEST(Serve, ResultCacheReplaysIdenticalReport) {
+  ServeServer srv(quiet_options());
+  const SuiteEntry& e = paper_suite()[0];
+  const std::string bench = suite_bench(0);
+  const std::string first =
+      srv.process_line(request_line("r1", bench, e.chains));
+  ASSERT_NE(first.find("\"result_cache\": \"miss\""), std::string::npos)
+      << first;
+  // Same circuit and config under a different id: the result key excludes
+  // the id, so this replays the stored report verbatim.
+  const std::string second =
+      srv.process_line(request_line("r2", bench, e.chains));
+  EXPECT_NE(second.find("\"result_cache\": \"hit\""), std::string::npos)
+      << second;
+  EXPECT_EQ(srv.stats().result_cache_hits, 1u);
+  EXPECT_EQ(report_of(first), report_of(second));
+}
+
+TEST(Serve, MalformedRequestsComeBackAsBadRequestEvents) {
+  ServeServer srv(quiet_options());
+  const std::string missing = srv.process_line("{\"id\": \"x\"}");
+  EXPECT_NE(missing.find("\"status\": \"error\""), std::string::npos);
+  EXPECT_NE(missing.find("\"code\": \"bad_request\""), std::string::npos);
+  const std::string garbage = srv.process_line("not json at all");
+  EXPECT_NE(garbage.find("\"code\": \"bad_request\""), std::string::npos);
+  EXPECT_EQ(srv.stats().errors, 2u);
+}
+
+TEST(Serve, TwoConcurrentSocketSessionsMatchCli) {
+  const std::string path = testing::TempDir() + "fsct_serve_test.sock";
+  ServeOptions opt;
+  opt.unix_path = path;
+  opt.workers = 2;
+  opt.log = [](const std::string&) {};
+  ServeServer srv(opt);
+  std::thread server([&] { srv.run(); });
+
+  std::string results[2];
+  auto session = [&](int idx) {
+    const SuiteEntry& e = paper_suite()[idx];
+    const int fd = connect_unix(path);
+    LineReader lr(fd);
+    ASSERT_TRUE(write_line(fd, request_line(e.name, suite_bench(idx),
+                                            e.chains, false)));
+    std::string line;
+    while (lr.next(line)) {
+      if (line.find("\"event\": \"result\"") != std::string::npos) {
+        results[idx] = line;
+        break;
+      }
+    }
+    close(fd);
+  };
+  std::thread s0(session, 0), s1(session, 1);
+  s0.join();
+  s1.join();
+  srv.request_stop();
+  server.join();  // returning at all proves the drain completes
+
+  for (int idx = 0; idx < 2; ++idx) {
+    const SuiteEntry& e = paper_suite()[idx];
+    ASSERT_NE(results[idx].find("\"status\": \"ok\""), std::string::npos)
+        << results[idx];
+    EXPECT_EQ(normalized_report(report_of(results[idx])),
+              normalized_report(cli_reference_report(suite_bench(idx),
+                                                     e.chains)))
+        << e.name;
+  }
+  const ServeStats st = srv.stats();
+  EXPECT_EQ(st.requests, 2u);
+  EXPECT_EQ(st.ok, 2u);
+}
+
+TEST(Serve, RequestStopDrainsAnIdleServer) {
+  const std::string path = testing::TempDir() + "fsct_serve_idle.sock";
+  ServeOptions opt;
+  opt.unix_path = path;
+  opt.log = [](const std::string&) {};
+  ServeServer srv(opt);
+  std::thread server([&] { srv.run(); });
+  srv.request_stop();
+  server.join();
+}
+
+}  // namespace
+}  // namespace fsct
+
+#endif  // _WIN32

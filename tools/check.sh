@@ -90,8 +90,9 @@ fi
 
 # Tests that exercise the thread pool and every pool-driven phase (the obs
 # registry records from every executor, so its tests belong in the TSan set;
-# Bench. covers the heartbeat/status-dump monitor thread racing the pipeline).
-CONCURRENCY_TESTS='Parallel\.|Determinism\.|Obs\.|Selfcheck\.|Bench\.'
+# Bench. covers the heartbeat/status-dump monitor thread racing the pipeline;
+# Serve. covers the daemon's reader/worker threads sharing the model cache).
+CONCURRENCY_TESTS='Parallel\.|Determinism\.|Obs\.|Selfcheck\.|Bench\.|Serve\.'
 
 if [[ "$TSAN_ONLY" == 0 ]]; then
   cmake -B build -S . "$@"
@@ -166,10 +167,7 @@ EOF
   # Width sweep: the full pipeline at every SIMD lane width must produce an
   # identical run report (timings and RSS stripped — wider lanes legitimately
   # use more memory; only results and deterministic counters are compared).
-  for W in 64 256 512; do
-    ./build/tools/fsct test "$OBS_TMP/s27.bench" --jobs 1 --simd-width "$W" \
-      --metrics "$OBS_TMP/metrics_w$W.json" > /dev/null
-    python3 - "$OBS_TMP/metrics_w$W.json" "$OBS_TMP/metrics_w$W.norm" <<'EOF'
+  cat > "$OBS_TMP/strip.py" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
 def strip(o):
@@ -182,17 +180,58 @@ def strip(o):
     return o
 json.dump(strip(doc), open(sys.argv[2], "w"), indent=1)
 EOF
+  for W in 64 256 512; do
+    ./build/tools/fsct test "$OBS_TMP/s27.bench" --jobs 1 --simd-width "$W" \
+      --metrics "$OBS_TMP/metrics_w$W.json" > /dev/null
+    python3 "$OBS_TMP/strip.py" "$OBS_TMP/metrics_w$W.json" \
+      "$OBS_TMP/metrics_w$W.norm"
   done
   cmp "$OBS_TMP/metrics_w64.norm" "$OBS_TMP/metrics_w256.norm"
   cmp "$OBS_TMP/metrics_w64.norm" "$OBS_TMP/metrics_w512.norm"
   echo "check.sh: width sweep OK (identical run reports at 64/256/512)"
+
+  # Serve smoke: the daemon must serve the same normalized run report as the
+  # CLI (the serve determinism contract, DESIGN.md §5j), answer a repeated
+  # request from its result cache, and drain cleanly on SIGTERM.
+  ./build/tools/fsct serve --socket "$OBS_TMP/serve.sock" &
+  SERVE_PID=$!
+  for _ in $(seq 50); do [[ -S "$OBS_TMP/serve.sock" ]] && break; sleep 0.1; done
+  python3 - "$OBS_TMP" <<'EOF'
+import json, socket, sys
+tmp = sys.argv[1]
+bench = open(tmp + "/s27.bench").read()
+s = socket.socket(socket.AF_UNIX)
+s.connect(tmp + "/serve.sock")
+f = s.makefile("r")
+def ask(rid):
+    s.sendall((json.dumps({"id": rid, "circuit": bench,
+                           "config": {"jobs": 1}}) + "\n").encode())
+    while True:
+        ev = json.loads(f.readline())
+        if ev.get("event") == "result":
+            return ev
+r1 = ask("smoke1")
+assert r1["status"] == "ok", r1
+r2 = ask("smoke2")
+assert r2["status"] == "ok", r2
+assert r2["result_cache"] == "hit", r2
+assert r1["report"] == r2["report"]
+json.dump(r1["report"], open(tmp + "/served.json", "w"))
+s.close()
+EOF
+  kill -TERM "$SERVE_PID"
+  wait "$SERVE_PID"
+  python3 "$OBS_TMP/strip.py" "$OBS_TMP/served.json" "$OBS_TMP/served.norm"
+  cmp "$OBS_TMP/served.norm" "$OBS_TMP/metrics_w64.norm"
+  echo "check.sh: serve smoke OK (served report identical to CLI," \
+       "result-cache hit, SIGTERM drain)"
 fi
 
 cmake -B build-tsan -S . -DFSCT_SANITIZE=thread "$@"
 cmake --build build-tsan -j \
   --target parallel_test determinism_test pipeline_test \
            seq_fault_sim_test comb_fault_sim_test classify_test obs_test \
-           selfcheck_test bench_harness_test
+           selfcheck_test bench_harness_test serve_test
 TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-tsan \
   --output-on-failure -R "$CONCURRENCY_TESTS"
 

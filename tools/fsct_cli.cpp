@@ -54,6 +54,13 @@
 //       noise-aware diff of two bench documents; exit 1 on regression,
 //       2 on structural mismatch or malformed input.
 //
+//   fsct serve    --socket PATH | --port N [--workers N] [--queue N]
+//                 [--cache-mb N] [-v]
+//       long-running screening daemon: newline-delimited JSON requests over
+//       a Unix-domain or loopback-TCP socket, compiled-circuit and result
+//       caches, bounded priority queue with backpressure, per-session
+//       progress streaming, graceful drain on SIGTERM (see src/serve/).
+//
 // Long runs: every pipeline-running command accepts SIGUSR1 and prints a
 // live status dump (phase progress, worker stats, RSS, counters) without
 // disturbing the run; --progress adds a periodic heartbeat line with ETA.
@@ -80,6 +87,7 @@
 #include "netlist/bench_io.h"
 #include "netlist/stats.h"
 #include "scan/tpi.h"
+#include "serve/serve.h"
 #include "sim/soa_circuit.h"
 
 namespace {
@@ -129,6 +137,12 @@ struct Args {
   std::string oracles = "all";
   bool no_shrink = false;
   std::string corpus;
+  // serve
+  std::string serve_socket;  // --socket: Unix-domain socket path
+  int serve_port = -1;       // --port: loopback TCP port (0 = ephemeral)
+  int workers = 1;           // --workers: concurrent screening sessions
+  int queue_limit = 16;      // --queue: queued requests beyond in-flight
+  int cache_mb = 256;        // --cache-mb: compiled-model cache budget
 };
 
 /// Checked integer parse: the whole token must be a number and it must land
@@ -255,6 +269,16 @@ Args parse(int argc, char** argv) {
       a.max_ffs = static_cast<int>(int_operand(s, 2, 10000));
     } else if (s == "--oracles") {
       a.oracles = operand(s);
+    } else if (s == "--socket") {
+      a.serve_socket = operand(s);
+    } else if (s == "--port") {
+      a.serve_port = static_cast<int>(int_operand(s, 0, 65535));
+    } else if (s == "--workers") {
+      a.workers = static_cast<int>(int_operand(s, 1, 256));
+    } else if (s == "--queue") {
+      a.queue_limit = static_cast<int>(int_operand(s, 1, 100000));
+    } else if (s == "--cache-mb") {
+      a.cache_mb = static_cast<int>(int_operand(s, 1, 1 << 20));
     } else if (s == "--no-shrink") {
       a.no_shrink = true;
     } else if (s == "--no-dominance") {
@@ -703,6 +727,33 @@ int cmd_profile(const Args& a) {
   return 0;
 }
 
+int cmd_serve(const Args& a) {
+  if (a.serve_socket.empty() && a.serve_port < 0) {
+    throw UsageError("serve: pass --socket PATH or --port N");
+  }
+  if (!a.serve_socket.empty() && a.serve_port >= 0) {
+    throw UsageError("serve: --socket and --port are mutually exclusive");
+  }
+  ServeOptions sopt;
+  sopt.unix_path = a.serve_socket;
+  sopt.tcp_port = a.serve_port;
+  sopt.workers = a.workers;
+  sopt.queue_limit = static_cast<std::size_t>(a.queue_limit);
+  sopt.cache_mb = static_cast<std::size_t>(a.cache_mb);
+  sopt.verbose = true;  // a daemon's lifecycle lines are ops, not chatter
+  ServeServer server(sopt);
+  if (a.serve_port >= 0) {
+    std::printf("fsct serve: listening on 127.0.0.1:%d\n", server.port());
+    std::fflush(stdout);
+  }
+  // SIGUSR1 prints the status of whatever request is in flight (the global
+  // status registry is set per pipeline run), pinned for the daemon's life.
+  install_sigusr1_handler();
+  const ObsMonitor monitor;
+  server.run();  // returns after the SIGTERM/SIGINT drain completes
+  return 0;
+}
+
 int cmd_bench(const Args& a) {
   const std::string& sub = positional(a, 0, "<run|compare>");
   if (sub == "run") return cmd_bench_run(a);
@@ -730,6 +781,10 @@ void print_usage(std::FILE* f = stdout) {
       "  bench    compare <old.json> <new.json>  noise-aware regression diff\n"
       "                                          (exit 1 regression,\n"
       "                                          2 mismatch)\n"
+      "  serve    --socket PATH | --port N       screening daemon with a\n"
+      "                                          compiled-circuit cache;\n"
+      "                                          NDJSON requests, graceful\n"
+      "                                          SIGTERM drain\n"
       "\n"
       "options:\n"
       "  --chains N        number of scan chains to insert (default 1)\n"
@@ -778,6 +833,16 @@ void print_usage(std::FILE* f = stdout) {
       "  --rel-threshold P relative regression threshold (default 0.10)\n"
       "  --mad-k K         noise window in MAD multiples (default 3.0)\n"
       "\n"
+      "serve options:\n"
+      "  --socket PATH     listen on a Unix-domain socket at PATH\n"
+      "  --port N          listen on loopback TCP port N (0 = ephemeral;\n"
+      "                    the chosen port is printed)\n"
+      "  --workers N       concurrent screening sessions (default 1)\n"
+      "  --queue N         request-queue capacity; beyond it requests are\n"
+      "                    rejected with code \"busy\" (default 16)\n"
+      "  --cache-mb N      compiled-model cache budget, LRU-evicted\n"
+      "                    (default 256)\n"
+      "\n"
       "fuzz options:\n"
       "  --seed S          base seed; (seed, offset) fixes every iteration\n"
       "  --iters N         iterations to run (default 100)\n"
@@ -821,6 +886,7 @@ int main(int argc, char** argv) {
     if (cmd == "fuzz") return cmd_fuzz(a);
     if (cmd == "profile") return cmd_profile(a);
     if (cmd == "bench") return cmd_bench(a);
+    if (cmd == "serve") return cmd_serve(a);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     print_usage(stderr);
     return 2;
