@@ -7,6 +7,11 @@
 // back short.  Every fd-level write in the heartbeat/status/serve paths goes
 // through these helpers, which retry EINTR and resume short writes until the
 // whole buffer is on the wire (or a real error ends the stream).
+//
+// Seeing EPIPE as an *error return* (rather than a process-fatal signal)
+// requires SIGPIPE to be ignored; ServeServer::run() installs SIG_IGN for
+// its lifetime, so a client that hangs up mid-response fails only that
+// connection's write, never the daemon.
 #pragma once
 
 #include <cstddef>

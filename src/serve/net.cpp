@@ -155,6 +155,9 @@ bool LineReader::next(std::string& line) {
       }
       return true;
     }
+    // No newline yet: refuse to buffer past the cap (a peer streaming an
+    // endless unterminated line must not grow daemon memory without bound).
+    if (buf_.size() - pos_ > kMaxLine) return false;
     if (eof_) {
       if (pos_ < buf_.size()) {  // trailing unterminated fragment
         line.assign(buf_, pos_, buf_.size() - pos_);

@@ -5,6 +5,7 @@
 // SA_RESTART, so every blocking call here can and will be interrupted.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 namespace fsct {
@@ -28,12 +29,20 @@ int connect_tcp(int port);
 /// Buffered reader splitting an fd's byte stream into '\n'-terminated lines
 /// (terminator stripped).  next() blocks until a full line, EOF or error;
 /// EINTR is retried.  A final unterminated fragment before EOF is returned
-/// as a line.
+/// as a line.  A single line is capped at kMaxLine — an unterminated line
+/// beyond that is treated as a read error (false) instead of growing the
+/// buffer without bound on a peer that never sends '\n'.
 class LineReader {
  public:
+  /// One line's upper bound.  Circuits ride inline in serve requests (with
+  /// JSON escaping overhead), so the cap is generous; it only exists so a
+  /// misbehaving client cannot grow daemon memory arbitrarily.
+  static constexpr std::size_t kMaxLine = 256u << 20;  // 256 MB
+
   explicit LineReader(int fd) : fd_(fd) {}
 
-  /// False on EOF (with no pending fragment) or on a read error.
+  /// False on EOF (with no pending fragment), on a read error, or on an
+  /// unterminated line exceeding kMaxLine.
   bool next(std::string& line);
 
  private:

@@ -269,6 +269,12 @@ std::string normalized_report(const std::string& report_json) {
   return out;
 }
 
+ServeServer::Conn::~Conn() {
+#ifndef _WIN32
+  if (fd >= 0) ::close(fd);
+#endif
+}
+
 ServeServer::ServeServer(ServeOptions opt) : opt_(std::move(opt)) {
   if (!opt_.log) {
     opt_.log = [](const std::string& line) {
@@ -377,9 +383,12 @@ std::string ServeServer::run_request(
         ++stats_.result_cache_hits;
         ++stats_.ok;
       }
+      // A replayed result never consults the model cache (the compiled
+      // model may even have been evicted since), so the tag is "skipped",
+      // not a claimed hit.
       return "{\"id\": \"" + json_escape(req.id) +
              "\", \"event\": \"result\", \"status\": \"ok\", "
-             "\"model_cache\": \"hit\", \"result_cache\": \"hit\", "
+             "\"model_cache\": \"skipped\", \"result_cache\": \"hit\", "
              "\"report\": " +
              it->second.report + "}";
     }
@@ -507,7 +516,7 @@ void ServeServer::respond(const std::shared_ptr<Conn>& conn,
   write_line(conn->fd, line);  // peer may be gone; nothing useful to do then
 }
 
-void ServeServer::reader(std::shared_ptr<Conn> conn) {
+void ServeServer::reader(std::shared_ptr<Conn> conn, std::uint64_t id) {
   LineReader lr(conn->fd);
   std::string line;
   while (lr.next(line)) {
@@ -520,8 +529,14 @@ void ServeServer::reader(std::shared_ptr<Conn> conn) {
       JsonParser p(line, "request");
       const JVal v = p.parse();
       id = id_of(v);
+      // Mirror int_field's [-1000, 1000] range before casting: the double is
+      // client-supplied and unvalidated here (1e300 or NaN would make the
+      // plain cast UB); the worker's full parse still reports the precise
+      // error for out-of-range values.
       const double d = json_num(p, v, "priority", 0);
-      priority = static_cast<int>(d);
+      priority = std::isfinite(d)
+                     ? static_cast<int>(std::clamp(d, -1000.0, 1000.0))
+                     : 0;
     } catch (const std::exception&) {
     }
     if (draining_.load(std::memory_order_relaxed)) {
@@ -541,6 +556,31 @@ void ServeServer::reader(std::shared_ptr<Conn> conn) {
       respond(conn, error_event(id, "busy", "request queue is full"));
     }
   }
+  // Disconnected: release this connection's bookkeeping now rather than at
+  // drain.  The fd closes when the last Conn reference drops (a queued
+  // job's response may still be in flight), and the accept loop joins the
+  // thread handle queued here.
+  std::lock_guard<std::mutex> lk(conns_m_);
+  conns_.erase(std::remove(conns_.begin(), conns_.end(), conn), conns_.end());
+  finished_readers_.push_back(id);
+}
+
+void ServeServer::reap_finished_readers() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lk(conns_m_);
+    for (const std::uint64_t id : finished_readers_) {
+      const auto it = reader_threads_.find(id);
+      if (it != reader_threads_.end()) {
+        done.push_back(std::move(it->second));
+        reader_threads_.erase(it);
+      }
+    }
+    finished_readers_.clear();
+  }
+  // Join outside the lock: the exiting thread's last act under conns_m_ was
+  // queueing its id, so the join cannot deadlock and barely blocks.
+  for (std::thread& t : done) t.join();
 }
 
 void ServeServer::worker() {
@@ -569,6 +609,16 @@ void ServeServer::run() {
   struct sigaction prev_term {}, prev_int {};
   sigaction(SIGTERM, &sa, &prev_term);
   sigaction(SIGINT, &sa, &prev_int);
+  // A client that disconnects before its response arrives would otherwise
+  // turn the next respond()/progress write into process-fatal SIGPIPE.
+  // Ignored, the write returns EPIPE and write_all reports an ordinary
+  // error (the io_util.h contract assumes exactly this disposition).
+  struct sigaction sa_pipe {};
+  sa_pipe.sa_handler = SIG_IGN;
+  sigemptyset(&sa_pipe.sa_mask);
+  sa_pipe.sa_flags = 0;
+  struct sigaction prev_pipe {};
+  sigaction(SIGPIPE, &sa_pipe, &prev_pipe);
 
   for (int i = 0; i < opt_.workers; ++i) {
     worker_threads_.emplace_back([this] { worker(); });
@@ -589,6 +639,7 @@ void ServeServer::run() {
     }
     if (fds[1].revents != 0) break;  // drain requested
     if (fds[0].revents == 0) continue;
+    reap_finished_readers();
     int cfd;
     do {
       cfd = ::accept(listen_fd_, nullptr, nullptr);
@@ -598,7 +649,9 @@ void ServeServer::run() {
     conn->fd = cfd;
     std::lock_guard<std::mutex> lk(conns_m_);
     conns_.push_back(conn);
-    reader_threads_.emplace_back([this, conn] { reader(conn); });
+    const std::uint64_t id = next_reader_id_++;
+    reader_threads_.emplace(
+        id, std::thread([this, conn, id] { reader(conn, id); }));
   }
 
   // --- graceful drain -------------------------------------------------------
@@ -634,21 +687,29 @@ void ServeServer::run() {
     queue_size_ = 0;
   }
 
-  // Unblock the readers and wait for them; then the sockets can close.
+  // Unblock the readers still connected and wait for every reader thread
+  // (finished ones included); each reader erased its Conn on exit, and the
+  // Conn destructor closes the fd when the last reference drops.
   {
     std::lock_guard<std::mutex> lk(conns_m_);
     for (const auto& c : conns_) ::shutdown(c->fd, SHUT_RDWR);
   }
-  for (std::thread& t : reader_threads_) t.join();
-  reader_threads_.clear();
+  std::vector<std::thread> readers;
   {
     std::lock_guard<std::mutex> lk(conns_m_);
-    for (const auto& c : conns_) ::close(c->fd);
+    for (auto& [id, t] : reader_threads_) readers.push_back(std::move(t));
+    reader_threads_.clear();
+  }
+  for (std::thread& t : readers) t.join();
+  {
+    std::lock_guard<std::mutex> lk(conns_m_);
+    finished_readers_.clear();
     conns_.clear();
   }
 
   sigaction(SIGTERM, &prev_term, nullptr);
   sigaction(SIGINT, &prev_int, nullptr);
+  sigaction(SIGPIPE, &prev_pipe, nullptr);
   g_serve_stop_fd.store(-1, std::memory_order_relaxed);
 
   const ServeStats s = stats();

@@ -15,8 +15,12 @@
 //
 //   {"id": "r1", "event": "progress", "line": "..."}            (0..n, opt-in)
 //   {"id": "r1", "event": "result", "status": "ok",
-//    "model_cache": "hit|miss", "result_cache": "hit|miss|off",
+//    "model_cache": "hit|miss|skipped", "result_cache": "hit|miss|off",
 //    "report": { ...fsct-run-report-v2... }}
+//
+// A result-cache hit replays the stored report without consulting the model
+// cache at all, so it tags "model_cache": "skipped" rather than claiming a
+// hit on a model that may since have been evicted.
 //   {"id": "r1", "event": "result", "status": "error",
 //    "code": "bad_request|busy|draining", "message": "..."}
 //
@@ -155,7 +159,11 @@ class ServeServer {
       const std::function<void(const std::string&)>* progress_sink = nullptr);
 
  private:
+  /// One client connection.  The fd closes when the last shared_ptr drops —
+  /// normally right after the reader exits, later if a queued job's response
+  /// is still being written.
   struct Conn {
+    ~Conn();
     int fd = -1;
     std::mutex write_m;  ///< serializes response/progress lines
   };
@@ -164,8 +172,9 @@ class ServeServer {
     std::string line;
   };
 
-  void reader(std::shared_ptr<Conn> conn);
+  void reader(std::shared_ptr<Conn> conn, std::uint64_t id);
   void worker();
+  void reap_finished_readers();  ///< joins reader threads that have exited
   bool enqueue(Job job, int priority);  ///< false when full
   bool dequeue(Job& out);               ///< false when draining and empty
   void respond(const std::shared_ptr<Conn>& conn, const std::string& line);
@@ -207,9 +216,16 @@ class ServeServer {
   mutable std::mutex stats_m_;
   ServeStats stats_;
 
+  // Live connections and their reader threads.  A reader that sees EOF
+  // erases its Conn from conns_ and queues its id on finished_readers_; the
+  // accept loop joins those handles (reap_finished_readers), so a daemon
+  // serving many short-lived connections holds bookkeeping only for live
+  // ones.  All three are guarded by conns_m_.
   std::mutex conns_m_;
   std::vector<std::shared_ptr<Conn>> conns_;
-  std::vector<std::thread> reader_threads_;
+  std::uint64_t next_reader_id_ = 0;
+  std::unordered_map<std::uint64_t, std::thread> reader_threads_;
+  std::vector<std::uint64_t> finished_readers_;
   std::vector<std::thread> worker_threads_;
 };
 

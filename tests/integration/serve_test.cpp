@@ -7,8 +7,9 @@
 //  * caching — a repeated request hits the compiled-model cache (counter-
 //    asserted: zero SoA compilations in the cached run) and, when enabled,
 //    the result cache, without changing the report;
-//  * lifecycle — bad requests come back as error events, and a drain
-//    request lets run() return.
+//  * lifecycle — bad requests come back as error events, a client that
+//    hangs up early never kills the daemon, and a drain request lets run()
+//    return.
 #include "serve/serve.h"
 
 #include <gtest/gtest.h>
@@ -237,6 +238,51 @@ TEST(Serve, TwoConcurrentSocketSessionsMatchCli) {
   const ServeStats st = srv.stats();
   EXPECT_EQ(st.requests, 2u);
   EXPECT_EQ(st.ok, 2u);
+}
+
+// A client that hangs up before its response arrives must cost the daemon
+// nothing but that one connection: the response write hits EPIPE (SIGPIPE is
+// ignored for run()'s lifetime) and the reader's bookkeeping is released
+// without waiting for drain.  The follow-up session also pushes an absurd
+// "priority" through the reader's peek — formerly an unchecked
+// double-to-int cast, UB under UBSan — and still gets the worker's precise
+// bad_request rejection, then a normal result.
+TEST(Serve, ClientDisconnectBeforeResponseDoesNotKillDaemon) {
+  const std::string path = testing::TempDir() + "fsct_serve_gone.sock";
+  ServeOptions opt;
+  opt.unix_path = path;
+  opt.log = [](const std::string&) {};
+  ServeServer srv(opt);
+  std::thread server([&] { srv.run(); });
+
+  {
+    const int fd = connect_unix(path);
+    ASSERT_TRUE(write_line(fd, request_line("gone", kS27, 1, false)));
+    close(fd);  // hang up without reading the response
+  }
+
+  const int fd = connect_unix(path);
+  LineReader lr(fd);
+  auto next_result = [&]() {
+    std::string line;
+    while (lr.next(line)) {
+      if (line.find("\"event\": \"result\"") != std::string::npos) return line;
+    }
+    return std::string();
+  };
+  ASSERT_TRUE(write_line(fd, "{\"id\": \"huge\", \"circuit\": \"" +
+                                 json_escape(kS27) +
+                                 "\", \"priority\": 1e300}"));
+  const std::string rejected = next_result();
+  EXPECT_NE(rejected.find("\"code\": \"bad_request\""), std::string::npos)
+      << rejected;
+  ASSERT_TRUE(write_line(fd, request_line("alive", kS27, 1, false)));
+  const std::string result = next_result();
+  EXPECT_NE(result.find("\"status\": \"ok\""), std::string::npos) << result;
+  close(fd);
+
+  srv.request_stop();
+  server.join();
 }
 
 TEST(Serve, RequestStopDrainsAnIdleServer) {
