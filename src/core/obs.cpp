@@ -691,7 +691,58 @@ std::string ObsRegistry::counters_json() const {
   return out + "}}";
 }
 
+double hist_quantile(const std::array<std::uint64_t, kHistBuckets>& buckets,
+                     double q) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : buckets) total += b;
+  if (total == 0) return -1;
+  q = std::min(1.0, std::max(0.0, q));
+  // The sample with (1-based) rank ceil(q * total); rank 0 maps to rank 1.
+  const double want = q * static_cast<double>(total);
+  std::uint64_t rank = static_cast<std::uint64_t>(want);
+  if (static_cast<double>(rank) < want) ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kHistBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (cum + buckets[i] >= rank) {
+      const double lo = i == 0 ? 0.0 : static_cast<double>(std::uint64_t{1}
+                                                           << (i - 1));
+      if (i + 1 >= kHistBuckets) return lo;  // open tail: floor, no upper edge
+      const double hi =
+          i == 0 ? 0.0 : static_cast<double>((std::uint64_t{1} << i) - 1);
+      const double frac = static_cast<double>(rank - cum) /
+                          static_cast<double>(buckets[i]);
+      return lo + (hi - lo) * frac;
+    }
+    cum += buckets[i];
+  }
+  return -1;  // unreachable: total > 0 puts some rank in some bucket
+}
+
+void ObsRegistry::merge_from(const ObsRegistry& other) {
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    const Ctr c = static_cast<Ctr>(i);
+    if (const std::uint64_t n = other.total(c)) add(c, n);
+  }
+  Shard& s = shard();
+  for (std::size_t h = 0; h < kNumHists; ++h) {
+    const auto b = other.hist_total(static_cast<Hist>(h));
+    for (std::size_t i = 0; i < kHistBuckets; ++i) {
+      if (b[i]) s.hists[h][i].fetch_add(b[i], std::memory_order_relaxed);
+    }
+    if (const std::uint64_t sum = other.hist_sum(static_cast<Hist>(h))) {
+      s.hist_sums[h].fetch_add(sum, std::memory_order_relaxed);
+    }
+  }
+}
+
 void ObsRegistry::write_openmetrics(std::ostream& os) const {
+  write_openmetrics_body(os);
+  os << "# EOF\n";
+}
+
+void ObsRegistry::write_openmetrics_body(std::ostream& os) const {
   // Counters: the TYPE line names the metric family, samples carry the
   // mandatory `_total` suffix.
   for (std::size_t i = 0; i < kNumCounters; ++i) {
@@ -726,7 +777,6 @@ void ObsRegistry::write_openmetrics(std::ostream& os) const {
     os << "fsct_" << kHistNames[i] << "_sum " << hist_sum(h) << "\n";
     os << "fsct_" << kHistNames[i] << "_count " << cum << "\n";
   }
-  os << "# EOF\n";
 }
 
 void ObsRegistry::write_run_report(std::ostream& os, const PipelineResult& r,

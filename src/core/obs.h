@@ -327,9 +327,21 @@ class ObsRegistry {
   void write_run_report(std::ostream& os, const PipelineResult& r,
                         const AttrContext* ctx = nullptr) const;
   /// OpenMetrics / Prometheus text exposition of the counters, gauges and
-  /// histograms — the scrape surface a future `fsct serve` mounts.  Ends
-  /// with the required "# EOF" terminator.
+  /// histograms — the scrape surface `fsct serve` mounts at GET /metrics
+  /// (src/serve/http.h; the daemon prepends its own fsct_serve_* series).
+  /// Ends with the required "# EOF" terminator.
   void write_openmetrics(std::ostream& os) const;
+  /// The exposition without the "# EOF" terminator, for embedding in a
+  /// larger scrape page (the daemon's /metrics appends its own series and
+  /// writes one terminator for the whole page).
+  void write_openmetrics_body(std::ostream& os) const;
+
+  /// Adds `other`'s merged counter and histogram totals (buckets + sums)
+  /// into this registry's calling-thread shard.  `fsct serve` folds each
+  /// finished session's registry into one daemon-lifetime registry this way,
+  /// so /metrics exposes cumulative pipeline counters across all requests.
+  /// Gauges are set-once run facts and are deliberately not merged.
+  void merge_from(const ObsRegistry& other);
 
  private:
   struct alignas(64) Shard {
@@ -408,6 +420,17 @@ class ObsSpan {
   const char* name_;
   double t0_us_ = 0;
 };
+
+/// Approximate quantile over a log2 bucket array using the Hist scheme
+/// (bucket 0 counts value 0; bucket i >= 1 counts [2^(i-1), 2^i - 1]; the
+/// last bucket absorbs the open-ended tail).  `q` is clamped to [0, 1] and
+/// the result interpolates linearly inside the containing bucket, so it is
+/// an estimate bounded by that bucket's range, not an exact order statistic.
+/// Returns -1 on an empty histogram; a quantile landing in the tail bucket
+/// reports the bucket's lower bound (a floor — the tail has no upper edge).
+/// This is how `fsct stat` turns scraped latency buckets into p50/p90/p99.
+double hist_quantile(const std::array<std::uint64_t, kHistBuckets>& buckets,
+                     double q);
 
 // --- long-run visibility ----------------------------------------------------
 

@@ -1,0 +1,240 @@
+#include "serve/http.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#ifndef _WIN32
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+#endif
+
+#include "core/io_util.h"
+#include "serve/net.h"
+
+namespace fsct {
+
+namespace {
+
+/// HTTP request heads are tiny; anything longer than this per line is a
+/// misbehaving (or malicious) peer.  Far below LineReader::kMaxLine — the
+/// scrape plane never carries circuits.
+constexpr std::size_t kHttpMaxLine = 8u << 10;  // 8 KB
+
+/// A whole request head (request line + headers) is bounded too, so a peer
+/// drip-feeding headers cannot hold the accept thread's memory hostage.
+constexpr std::size_t kHttpMaxHeaderLines = 64;
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+void strip_cr(std::string& s) {
+  if (!s.empty() && s.back() == '\r') s.pop_back();
+}
+
+void send_response(int fd, const HttpResponse& r) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << r.status << ' ' << reason_phrase(r.status) << "\r\n"
+     << "Content-Type: " << r.content_type << "\r\n"
+     << "Content-Length: " << r.body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << r.body;
+  const std::string out = os.str();
+  write_all(fd, out.data(), out.size());  // peer hang-up: nothing to do
+}
+
+}  // namespace
+
+#ifndef _WIN32
+
+HttpServer::HttpServer(const HttpOptions& opts, HttpHandler handler)
+    : opts_(opts), handler_(std::move(handler)) {
+  if (opts_.unix_path.empty() && opts_.tcp_port < 0) {
+    throw std::runtime_error("http: no listener configured");
+  }
+  if (::pipe(stop_pipe_) != 0) {
+    throw std::runtime_error(std::string("http: pipe: ") +
+                             std::strerror(errno));
+  }
+  try {
+    if (!opts_.unix_path.empty()) unix_fd_ = listen_unix(opts_.unix_path);
+    if (opts_.tcp_port >= 0) {
+      tcp_fd_ = listen_tcp(opts_.tcp_port);
+      port_ = bound_tcp_port(tcp_fd_);
+    }
+  } catch (...) {
+    if (unix_fd_ >= 0) ::close(unix_fd_);
+    ::close(stop_pipe_[0]);
+    ::close(stop_pipe_[1]);
+    throw;
+  }
+  thread_ = std::thread([this] { loop(); });
+}
+
+HttpServer::~HttpServer() {
+  // Wake the accept loop; closing the listeners after the join keeps the
+  // poll set valid for the loop's whole lifetime.
+  char b = 'q';
+  (void)!::write(stop_pipe_[1], &b, 1);
+  if (thread_.joinable()) thread_.join();
+  if (unix_fd_ >= 0) ::close(unix_fd_);
+  if (tcp_fd_ >= 0) ::close(tcp_fd_);
+  if (!opts_.unix_path.empty()) ::unlink(opts_.unix_path.c_str());
+  ::close(stop_pipe_[0]);
+  ::close(stop_pipe_[1]);
+}
+
+void HttpServer::loop() {
+  for (;;) {
+    pollfd fds[3];
+    nfds_t n = 0;
+    fds[n++] = {stop_pipe_[0], POLLIN, 0};
+    if (unix_fd_ >= 0) fds[n++] = {unix_fd_, POLLIN, 0};
+    if (tcp_fd_ >= 0) fds[n++] = {tcp_fd_, POLLIN, 0};
+    const int pr = ::poll(fds, n, -1);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return;  // unrecoverable poll error: scrape plane goes dark, daemon
+               // request plane keeps running
+    }
+    if (fds[0].revents != 0) return;  // destructor asked us to stop
+    for (nfds_t i = 1; i < n; ++i) {
+      if (fds[i].revents == 0) continue;
+      const int cfd = ::accept(fds[i].fd, nullptr, nullptr);
+      if (cfd < 0) continue;  // transient (ECONNABORTED, EINTR, ...)
+      handle_connection(cfd);
+    }
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  // Bound how long a slow or silent peer can hold the accept thread: reads
+  // past the timeout fail with EAGAIN, LineReader::next() returns false,
+  // and the connection is dropped.
+  timeval tv{};
+  tv.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+
+  // Strict terminator mode: a peer that closes mid-request-line gets a
+  // clean reject instead of its partial bytes being parsed as a request.
+  LineReader reader(fd, kHttpMaxLine, /*require_terminator=*/true);
+  std::string line;
+  if (!reader.next(line)) {
+    ::close(fd);  // nothing parseable arrived; no response owed
+    return;
+  }
+  strip_cr(line);
+
+  // "METHOD SP target SP version"
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos
+                              ? std::string::npos
+                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+    send_response(fd, {400, "text/plain; charset=utf-8", "bad request\n"});
+    ::close(fd);
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+  // Drain the header block (we ignore headers — every request is framed the
+  // same way) up to a hard line count, so drip-fed headers can't pin us.
+  bool headers_ok = false;
+  for (std::size_t i = 0; i < kHttpMaxHeaderLines; ++i) {
+    if (!reader.next(line)) break;  // EOF/timeout before blank line
+    strip_cr(line);
+    if (line.empty()) {
+      headers_ok = true;
+      break;
+    }
+  }
+  if (!headers_ok) {
+    send_response(fd, {400, "text/plain; charset=utf-8", "bad request\n"});
+    ::close(fd);
+    return;
+  }
+  if (method != "GET") {
+    send_response(fd,
+                  {405, "text/plain; charset=utf-8", "method not allowed\n"});
+    ::close(fd);
+    return;
+  }
+  const std::size_t q = target.find('?');
+  if (q != std::string::npos) target.erase(q);
+  if (target.empty() || target[0] != '/') {
+    send_response(fd, {400, "text/plain; charset=utf-8", "bad request\n"});
+    ::close(fd);
+    return;
+  }
+  send_response(fd, handler_(target));
+  ::close(fd);
+}
+
+HttpResult http_get_fd(int fd, const std::string& target) {
+  const std::string req = "GET " + target +
+                          " HTTP/1.1\r\nHost: fsct\r\nConnection: close\r\n\r\n";
+  if (!write_all(fd, req.data(), req.size())) {
+    ::close(fd);
+    throw std::runtime_error("http: send failed");
+  }
+  std::string raw;
+  char chunk[4096];
+  for (;;) {
+    const long r = read_retry(fd, chunk, sizeof chunk);
+    if (r < 0) {
+      ::close(fd);
+      throw std::runtime_error("http: read failed");
+    }
+    if (r == 0) break;
+    raw.append(chunk, static_cast<std::size_t>(r));
+  }
+  ::close(fd);
+  // "HTTP/1.1 NNN ..." — all we need is the status code and the body.
+  if (raw.compare(0, 5, "HTTP/") != 0) {
+    throw std::runtime_error("http: malformed response");
+  }
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > raw.size()) {
+    throw std::runtime_error("http: malformed status line");
+  }
+  HttpResult res;
+  res.status = std::atoi(raw.c_str() + sp + 1);
+  const std::size_t hdr_end = raw.find("\r\n\r\n");
+  if (hdr_end == std::string::npos) {
+    throw std::runtime_error("http: missing header terminator");
+  }
+  res.body = raw.substr(hdr_end + 4);
+  return res;
+}
+
+#else  // _WIN32: serve (and its scrape plane) is POSIX-only.
+
+HttpServer::HttpServer(const HttpOptions&, HttpHandler) {
+  throw std::runtime_error("fsct serve http requires POSIX sockets");
+}
+HttpServer::~HttpServer() = default;
+void HttpServer::loop() {}
+void HttpServer::handle_connection(int) {}
+
+HttpResult http_get_fd(int, const std::string&) {
+  throw std::runtime_error("fsct serve http requires POSIX sockets");
+}
+
+#endif
+
+}  // namespace fsct

@@ -1,0 +1,83 @@
+// Minimal embedded HTTP/1.1 observability listener for `fsct serve`.
+//
+// This is deliberately not a web server: GET-only, Connection: close on
+// every response, one request per connection, connections handled
+// sequentially on the accept thread.  It exists so Prometheus-style
+// scrapers, load-balancer health checks and `fsct stat` can read the
+// daemon's /metrics, /healthz, /readyz and /statusz pages without pulling
+// in any dependency — it reuses the same net.{h,cpp} listeners and
+// io_util.h EINTR-safe I/O the NDJSON request plane is built on.
+//
+// The scrape plane is intentionally separate from the request plane: a
+// scrape never enters the job queue, never touches a worker thread, and
+// keeps answering while the daemon drains (that is the whole point of
+// /readyz) — so handlers must only take short-lived snapshot locks.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace fsct {
+
+/// What a handler returns.  The server adds the status line, Content-Type,
+/// Content-Length and Connection: close framing.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Routes a request path ("/metrics", "/statusz", ...; query string already
+/// stripped) to a response.  Called on the accept thread — must be fast and
+/// must not block on daemon work (scrapes stay responsive during drain).
+using HttpHandler = std::function<HttpResponse(const std::string& path)>;
+
+struct HttpOptions {
+  /// Unix-domain socket path to serve on (empty = no unix listener).
+  std::string unix_path;
+  /// Loopback TCP port to serve on (-1 = no TCP listener, 0 = ephemeral).
+  int tcp_port = -1;
+};
+
+/// Accept-loop HTTP listener.  The constructor binds (throwing
+/// std::runtime_error on failure) and starts the accept thread; the
+/// destructor stops and joins it.  At least one of unix_path / tcp_port
+/// must be configured.
+class HttpServer {
+ public:
+  HttpServer(const HttpOptions& opts, HttpHandler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Port the TCP listener is actually bound to (resolves an ephemeral 0),
+  /// or -1 when TCP is not configured.
+  int port() const { return port_; }
+
+ private:
+  void loop();
+  void handle_connection(int fd);
+
+  HttpOptions opts_;
+  HttpHandler handler_;
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int port_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::thread thread_;
+};
+
+/// Client side, shared by `fsct stat` and the integration tests.
+struct HttpResult {
+  int status = 0;
+  std::string body;
+};
+
+/// Performs one GET for `target` over an already-connected stream fd
+/// (connect_unix / connect_tcp), reads the full response and closes the fd.
+/// Throws std::runtime_error on I/O or malformed responses.
+HttpResult http_get_fd(int fd, const std::string& target);
+
+}  // namespace fsct

@@ -143,6 +143,7 @@ int connect_tcp(int) { unsupported(); }
 #endif
 
 bool LineReader::next(std::string& line) {
+  if (failed_) return false;
   for (;;) {
     const std::size_t nl = buf_.find('\n', pos_);
     if (nl != std::string::npos) {
@@ -157,18 +158,28 @@ bool LineReader::next(std::string& line) {
     }
     // No newline yet: refuse to buffer past the cap (a peer streaming an
     // endless unterminated line must not grow daemon memory without bound).
-    if (buf_.size() - pos_ > kMaxLine) return false;
+    if (buf_.size() - pos_ > max_line_) {
+      failed_ = true;
+      return false;
+    }
     if (eof_) {
-      if (pos_ < buf_.size()) {  // trailing unterminated fragment
+      if (pos_ < buf_.size() && !require_terminator_) {
+        // Trailing unterminated fragment: returned as a line in lenient
+        // mode; strict (HTTP) mode drops it so a peer that closed
+        // mid-request-line never has partial bytes parsed as a request.
         line.assign(buf_, pos_, buf_.size() - pos_);
         pos_ = buf_.size();
         return true;
       }
+      failed_ = true;
       return false;
     }
     char chunk[4096];
     const long r = read_retry(fd_, chunk, sizeof chunk);
-    if (r < 0) return false;
+    if (r < 0) {
+      failed_ = true;
+      return false;
+    }
     if (r == 0) {
       eof_ = true;
       continue;

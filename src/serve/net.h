@@ -28,28 +28,39 @@ int connect_tcp(int port);
 
 /// Buffered reader splitting an fd's byte stream into '\n'-terminated lines
 /// (terminator stripped).  next() blocks until a full line, EOF or error;
-/// EINTR is retried.  A final unterminated fragment before EOF is returned
-/// as a line.  A single line is capped at kMaxLine — an unterminated line
-/// beyond that is treated as a read error (false) instead of growing the
-/// buffer without bound on a peer that never sends '\n'.
+/// EINTR is retried.  By default a final unterminated fragment before EOF is
+/// returned as a line; `require_terminator` turns that fragment into a hard
+/// false instead — the HTTP parser uses it so a peer that closes mid-request
+/// line is rejected cleanly rather than having its partial bytes treated as
+/// a complete request.  A single line is capped at `max_line` — an
+/// unterminated line beyond that is treated as a read error (false) instead
+/// of growing the buffer without bound on a peer that never sends '\n'.
 class LineReader {
  public:
-  /// One line's upper bound.  Circuits ride inline in serve requests (with
-  /// JSON escaping overhead), so the cap is generous; it only exists so a
-  /// misbehaving client cannot grow daemon memory arbitrarily.
+  /// Default per-line upper bound.  Circuits ride inline in serve requests
+  /// (with JSON escaping overhead), so the cap is generous; it only exists
+  /// so a misbehaving client cannot grow daemon memory arbitrarily.  HTTP
+  /// request heads pass a far smaller cap (kHttpMaxLine in serve/http.cpp).
   static constexpr std::size_t kMaxLine = 256u << 20;  // 256 MB
 
-  explicit LineReader(int fd) : fd_(fd) {}
+  explicit LineReader(int fd, std::size_t max_line = kMaxLine,
+                      bool require_terminator = false)
+      : fd_(fd), max_line_(max_line), require_terminator_(require_terminator) {}
 
-  /// False on EOF (with no pending fragment), on a read error, or on an
-  /// unterminated line exceeding kMaxLine.
+  /// False on EOF (with no pending fragment, or with one when
+  /// require_terminator is set), on a read error, or on an unterminated
+  /// line exceeding the cap.  Once false, every later call is false too —
+  /// the stream is dead; a caller looping on next() always terminates.
   bool next(std::string& line);
 
  private:
   int fd_;
+  std::size_t max_line_;
+  bool require_terminator_;
   std::string buf_;
   std::size_t pos_ = 0;  // start of unconsumed bytes in buf_
   bool eof_ = false;
+  bool failed_ = false;  // capped or read error: the stream is poisoned
 };
 
 }  // namespace fsct

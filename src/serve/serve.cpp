@@ -10,9 +10,11 @@
 #include <stdexcept>
 
 #ifndef _WIN32
+#include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 #endif
 
@@ -21,6 +23,7 @@
 #include "core/obs.h"
 #include "fault/fault.h"
 #include "netlist/bench_io.h"
+#include "serve/http.h"
 #include "serve/net.h"
 #include "sim/soa_circuit.h"
 
@@ -51,7 +54,11 @@ std::string fmt_num(double d) {
 }
 
 bool normalized_drop(const std::string& key) {
-  return key.find("seconds") != std::string::npos ||
+  // The "serve" section is daemon metadata (request_id) stamped into the
+  // report at response time: per-daemon state, not a screening result, so
+  // the served-vs-CLI bitwise identity contract must not see it.
+  return key == "serve" ||
+         key.find("seconds") != std::string::npos ||
          key.find("time") != std::string::npos ||
          key.find("passes") != std::string::npos ||
          key.find("cycles") != std::string::npos ||
@@ -105,17 +112,54 @@ std::string id_of(const JVal& v) {
   return "";
 }
 
+/// `request_id` is the server-assigned id (0 = none assigned yet: requests
+/// rejected before the daemon committed to running them).
 std::string error_event(const std::string& id, const char* code,
-                        const std::string& message) {
-  return "{\"id\": \"" + json_escape(id) +
-         "\", \"event\": \"result\", \"status\": \"error\", \"code\": \"" +
-         code + "\", \"message\": \"" + json_escape(message) + "\"}";
+                        const std::string& message,
+                        std::uint64_t request_id = 0) {
+  std::string out = "{\"id\": \"" + json_escape(id) + "\"";
+  if (request_id) out += ", \"request_id\": " + std::to_string(request_id);
+  out += ", \"event\": \"result\", \"status\": \"error\", \"code\": \"";
+  out += code;
+  out += "\", \"message\": \"" + json_escape(message) + "\"}";
+  return out;
 }
 
-std::string progress_event(const std::string& id, const std::string& line) {
+std::string progress_event(const std::string& id, std::uint64_t request_id,
+                           const std::string& line) {
   return "{\"id\": \"" + json_escape(id) +
-         "\", \"event\": \"progress\", \"line\": \"" + json_escape(line) +
+         "\", \"request_id\": " + std::to_string(request_id) +
+         ", \"event\": \"progress\", \"line\": \"" + json_escape(line) +
          "\"}";
+}
+
+/// Stamps the daemon's "serve" section (request_id) into a single-line run
+/// report, just before its closing brace.  normalized_report drops the
+/// section, so stamping is invisible to the determinism contract — which is
+/// also why the result cache stores the *un*stamped report and every replay
+/// is stamped fresh with its own request_id.
+std::string with_serve_section(std::string report, std::uint64_t request_id) {
+  const std::size_t brace = report.rfind('}');
+  if (brace == std::string::npos) return report;  // not JSON; leave it alone
+  report.insert(brace,
+                ", \"serve\": {\"request_id\": " + std::to_string(request_id) +
+                    "}");
+  return report;
+}
+
+/// Microseconds elapsed since `t0`.
+std::uint64_t us_since(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+std::string circuit_hash_of(const std::string& circuit) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fnv1a64(circuit)));
+  return buf;
 }
 
 int int_field(const JsonParser& p, const JVal& obj, const char* key,
@@ -297,10 +341,37 @@ ServeServer::ServeServer(ServeOptions opt) : opt_(std::move(opt)) {
   } else {
     throw std::runtime_error("serve: need a unix socket path or a TCP port");
   }
+
+  ring_cap_ = std::min(std::max<std::size_t>(opt_.status_ring, 1),
+                       kStatusRingMax);
+#ifndef _WIN32
+  if (!opt_.request_log_path.empty()) {
+    request_log_fd_ = ::open(opt_.request_log_path.c_str(),
+                             O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (request_log_fd_ < 0) {
+      throw std::runtime_error("serve: cannot open request log " +
+                               opt_.request_log_path + ": " +
+                               std::strerror(errno));
+    }
+  }
+#endif
+  if (!opt_.http_unix_path.empty() || opt_.http_port >= 0) {
+    HttpOptions hopt;
+    hopt.unix_path = opt_.http_unix_path;
+    hopt.tcp_port = opt_.http_port;
+    // The scrape plane outlives run()'s drain on purpose: /readyz keeps
+    // answering 503 and /metrics stays scrapeable while in-flight work
+    // finishes.  The destructor tears it down.
+    http_ = std::make_unique<HttpServer>(
+        hopt, [this](const std::string& path) { return handle_http(path); });
+  }
 }
 
 ServeServer::~ServeServer() {
+  // Stop the scrape listener before any member it snapshots goes away.
+  http_.reset();
 #ifndef _WIN32
+  if (request_log_fd_ >= 0) ::close(request_log_fd_);
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     if (!opt_.unix_path.empty()) ::unlink(opt_.unix_path.c_str());
@@ -310,6 +381,8 @@ ServeServer::~ServeServer() {
   }
 #endif
 }
+
+int ServeServer::http_port() const { return http_ ? http_->port() : -1; }
 
 void ServeServer::request_stop() {
   const char c = 'x';
@@ -369,10 +442,11 @@ std::shared_ptr<const CompiledModel> ServeServer::model_for(
 
 std::string ServeServer::run_request(
     const ServeRequest& req,
-    const std::function<void(const std::string&)>* progress_sink) {
+    const std::function<void(const std::string&)>* progress_sink,
+    RequestRecord& rec) {
   const std::string model_key = model_key_of(req);
   const std::string result_key = model_key + "|" + canonical_config(req);
-  const char* result_cache_tag = req.use_result_cache ? "miss" : "off";
+  rec.result_cache = req.use_result_cache ? "miss" : "off";
   if (req.use_result_cache) {
     std::lock_guard<std::mutex> lk(cache_m_);
     const auto it = results_.find(result_key);
@@ -386,16 +460,50 @@ std::string ServeServer::run_request(
       // A replayed result never consults the model cache (the compiled
       // model may even have been evicted since), so the tag is "skipped",
       // not a claimed hit.
+      rec.model_cache = "skipped";
+      rec.result_cache = "hit";
+      rec.status = "ok";
       return "{\"id\": \"" + json_escape(req.id) +
-             "\", \"event\": \"result\", \"status\": \"ok\", "
+             "\", \"request_id\": " + std::to_string(rec.request_id) +
+             ", \"event\": \"result\", \"status\": \"ok\", "
              "\"model_cache\": \"skipped\", \"result_cache\": \"hit\", "
              "\"report\": " +
-             it->second.report + "}";
+             with_serve_section(it->second.report, rec.request_id) + "}";
     }
+    std::lock_guard<std::mutex> slk(stats_m_);
+    ++stats_.result_cache_misses;
   }
 
+  // Per-session registry, exactly like `fsct test --metrics`: observation
+  // never changes results (the null-sink rule), and each session's counters
+  // stay its own even with concurrent workers.  Constructed before the
+  // SessionGuard so /statusz's pointer into it is unregistered first.
+  ObsRegistry reg;
+  reg.set_context(req.id.empty() ? std::string("request") : req.id);
+  // RAII /statusz registration.  Declared *after* reg, so it unregisters
+  // (dropping the map's pointer into reg, under sessions_m_) before reg is
+  // destroyed — a concurrent scrape can never read a dangling registry.
+  struct SessionGuard {
+    ServeServer* s;
+    std::uint64_t rid;
+    SessionGuard(ServeServer* s, std::uint64_t rid, SessionInfo info)
+        : s(s), rid(rid) {
+      std::lock_guard<std::mutex> lk(s->sessions_m_);
+      s->sessions_[rid] = std::move(info);
+    }
+    ~SessionGuard() {
+      std::lock_guard<std::mutex> lk(s->sessions_m_);
+      s->sessions_.erase(rid);
+    }
+  } session(this, rec.request_id,
+            SessionInfo{req.id, rec.circuit_hash,
+                        std::chrono::steady_clock::now(), &reg});
+
+  const auto t_compile = std::chrono::steady_clock::now();
   bool model_hit = false;
   const std::shared_ptr<const CompiledModel> cm = model_for(req, model_hit);
+  rec.compile_us = us_since(t_compile);
+  rec.model_cache = model_hit ? "hit" : "miss";
 
   PipelineOptions popt;
   popt.verify_easy = req.verify_easy;
@@ -403,34 +511,32 @@ std::string ServeServer::run_request(
   popt.simd_width = req.simd_width;
   popt.dominance = req.dominance;
   popt.compiled = &cm->compiled;
-
-  // Per-session registry, exactly like `fsct test --metrics`: observation
-  // never changes results (the null-sink rule), and each session's counters
-  // stay its own even with concurrent workers.
-  ObsRegistry reg;
   popt.obs = &reg;
-  reg.set_context(req.id.empty() ? std::string("request") : req.id);
   std::unique_ptr<ObsMonitor> monitor;
   if (req.progress && progress_sink) {
     const std::string id = req.id;
+    const std::uint64_t rid = rec.request_id;
     const auto sink = *progress_sink;
-    reg.progress = [id, sink](const std::string& line) {
-      sink(progress_event(id, line));
+    reg.progress = [id, rid, sink](const std::string& line) {
+      sink(progress_event(id, rid, line));
     };
     ObsMonitor::Options mopt;
     mopt.heartbeat = true;
     mopt.heartbeat_ms = 250;
     mopt.registry = &reg;
     mopt.sigusr1 = false;  // per-session monitor: no global signal ownership
-    mopt.sink = [id, sink](const std::string& line) {
-      sink(progress_event(id, line));
+    mopt.sink = [id, rid, sink](const std::string& line) {
+      sink(progress_event(id, rid, line));
     };
     monitor = std::make_unique<ObsMonitor>(mopt);
   }
 
+  const auto t_pipeline = std::chrono::steady_clock::now();
   const PipelineResult r = run_fsct_pipeline(*cm->model, cm->faults, popt);
+  rec.pipeline_us = us_since(t_pipeline);
   monitor.reset();  // stop heartbeats before the result line
 
+  const auto t_serialize = std::chrono::steady_clock::now();
   std::ostringstream ms;
   reg.write_run_report(ms, r, nullptr);
   std::string report = ms.str();
@@ -438,14 +544,23 @@ std::string ServeServer::run_request(
   // is invisible to any JSON consumer (and to normalized_report).
   std::replace(report.begin(), report.end(), '\n', ' ');
 
+  // Fold the finished session into the daemon-lifetime registry: /metrics
+  // exposes cumulative pipeline counters across all requests.  Shard
+  // atomics, safe concurrently with scrapes and other workers.
+  daemon_reg_.merge_from(reg);
+
   if (req.use_result_cache) {
     std::lock_guard<std::mutex> lk(cache_m_);
     if (results_.find(result_key) == results_.end()) {
       result_lru_.push_front(result_key);
+      // Cache the *un*stamped report: a replay belongs to a different
+      // request and gets stamped with that request's id.
       results_[result_key] = {report, result_lru_.begin()};
       while (results_.size() > opt_.result_cache_entries) {
         results_.erase(result_lru_.back());
         result_lru_.pop_back();
+        std::lock_guard<std::mutex> slk(stats_m_);
+        ++stats_.result_cache_evictions;
       }
     }
   }
@@ -453,15 +568,33 @@ std::string ServeServer::run_request(
     std::lock_guard<std::mutex> slk(stats_m_);
     ++stats_.ok;
   }
-  return "{\"id\": \"" + json_escape(req.id) +
-         "\", \"event\": \"result\", \"status\": \"ok\", \"model_cache\": \"" +
-         (model_hit ? "hit" : "miss") + "\", \"result_cache\": \"" +
-         result_cache_tag + "\", \"report\": " + report + "}";
+  std::string resp =
+      "{\"id\": \"" + json_escape(req.id) +
+      "\", \"request_id\": " + std::to_string(rec.request_id) +
+      ", \"event\": \"result\", \"status\": \"ok\", \"model_cache\": \"" +
+      rec.model_cache + "\", \"result_cache\": \"" + rec.result_cache +
+      "\", \"report\": " + with_serve_section(std::move(report),
+                                              rec.request_id) +
+      "}";
+  rec.serialize_us = us_since(t_serialize);
+  rec.status = "ok";
+  return resp;
 }
 
 std::string ServeServer::process_line(
     const std::string& line,
     const std::function<void(const std::string&)>* progress_sink) {
+  // Direct (non-socket) callers never waited in the queue.
+  return process_line_timed(line, progress_sink, 0);
+}
+
+std::string ServeServer::process_line_timed(
+    const std::string& line,
+    const std::function<void(const std::string&)>* progress_sink,
+    std::uint64_t queue_us) {
+  RequestRecord rec;
+  rec.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  rec.queue_us = queue_us;
   {
     std::lock_guard<std::mutex> slk(stats_m_);
     ++stats_.requests;
@@ -470,19 +603,234 @@ std::string ServeServer::process_line(
   try {
     req = parse_request(line);
   } catch (const std::exception& e) {
-    std::lock_guard<std::mutex> slk(stats_m_);
-    ++stats_.errors;
-    return error_event("", "bad_request", e.what());
+    {
+      std::lock_guard<std::mutex> slk(stats_m_);
+      ++stats_.errors;
+    }
+    rec.status = "bad_request";
+    record_request(rec);
+    return error_event("", "bad_request", e.what(), rec.request_id);
   }
+  rec.client_id = req.id;
+  rec.circuit_hash = circuit_hash_of(req.circuit);
+  rec.priority = req.priority;
   try {
-    return run_request(req, progress_sink);
+    const std::string resp = run_request(req, progress_sink, rec);
+    record_request(rec);
+    return resp;
   } catch (const std::exception& e) {
     {
       std::lock_guard<std::mutex> slk(stats_m_);
       ++stats_.errors;
     }
-    return error_event(req.id, "bad_request", e.what());
+    rec.status = "bad_request";
+    record_request(rec);
+    return error_event(req.id, "bad_request", e.what(), rec.request_id);
   }
+}
+
+void ServeServer::record_request(const RequestRecord& rec) {
+  {
+    std::lock_guard<std::mutex> slk(stats_m_);
+    const auto observe = [this](LatPhase p, std::uint64_t us) {
+      LatHist& h = lat_[p];
+      ++h.buckets[ObsRegistry::bucket(us)];
+      h.sum += us;
+      ++h.count;
+    };
+    observe(kLatQueue, rec.queue_us);
+    observe(kLatCompile, rec.compile_us);
+    observe(kLatPipeline, rec.pipeline_us);
+    observe(kLatSerialize, rec.serialize_us);
+  }
+  std::string j = "{\"request_id\": " + std::to_string(rec.request_id) +
+                  ", \"id\": \"" + json_escape(rec.client_id) +
+                  "\", \"circuit\": \"" + rec.circuit_hash +
+                  "\", \"priority\": " + std::to_string(rec.priority) +
+                  ", \"model_cache\": \"" + rec.model_cache +
+                  "\", \"result_cache\": \"" + rec.result_cache +
+                  "\", \"status\": \"" + rec.status +
+                  "\", \"queue_us\": " + std::to_string(rec.queue_us) +
+                  ", \"compile_us\": " + std::to_string(rec.compile_us) +
+                  ", \"pipeline_us\": " + std::to_string(rec.pipeline_us) +
+                  ", \"serialize_us\": " + std::to_string(rec.serialize_us) +
+                  "}";
+  std::lock_guard<std::mutex> lk(log_m_);
+  recent_.push_back(std::move(j));
+  while (recent_.size() > ring_cap_) recent_.pop_front();
+  if (request_log_fd_ >= 0) write_line(request_log_fd_, recent_.back());
+}
+
+HttpResponse ServeServer::handle_http(const std::string& path) {
+  const char* text = "text/plain; charset=utf-8";
+  if (path == "/metrics") {
+    std::ostringstream os;
+    write_metrics(os);
+    return {200,
+            "application/openmetrics-text; version=1.0.0; charset=utf-8",
+            os.str()};
+  }
+  if (path == "/healthz") {
+    // Liveness: the scrape plane answering *is* the signal.  Stays 200
+    // through a drain (the process is healthy, just leaving).
+    return {200, text, "ok\n"};
+  }
+  if (path == "/readyz") {
+    // Readiness: a draining daemon must stop receiving new work from a
+    // balancer even though in-flight requests are still finishing.
+    if (draining_.load(std::memory_order_relaxed)) {
+      return {503, text, "draining\n"};
+    }
+    return {200, text, "ok\n"};
+  }
+  if (path == "/statusz") {
+    return {200, "application/json; charset=utf-8", statusz_json()};
+  }
+  return {404, text, "not found\n"};
+}
+
+namespace {
+
+std::string fmt_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", s);
+  return buf;
+}
+
+/// One OpenMetrics histogram family in the exact shape
+/// ObsRegistry::write_openmetrics_body emits (log2 buckets: le="0",
+/// le=2^i-1, tail le="+Inf"; cumulative counts; _sum/_count).
+void emit_hist(std::ostream& os, const char* family,
+               const std::array<std::uint64_t, kHistBuckets>& buckets,
+               std::uint64_t sum) {
+  os << "# TYPE " << family << " histogram\n";
+  std::uint64_t cum = 0;
+  for (std::size_t j = 0; j < kHistBuckets; ++j) {
+    cum += buckets[j];
+    os << family << "_bucket{le=\"";
+    if (j == 0) {
+      os << "0";
+    } else if (j + 1 < kHistBuckets) {
+      os << ((std::uint64_t{1} << j) - 1);
+    } else {
+      os << "+Inf";
+    }
+    os << "\"} " << cum << "\n";
+  }
+  os << family << "_sum " << sum << "\n";
+  os << family << "_count " << cum << "\n";
+}
+
+}  // namespace
+
+void ServeServer::write_metrics(std::ostream& os) {
+  const auto counter = [&os](const char* family, std::uint64_t v) {
+    os << "# TYPE " << family << " counter\n"
+       << family << "_total " << v << "\n";
+  };
+  const auto gauge = [&os](const char* family, const std::string& v) {
+    os << "# TYPE " << family << " gauge\n" << family << " " << v << "\n";
+  };
+
+  gauge("fsct_serve_uptime_seconds",
+        fmt_seconds(static_cast<double>(us_since(start_)) / 1e6));
+  gauge("fsct_serve_draining",
+        draining_.load(std::memory_order_relaxed) ? "1" : "0");
+  gauge("fsct_serve_workers", std::to_string(opt_.workers));
+
+  const ServeStats s = stats();
+  counter("fsct_serve_requests", s.requests);
+  counter("fsct_serve_requests_ok", s.ok);
+  counter("fsct_serve_requests_error", s.errors);
+  counter("fsct_serve_rejected_busy", s.rejected_busy);
+  counter("fsct_serve_rejected_draining", s.rejected_draining);
+  counter("fsct_serve_model_cache_hits", s.model_cache_hits);
+  counter("fsct_serve_model_cache_misses", s.models_compiled);
+  counter("fsct_serve_model_cache_evictions", s.model_evictions);
+  counter("fsct_serve_result_cache_hits", s.result_cache_hits);
+  counter("fsct_serve_result_cache_misses", s.result_cache_misses);
+  counter("fsct_serve_result_cache_evictions", s.result_cache_evictions);
+  gauge("fsct_serve_queue_highwater", std::to_string(s.queue_highwater));
+
+  {
+    std::lock_guard<std::mutex> lk(queue_m_);
+    gauge("fsct_serve_queue_depth", std::to_string(queue_size_));
+  }
+  {
+    std::lock_guard<std::mutex> lk(cache_m_);
+    gauge("fsct_serve_model_cache_bytes", std::to_string(model_bytes_));
+    gauge("fsct_serve_model_cache_entries", std::to_string(models_.size()));
+    gauge("fsct_serve_result_cache_entries", std::to_string(results_.size()));
+  }
+  {
+    std::lock_guard<std::mutex> lk(sessions_m_);
+    gauge("fsct_serve_active_sessions", std::to_string(sessions_.size()));
+  }
+
+  static const char* const kLatFamilies[kLatCount] = {
+      "fsct_serve_latency_queue_us", "fsct_serve_latency_compile_us",
+      "fsct_serve_latency_pipeline_us", "fsct_serve_latency_serialize_us"};
+  std::array<LatHist, kLatCount> lat;
+  {
+    std::lock_guard<std::mutex> lk(stats_m_);
+    lat = lat_;
+  }
+  for (std::size_t i = 0; i < kLatCount; ++i) {
+    emit_hist(os, kLatFamilies[i], lat[i].buckets, lat[i].sum);
+  }
+
+  // The cumulative pipeline counters of every finished session, exactly as
+  // `fsct test --metrics-out` would expose them for one run.
+  daemon_reg_.write_openmetrics_body(os);
+  os << "# EOF\n";
+}
+
+std::string ServeServer::statusz_json() {
+  std::string out = "{\"uptime_seconds\": " +
+                    fmt_seconds(static_cast<double>(us_since(start_)) / 1e6) +
+                    ", \"draining\": " +
+                    (draining_.load(std::memory_order_relaxed) ? "true"
+                                                               : "false");
+  {
+    std::lock_guard<std::mutex> lk(queue_m_);
+    out += ", \"queue_depth\": " + std::to_string(queue_size_);
+  }
+  out += ", \"active_sessions\": [";
+  {
+    std::lock_guard<std::mutex> lk(sessions_m_);
+    bool first = true;
+    for (const auto& [rid, info] : sessions_) {
+      if (!first) out += ", ";
+      first = false;
+      out += "{\"request_id\": " + std::to_string(rid) + ", \"id\": \"" +
+             json_escape(info.client_id) + "\", \"circuit\": \"" +
+             info.circuit_hash + "\", \"elapsed_seconds\": " +
+             fmt_seconds(static_cast<double>(us_since(info.start)) / 1e6);
+      const ObsRegistry::PhaseProgress p =
+          info.reg ? info.reg->phase_progress()
+                   : ObsRegistry::PhaseProgress{};
+      if (p.name) {
+        out += ", \"phase\": \"" + json_escape(p.name) +
+               "\", \"done\": " + std::to_string(p.done) +
+               ", \"total\": " + std::to_string(p.total);
+      } else {
+        out += ", \"phase\": null";
+      }
+      out += "}";
+    }
+  }
+  out += "], \"recent\": [";
+  {
+    std::lock_guard<std::mutex> lk(log_m_);
+    bool first = true;
+    for (const std::string& j : recent_) {
+      if (!first) out += ", ";
+      first = false;
+      out += j;
+    }
+  }
+  out += "]}";
+  return out;
 }
 
 bool ServeServer::enqueue(Job job, int priority) {
@@ -491,6 +839,12 @@ bool ServeServer::enqueue(Job job, int priority) {
     if (queue_size_ >= opt_.queue_limit) return false;
     queue_[priority].push_back(std::move(job));
     ++queue_size_;
+    // High-water update nests stats_m_ inside queue_m_ (the only place the
+    // two are held together; nothing takes them in the other order).
+    std::lock_guard<std::mutex> slk(stats_m_);
+    if (queue_size_ > stats_.queue_highwater) {
+      stats_.queue_highwater = queue_size_;
+    }
   }
   queue_cv_.notify_one();
   return true;
@@ -548,7 +902,8 @@ void ServeServer::reader(std::shared_ptr<Conn> conn, std::uint64_t id) {
                                 "daemon is draining; not accepting requests"));
       continue;
     }
-    if (!enqueue(Job{conn, line}, priority)) {
+    if (!enqueue(Job{conn, line, std::chrono::steady_clock::now()},
+                 priority)) {
       {
         std::lock_guard<std::mutex> slk(stats_m_);
         ++stats_.rejected_busy;
@@ -586,10 +941,11 @@ void ServeServer::reap_finished_readers() {
 void ServeServer::worker() {
   Job job;
   while (dequeue(job)) {
+    const std::uint64_t queue_us = us_since(job.enqueued);
     const std::shared_ptr<Conn> conn = job.conn;
     const std::function<void(const std::string&)> sink =
         [this, conn](const std::string& line) { respond(conn, line); };
-    const std::string resp = process_line(job.line, &sink);
+    const std::string resp = process_line_timed(job.line, &sink, queue_us);
     respond(conn, resp);
   }
 }
@@ -623,12 +979,20 @@ void ServeServer::run() {
   for (int i = 0; i < opt_.workers; ++i) {
     worker_threads_.emplace_back([this] { worker(); });
   }
-  log_line("listening on " +
-           (opt_.unix_path.empty() ? "tcp port " + std::to_string(port_)
-                                   : opt_.unix_path) +
-           " (" + std::to_string(opt_.workers) + " workers, queue " +
-           std::to_string(opt_.queue_limit) + ", cache " +
-           std::to_string(opt_.cache_mb) + " MB)");
+  std::string listening =
+      "listening on " +
+      (opt_.unix_path.empty() ? "tcp port " + std::to_string(port_)
+                              : opt_.unix_path) +
+      " (" + std::to_string(opt_.workers) + " workers, queue " +
+      std::to_string(opt_.queue_limit) + ", cache " +
+      std::to_string(opt_.cache_mb) + " MB)";
+  if (http_) {
+    listening += "; metrics on " +
+                 (opt_.http_unix_path.empty()
+                      ? "http port " + std::to_string(http_->port())
+                      : opt_.http_unix_path);
+  }
+  log_line(listening);
 
   for (;;) {
     pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};

@@ -38,11 +38,23 @@
 // Drain: SIGTERM/SIGINT (or request_stop()) stops accepting, rejects new
 // requests with code "draining", finishes everything queued and in flight,
 // flushes the responses, then joins all threads and returns from run().
+//
+// Observability plane (PR 9): an embedded GET-only HTTP listener
+// (serve/http.h) mounts /metrics (OpenMetrics: daemon fsct_serve_* series +
+// the daemon-lifetime pipeline registry), /healthz, /readyz (draining ⇒ 503)
+// and /statusz (JSON snapshot of in-flight sessions + the recent-request
+// ring).  Every request gets a server-assigned `request_id`, echoed on its
+// progress/result events, stamped into the report's "serve" section (which
+// normalized_report drops — serve metadata stays out of the deterministic
+// slice) and used to key one NDJSON line in the structured request log.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <list>
 #include <map>
@@ -53,6 +65,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/obs.h"
 #include "core/pipeline.h"
 #include "netlist/levelize.h"
 #include "netlist/netlist.h"
@@ -100,18 +113,24 @@ struct CompiledModel {
   std::size_t approx_bytes = 0;  ///< LRU accounting estimate
 };
 
-/// Counters the tests and the drain log read; returned by value as one
-/// consistent snapshot.
+/// Counters the tests, the drain log and the /metrics exposition read;
+/// returned by value as one consistent snapshot.  Every field is written and
+/// read under stats_m_ only (the lock-discipline audit /metrics relies on);
+/// cache sizes/bytes live under cache_m_ and queue depth under queue_m_ —
+/// those are sampled separately by the scrape handler under their own locks.
 struct ServeStats {
   std::uint64_t requests = 0;
   std::uint64_t ok = 0;
   std::uint64_t errors = 0;
   std::uint64_t rejected_busy = 0;
   std::uint64_t rejected_draining = 0;
-  std::uint64_t models_compiled = 0;
+  std::uint64_t models_compiled = 0;  ///< == model-cache misses
   std::uint64_t model_cache_hits = 0;
   std::uint64_t model_evictions = 0;
   std::uint64_t result_cache_hits = 0;
+  std::uint64_t result_cache_misses = 0;
+  std::uint64_t result_cache_evictions = 0;
+  std::uint64_t queue_highwater = 0;  ///< deepest queue ever observed
 };
 
 struct ServeOptions {
@@ -122,10 +141,29 @@ struct ServeOptions {
   std::size_t cache_mb = 256;     ///< compiled-model cache budget
   std::size_t result_cache_entries = 128;
   bool verbose = false;
+  /// Observability HTTP listener (serve/http.h): /metrics, /healthz,
+  /// /readyz, /statusz.  Off unless a unix path or a port (-1 = off,
+  /// 0 = ephemeral) is configured.
+  std::string http_unix_path;
+  int http_port = -1;
+  /// Structured NDJSON request log: one line per request (request_id,
+  /// circuit hash, priority, cache outcomes, phase latencies, status).
+  /// Truncated at daemon start; "" = off.
+  std::string request_log_path;
+  /// Entries kept in the in-memory recent-request ring shown on /statusz;
+  /// clamped to [1, kStatusRingMax] so no flood of tiny requests can grow
+  /// daemon memory through it (same rationale as LineReader's line cap).
+  std::size_t status_ring = 32;
   /// Daemon log sink (one line, no trailing newline); default writes
   /// "[fsct-serve] <line>" to stderr through the EINTR-safe path.
   std::function<void(const std::string&)> log;
 };
+
+/// Hard ceiling for ServeOptions::status_ring.
+inline constexpr std::size_t kStatusRingMax = 256;
+
+class HttpServer;
+struct HttpResponse;
 
 class ServeServer {
  public:
@@ -147,6 +185,10 @@ class ServeServer {
 
   /// Actual TCP port when listening on TCP (resolves tcp_port = 0).
   int port() const { return port_; }
+
+  /// Actual observability HTTP TCP port (resolves http_port = 0); -1 when
+  /// the HTTP plane has no TCP listener.
+  int http_port() const;
 
   ServeStats stats() const;
 
@@ -170,6 +212,40 @@ class ServeServer {
   struct Job {
     std::shared_ptr<Conn> conn;
     std::string line;
+    std::chrono::steady_clock::time_point enqueued;  ///< queue-wait t0
+  };
+
+  /// Per-request observability record, filled along the request path and
+  /// flushed to the latency histograms + request log by process_line_timed.
+  struct RequestRecord {
+    std::uint64_t request_id = 0;
+    std::string client_id;
+    std::string circuit_hash;  ///< fnv1a64 of the circuit text, %016llx
+    int priority = 0;
+    const char* model_cache = "n/a";
+    const char* result_cache = "n/a";
+    const char* status = "error";
+    std::uint64_t queue_us = 0, compile_us = 0, pipeline_us = 0,
+                  serialize_us = 0;
+  };
+
+  /// One latency histogram (µs, ObsRegistry log2 buckets); lat_ is indexed
+  /// by request phase and guarded by stats_m_.
+  struct LatHist {
+    std::array<std::uint64_t, kHistBuckets> buckets{};
+    std::uint64_t sum = 0, count = 0;
+  };
+  enum LatPhase : std::size_t { kLatQueue, kLatCompile, kLatPipeline,
+                                kLatSerialize, kLatCount };
+
+  /// An in-flight screening session as /statusz sees it.  `reg` points at
+  /// the session's stack ObsRegistry for phase/done/total; the entry is
+  /// erased (under sessions_m_) before that registry is destroyed.
+  struct SessionInfo {
+    std::string client_id;
+    std::string circuit_hash;
+    std::chrono::steady_clock::time_point start;
+    const ObsRegistry* reg = nullptr;
   };
 
   void reader(std::shared_ptr<Conn> conn, std::uint64_t id);
@@ -182,8 +258,19 @@ class ServeServer {
                                                  bool& cache_hit);
   std::string run_request(
       const ServeRequest& req,
-      const std::function<void(const std::string&)>* progress_sink);
+      const std::function<void(const std::string&)>* progress_sink,
+      RequestRecord& rec);
+  std::string process_line_timed(
+      const std::string& line,
+      const std::function<void(const std::string&)>* progress_sink,
+      std::uint64_t queue_us);
   void log_line(const std::string& line);
+
+  // --- observability plane -------------------------------------------------
+  HttpResponse handle_http(const std::string& path);
+  void write_metrics(std::ostream& os);
+  std::string statusz_json();
+  void record_request(const RequestRecord& rec);  ///< histograms + log + ring
 
   ServeOptions opt_;
   int listen_fd_ = -1;
@@ -215,6 +302,30 @@ class ServeServer {
 
   mutable std::mutex stats_m_;
   ServeStats stats_;
+  std::array<LatHist, kLatCount> lat_;  ///< guarded by stats_m_
+
+  // --- observability plane -------------------------------------------------
+  std::unique_ptr<HttpServer> http_;  ///< scrape listener; null = off
+  const std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+  std::atomic<std::uint64_t> next_request_id_{1};
+
+  /// Daemon-lifetime pipeline registry: each finished session's ObsRegistry
+  /// is folded in (merge_from), so /metrics exposes cumulative fsct_*
+  /// pipeline counters across all requests.  merge_from / reads are shard
+  /// atomics — no lock.
+  ObsRegistry daemon_reg_;
+
+  /// In-flight sessions for /statusz, keyed by request_id.
+  std::mutex sessions_m_;
+  std::map<std::uint64_t, SessionInfo> sessions_;
+
+  /// Request log fd + recent-request ring (serialized NDJSON objects,
+  /// newest last, capped at ring_cap_), both under log_m_.
+  std::mutex log_m_;
+  int request_log_fd_ = -1;
+  std::size_t ring_cap_ = 32;
+  std::deque<std::string> recent_;
 
   // Live connections and their reader threads.  A reader that sees EOF
   // erases its Conn from conns_ and queues its id on finished_readers_; the

@@ -18,6 +18,9 @@
 
 #include <unistd.h>
 
+#include <array>
+#include <chrono>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -33,6 +36,7 @@
 #include "netlist/levelize.h"
 #include "scan/scan_mode_model.h"
 #include "scan/tpi.h"
+#include "serve/http.h"
 #include "serve/net.h"
 #include "sim/soa_circuit.h"
 
@@ -102,6 +106,21 @@ std::string report_of(const std::string& result_line) {
   if (pos == std::string::npos) return "";
   return result_line.substr(pos + key.size(),
                             result_line.size() - (pos + key.size()) - 1);
+}
+
+// Drops the per-response `"serve"` section (the server-assigned request_id,
+// stamped at send time — see with_serve_section in serve.cpp) so replayed
+// reports can be byte-compared against their cold originals.
+std::string without_serve_section(std::string report) {
+  const std::string key = ", \"serve\": {";
+  const std::size_t pos = report.rfind(key);
+  EXPECT_NE(pos, std::string::npos) << report;
+  if (pos == std::string::npos) return report;
+  const std::size_t end = report.find('}', pos);
+  EXPECT_NE(end, std::string::npos) << report;
+  if (end == std::string::npos) return report;
+  report.erase(pos, end + 1 - pos);
+  return report;
 }
 
 TEST(Serve, NormalizedReportStripsVolatileKeysAndSortsKeys) {
@@ -182,7 +201,14 @@ TEST(Serve, ResultCacheReplaysIdenticalReport) {
   EXPECT_NE(second.find("\"result_cache\": \"hit\""), std::string::npos)
       << second;
   EXPECT_EQ(srv.stats().result_cache_hits, 1u);
-  EXPECT_EQ(report_of(first), report_of(second));
+  // Verbatim replay, apart from the per-response serve stamp: the cache
+  // stores the UN-stamped report and each response gets a fresh request_id.
+  EXPECT_EQ(without_serve_section(report_of(first)),
+            without_serve_section(report_of(second)));
+  EXPECT_NE(first.find("\"serve\": {\"request_id\": 1}"), std::string::npos)
+      << first;
+  EXPECT_NE(second.find("\"serve\": {\"request_id\": 2}"), std::string::npos)
+      << second;
 }
 
 TEST(Serve, MalformedRequestsComeBackAsBadRequestEvents) {
@@ -294,6 +320,275 @@ TEST(Serve, RequestStopDrainsAnIdleServer) {
   std::thread server([&] { srv.run(); });
   srv.request_stop();
   server.join();
+}
+
+// --- observability plane (GET /metrics, /healthz, /readyz, /statusz) --------
+
+// One scrape: fresh loopback connection, full response read, fd closed.
+HttpResult scrape(int port, const std::string& target) {
+  return http_get_fd(connect_tcp(port), target);
+}
+
+// Value of the sample line starting with `sample` + ' ' in an OpenMetrics
+// page (pass the full name including labels for histogram buckets); -1 when
+// the series is absent.
+double metric_value(const std::string& body, const std::string& sample) {
+  std::istringstream is(body);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.size() > sample.size() + 1 &&
+        line.compare(0, sample.size(), sample) == 0 &&
+        line[sample.size()] == ' ') {
+      return std::atof(line.c_str() + sample.size() + 1);
+    }
+  }
+  return -1;
+}
+
+// RAII for the pipeline's test-only phase-sleep failpoint, so a failing
+// assertion can't leak a slow pipeline into every later test.
+struct PhaseSleepGuard {
+  explicit PhaseSleepGuard(const char* spec) {
+    setenv("FSCT_TEST_PHASE_SLEEP", spec, 1);
+  }
+  ~PhaseSleepGuard() { unsetenv("FSCT_TEST_PHASE_SLEEP"); }
+};
+
+TEST(Serve, MetricsEndpointScrapesDuringAndAfterSessions) {
+  // Hold each request in step 3 long enough for a mid-flight scrape.
+  PhaseSleepGuard slow("s3:300");
+  const std::string path = testing::TempDir() + "fsct_serve_metrics.sock";
+  ServeOptions opt;
+  opt.unix_path = path;
+  opt.workers = 2;
+  opt.http_port = 0;  // ephemeral loopback scrape listener
+  opt.log = [](const std::string&) {};
+  ServeServer srv(opt);
+  const int port = srv.http_port();
+  ASSERT_GT(port, 0);
+  std::thread server([&] { srv.run(); });
+
+  auto session = [&](const char* id) {
+    const int fd = connect_unix(path);
+    LineReader lr(fd);
+    ASSERT_TRUE(write_line(fd, request_line(id, kS27, 1, false)));
+    std::string line;
+    while (lr.next(line)) {
+      if (line.find("\"event\": \"result\"") != std::string::npos) break;
+    }
+    close(fd);
+  };
+  std::thread s0(session, "m0"), s1(session, "m1");
+
+  // Scrape while at least one session is live; the accept thread answers
+  // concurrently with both workers, which is exactly what TSan is watching.
+  double during_requests = -1;
+  for (int i = 0; i < 5000 && during_requests < 0; ++i) {
+    const HttpResult m = scrape(port, "/metrics");
+    ASSERT_EQ(m.status, 200);
+    if (metric_value(m.body, "fsct_serve_active_sessions") >= 1) {
+      during_requests = metric_value(m.body, "fsct_serve_requests_total");
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_GE(during_requests, 1);  // the mid-flight scrape happened
+  s0.join();
+  s1.join();
+
+  const HttpResult after = scrape(port, "/metrics");
+  ASSERT_EQ(after.status, 200);
+  // Counters are monotone across scrapes and settle at the exact totals.
+  EXPECT_LE(during_requests, metric_value(after.body, "fsct_serve_requests_total"));
+  EXPECT_EQ(metric_value(after.body, "fsct_serve_requests_total"), 2);
+  EXPECT_EQ(metric_value(after.body, "fsct_serve_requests_ok_total"), 2);
+  EXPECT_EQ(metric_value(after.body, "fsct_serve_active_sessions"), 0);
+  // Queue, cache and latency series are all present; both finished requests
+  // landed in every latency histogram's +Inf bucket.
+  EXPECT_GE(metric_value(after.body, "fsct_serve_queue_depth"), 0);
+  EXPECT_GE(metric_value(after.body, "fsct_serve_queue_highwater"), 0);
+  // Two concurrent first requests for one circuit may both compile (the
+  // model cache's documented race) — but every request resolved one way or
+  // the other, and at least one was a genuine miss.
+  const double m_miss =
+      metric_value(after.body, "fsct_serve_model_cache_misses_total");
+  const double m_hit =
+      metric_value(after.body, "fsct_serve_model_cache_hits_total");
+  EXPECT_GE(m_miss, 1);
+  EXPECT_EQ(m_miss + m_hit, 2);
+  // Both sessions ran with the result cache off: no lookups, no misses.
+  EXPECT_EQ(metric_value(after.body, "fsct_serve_result_cache_misses_total"),
+            0);
+  for (const char* ph : {"queue", "compile", "pipeline", "serialize"}) {
+    const std::string fam = std::string("fsct_serve_latency_") + ph + "_us";
+    EXPECT_EQ(metric_value(after.body, fam + "_bucket{le=\"+Inf\"}"), 2)
+        << fam;
+    EXPECT_EQ(metric_value(after.body, fam + "_count"), 2) << fam;
+  }
+  // Session registries were folded in: pipeline counters appear cumulatively.
+  EXPECT_GT(metric_value(after.body, "fsct_classify_faults_total"), 0);
+  // One page, one terminator.
+  ASSERT_GE(after.body.size(), 6u);
+  EXPECT_EQ(after.body.substr(after.body.size() - 6), "# EOF\n");
+  EXPECT_EQ(after.body.find("# EOF\n"), after.body.size() - 6);
+
+  // The rest of the surface: liveness, readiness, status JSON, 404.
+  EXPECT_EQ(scrape(port, "/healthz").status, 200);
+  EXPECT_EQ(scrape(port, "/readyz").status, 200);
+  const HttpResult st = scrape(port, "/statusz");
+  EXPECT_EQ(st.status, 200);
+  EXPECT_NO_THROW(JsonParser(st.body, "statusz").parse());  // well-formed
+  EXPECT_NE(st.body.find("\"recent\""), std::string::npos) << st.body;
+  EXPECT_EQ(scrape(port, "/nope").status, 404);
+
+  srv.request_stop();
+  server.join();
+}
+
+TEST(Serve, MetricsEndpointReadyzFlipsDuringDrain) {
+  PhaseSleepGuard slow("s3:400");
+  const std::string path = testing::TempDir() + "fsct_serve_drain.sock";
+  ServeOptions opt;
+  opt.unix_path = path;
+  opt.workers = 1;
+  opt.http_port = 0;
+  opt.log = [](const std::string&) {};
+  ServeServer srv(opt);
+  const int port = srv.http_port();
+  ASSERT_GT(port, 0);
+  std::thread server([&] { srv.run(); });
+
+  const int fd = connect_unix(path);
+  ASSERT_TRUE(write_line(fd, request_line("drainer", kS27, 1, false)));
+  // Wait for the worker to pick the request up, then start the drain while
+  // it is still inside the pipeline's slow phase.
+  for (int i = 0; i < 5000 && srv.stats().requests < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(srv.stats().requests, 1u);
+  EXPECT_EQ(scrape(port, "/readyz").status, 200);
+  srv.request_stop();
+
+  // Readiness flips to 503 once run() enters its drain...
+  bool flipped = false;
+  for (int i = 0; i < 5000 && !flipped; ++i) {
+    flipped = scrape(port, "/readyz").status == 503;
+    if (!flipped) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(flipped);
+  // ...liveness stays green, and scraping the draining daemon's full
+  // metrics page and status JSON completes (no deadlock against the drain's
+  // queue/cache/session locks).
+  EXPECT_EQ(scrape(port, "/healthz").status, 200);
+  const HttpResult m = scrape(port, "/metrics");
+  EXPECT_EQ(m.status, 200);
+  EXPECT_EQ(scrape(port, "/statusz").status, 200);
+
+  // The in-flight request still completes and its response is flushed.
+  LineReader lr(fd);
+  std::string line, result;
+  while (lr.next(line)) {
+    if (line.find("\"event\": \"result\"") != std::string::npos) {
+      result = line;
+      break;
+    }
+  }
+  close(fd);
+  EXPECT_NE(result.find("\"status\": \"ok\""), std::string::npos) << result;
+  server.join();
+
+  // The scrape plane outlives run(): after the drain finishes the daemon
+  // still answers, reporting itself drained, until the destructor runs.
+  EXPECT_EQ(scrape(port, "/readyz").status, 503);
+  EXPECT_EQ(metric_value(scrape(port, "/metrics").body, "fsct_serve_draining"),
+            1);
+}
+
+// The HTTP head parser's rejection paths: wrong method, garbage request
+// line, and a peer that closes mid-request-line (the LineReader's strict
+// terminator mode) — none may wedge or kill the accept thread.
+TEST(Serve, HttpListenerRejectsBadRequestsAndSurvivesEarlyClose) {
+  ServeOptions opt = quiet_options();
+  opt.http_port = 0;
+  ServeServer srv(opt);
+  const int port = srv.http_port();
+  ASSERT_GT(port, 0);
+
+  {  // hang up mid-request-line: no response owed, daemon unharmed
+    const int fd = connect_tcp(port);
+    ASSERT_TRUE(write_all(fd, "GET /metr", 9));
+    close(fd);
+  }
+  {  // wrong method
+    const int fd = connect_tcp(port);
+    const std::string req = "POST /metrics HTTP/1.1\r\n\r\n";
+    ASSERT_TRUE(write_all(fd, req.data(), req.size()));
+    std::string raw;
+    char chunk[512];
+    long r;
+    while ((r = read_retry(fd, chunk, sizeof chunk)) > 0) {
+      raw.append(chunk, static_cast<std::size_t>(r));
+    }
+    close(fd);
+    EXPECT_EQ(raw.compare(0, 12, "HTTP/1.1 405"), 0) << raw;
+  }
+  {  // not HTTP at all
+    const int fd = connect_tcp(port);
+    const std::string req = "nonsense\r\n\r\n";
+    ASSERT_TRUE(write_all(fd, req.data(), req.size()));
+    std::string raw;
+    char chunk[512];
+    long r;
+    while ((r = read_retry(fd, chunk, sizeof chunk)) > 0) {
+      raw.append(chunk, static_cast<std::size_t>(r));
+    }
+    close(fd);
+    EXPECT_EQ(raw.compare(0, 12, "HTTP/1.1 400"), 0) << raw;
+  }
+  // The listener is still alive and serving after all three abuses.
+  EXPECT_EQ(scrape(port, "/healthz").status, 200);
+}
+
+// LineReader's two modes at EOF, and its cap/poisoning discipline — the
+// contract the HTTP parser and the NDJSON reader both lean on.
+TEST(Serve, LineReaderStrictModeAndCapPoisonTheStream) {
+  auto feed = [](const std::string& bytes) {
+    int p[2];
+    EXPECT_EQ(pipe(p), 0);
+    EXPECT_TRUE(write_all(p[1], bytes.data(), bytes.size()));
+    close(p[1]);
+    return p[0];  // read end, caller closes
+  };
+
+  {  // lenient (NDJSON) mode: a trailing fragment is still a line
+    const int fd = feed("done\npartial");
+    LineReader lr(fd);
+    std::string line;
+    ASSERT_TRUE(lr.next(line));
+    EXPECT_EQ(line, "done");
+    ASSERT_TRUE(lr.next(line));
+    EXPECT_EQ(line, "partial");
+    EXPECT_FALSE(lr.next(line));
+    close(fd);
+  }
+  {  // strict (HTTP) mode: the unterminated fragment is rejected...
+    const int fd = feed("done\npartial");
+    LineReader lr(fd, LineReader::kMaxLine, /*require_terminator=*/true);
+    std::string line;
+    ASSERT_TRUE(lr.next(line));
+    EXPECT_EQ(line, "done");
+    EXPECT_FALSE(lr.next(line));
+    EXPECT_FALSE(lr.next(line));  // ...and the stream stays dead
+    close(fd);
+  }
+  {  // an unterminated line past the cap poisons the stream
+    const int fd = feed("0123456789");  // 10 bytes, no '\n', cap of 4
+    LineReader lr(fd, /*max_line=*/4);
+    std::string line;
+    EXPECT_FALSE(lr.next(line));
+    EXPECT_FALSE(lr.next(line));
+    close(fd);
+  }
 }
 
 }  // namespace

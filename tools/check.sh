@@ -172,9 +172,11 @@ import json, sys
 doc = json.load(open(sys.argv[1]))
 def strip(o):
     if isinstance(o, dict):
+        # Mirror of normalized_report() in src/serve/serve.cpp: volatile
+        # substrings plus the exact per-response "serve" stamp (request_id).
         return {k: strip(v) for k, v in sorted(o.items())
                 if "seconds" not in k and "time" not in k and "passes" not in k
-                and "cycles" not in k and "rss" not in k}
+                and "cycles" not in k and "rss" not in k and k != "serve"}
     if isinstance(o, list):
         return [strip(v) for v in o]
     return o
@@ -192,10 +194,25 @@ EOF
 
   # Serve smoke: the daemon must serve the same normalized run report as the
   # CLI (the serve determinism contract, DESIGN.md §5j), answer a repeated
-  # request from its result cache, and drain cleanly on SIGTERM.
-  ./build/tools/fsct serve --socket "$OBS_TMP/serve.sock" &
+  # request from its result cache, expose its observability plane (GET
+  # /metrics, /healthz, /readyz, /statusz + the NDJSON request log), and
+  # drain cleanly on SIGTERM.
+  ./build/tools/fsct serve --socket "$OBS_TMP/serve.sock" --http-port 0 \
+    --request-log "$OBS_TMP/requests.ndjson" > "$OBS_TMP/serve.log" &
   SERVE_PID=$!
   for _ in $(seq 50); do [[ -S "$OBS_TMP/serve.sock" ]] && break; sleep 0.1; done
+  HTTP_PORT="$(python3 - "$OBS_TMP/serve.log" <<'EOF'
+import re, sys, time
+for _ in range(50):
+    m = re.search(r"metrics on 127\.0\.0\.1:(\d+)", open(sys.argv[1]).read())
+    if m:
+        print(m.group(1))
+        break
+    time.sleep(0.1)
+else:
+    sys.exit("serve smoke: no metrics port announced in serve.log")
+EOF
+)"
   python3 - "$OBS_TMP" <<'EOF'
 import json, socket, sys
 tmp = sys.argv[1]
@@ -215,16 +232,140 @@ assert r1["status"] == "ok", r1
 r2 = ask("smoke2")
 assert r2["status"] == "ok", r2
 assert r2["result_cache"] == "hit", r2
-assert r1["report"] == r2["report"]
+# The replay is verbatim apart from the per-response serve stamp: each
+# response carries its own server-assigned request_id.
+def unstamped(report):
+    return {k: v for k, v in report.items() if k != "serve"}
+assert unstamped(r1["report"]) == unstamped(r2["report"])
+assert r1["report"]["serve"]["request_id"] != r2["report"]["serve"]["request_id"]
+assert r1["request_id"] == r1["report"]["serve"]["request_id"], r1
 json.dump(r1["report"], open(tmp + "/served.json", "w"))
 s.close()
 EOF
+  # Scrape the live daemon's observability plane and hold the page to the
+  # same OpenMetrics rules as the CLI exposition (plus the histogram
+  # invariants a scraper depends on: cumulative le buckets ending at +Inf).
+  python3 - "$OBS_TMP" "$HTTP_PORT" <<'EOF'
+import http.client, json, re, sys
+tmp, port = sys.argv[1], int(sys.argv[2])
+def get(path):
+    c = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    c.request("GET", path)
+    r = c.getresponse()
+    body = r.read().decode()
+    c.close()
+    return r.status, body
+st, _ = get("/healthz"); assert st == 200, st
+st, _ = get("/readyz"); assert st == 200, st
+st, body = get("/statusz"); assert st == 200, st
+doc = json.loads(body)
+assert len(doc["recent"]) == 2, doc
+assert doc["active_sessions"] == [], doc
+st, body = get("/metrics"); assert st == 200, st
+open(tmp + "/daemon_metrics.prom", "w").write(body)
+assert body.endswith("# EOF\n"), body[-80:]
+for name in ("fsct_serve_uptime_seconds", "fsct_serve_requests_total",
+             "fsct_serve_result_cache_hits_total",
+             "fsct_serve_latency_pipeline_us_bucket",
+             "fsct_classify_faults_total"):
+    assert name in body, name
+hists = {}
+for line in body.splitlines():
+    m = re.match(r'(\w+)_bucket\{le="([^"]+)"\} (\d+)', line)
+    if m:
+        hists.setdefault(m.group(1), []).append((m.group(2), int(m.group(3))))
+assert hists, "no histogram buckets in /metrics"
+for fam, buckets in hists.items():
+    counts = [c for _, c in buckets]
+    assert counts == sorted(counts), (fam, "buckets not cumulative")
+    assert buckets[-1][0] == "+Inf", (fam, "missing +Inf bucket")
+st, _ = get("/nope"); assert st == 404, st
+EOF
+  python3 tools/promtext_lint.py "$OBS_TMP/daemon_metrics.prom"
+  # `fsct stat` renders a one-screen status against the same live daemon.
+  ./build/tools/fsct stat --port "$HTTP_PORT" > "$OBS_TMP/stat.out"
+  grep -q "fsct daemon: up" "$OBS_TMP/stat.out"
+  grep -q "requests 2: 2 ok" "$OBS_TMP/stat.out"
+  grep -q "latency p50/p90/p99" "$OBS_TMP/stat.out"
   kill -TERM "$SERVE_PID"
   wait "$SERVE_PID"
+  # The request log is one well-formed NDJSON record per request, in order,
+  # with the phase latencies and cache outcomes the daemon reported.
+  python3 - "$OBS_TMP/requests.ndjson" <<'EOF'
+import json, sys
+recs = [json.loads(l) for l in open(sys.argv[1])]
+assert [r["request_id"] for r in recs] == [1, 2], recs
+assert recs[0]["result_cache"] == "miss" and recs[1]["result_cache"] == "hit"
+for r in recs:
+    assert r["status"] == "ok", r
+    for k in ("id", "circuit", "priority", "model_cache",
+              "queue_us", "compile_us", "pipeline_us", "serialize_us"):
+        assert k in r, (k, r)
+EOF
   python3 "$OBS_TMP/strip.py" "$OBS_TMP/served.json" "$OBS_TMP/served.norm"
   cmp "$OBS_TMP/served.norm" "$OBS_TMP/metrics_w64.norm"
   echo "check.sh: serve smoke OK (served report identical to CLI," \
-       "result-cache hit, SIGTERM drain)"
+       "result-cache hit, /metrics lint, fsct stat, request log," \
+       "SIGTERM drain)"
+
+  # Observability overhead gate: a daemon carrying the full plane (request
+  # log + a scraper hitting /metrics after every request) must serve inside
+  # the bench harness's noise window (max(rel, 3*MAD, 5ms floor)) of a plain
+  # daemon — the null-sink rule extends to the serve path.
+  cat > "$OBS_TMP/serve_bench.py" <<'EOF'
+import http.client, json, socket, sys, time
+tmp, sock_path, out, label = sys.argv[1:5]
+port = int(sys.argv[5]) if len(sys.argv) > 5 else -1
+bench = open(tmp + "/s27.bench").read()
+s = socket.socket(socket.AF_UNIX)
+s.connect(sock_path)
+f = s.makefile("r")
+walls = []
+for i in range(6):  # 1 warmup + 5 measured
+    t0 = time.monotonic()
+    s.sendall((json.dumps({"id": "%s%d" % (label, i), "circuit": bench,
+                           "use_result_cache": False,
+                           "config": {"jobs": 1}}) + "\n").encode())
+    while True:
+        ev = json.loads(f.readline())
+        if ev.get("event") == "result":
+            break
+    assert ev["status"] == "ok", ev
+    if i:
+        walls.append(time.monotonic() - t0)
+    if port > 0:
+        c = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        c.request("GET", "/metrics")
+        assert c.getresponse().read().endswith(b"# EOF\n")
+        c.close()
+s.close()
+walls.sort()
+doc = {"schema": "fsct-bench-v2",
+       "rows": [{"circuit": "s27",
+                 "phases": [{"name": "serve_request",
+                             "wall": {"median": walls[len(walls) // 2]}}]}]}
+json.dump(doc, open(out, "w"))
+EOF
+  ./build/tools/fsct serve --socket "$OBS_TMP/plain.sock" \
+    > "$OBS_TMP/plain.log" &
+  PLAIN_PID=$!
+  for _ in $(seq 50); do [[ -S "$OBS_TMP/plain.sock" ]] && break; sleep 0.1; done
+  python3 "$OBS_TMP/serve_bench.py" "$OBS_TMP" "$OBS_TMP/plain.sock" \
+    "$OBS_TMP/bench_obs_off.json" plain
+  kill -TERM "$PLAIN_PID"; wait "$PLAIN_PID"
+  ./build/tools/fsct serve --socket "$OBS_TMP/instr.sock" --http-port 0 \
+    --request-log "$OBS_TMP/instr_requests.ndjson" > "$OBS_TMP/instr.log" &
+  INSTR_PID=$!
+  for _ in $(seq 50); do [[ -S "$OBS_TMP/instr.sock" ]] && break; sleep 0.1; done
+  INSTR_PORT="$(sed -n 's/.*metrics on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "$OBS_TMP/instr.log" | head -1)"
+  python3 "$OBS_TMP/serve_bench.py" "$OBS_TMP" "$OBS_TMP/instr.sock" \
+    "$OBS_TMP/bench_obs_on.json" instr "$INSTR_PORT"
+  kill -TERM "$INSTR_PID"; wait "$INSTR_PID"
+  ./build/tools/fsct bench compare "$OBS_TMP/bench_obs_off.json" \
+    "$OBS_TMP/bench_obs_on.json"
+  echo "check.sh: observability overhead gate OK (request log + scraping" \
+       "within noise)"
 fi
 
 cmake -B build-tsan -S . -DFSCT_SANITIZE=thread "$@"

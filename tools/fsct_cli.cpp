@@ -55,15 +55,25 @@
 //       2 on structural mismatch or malformed input.
 //
 //   fsct serve    --socket PATH | --port N [--workers N] [--queue N]
-//                 [--cache-mb N] [-v]
+//                 [--cache-mb N] [--http-port N | --http-socket PATH]
+//                 [--request-log FILE] [-v]
 //       long-running screening daemon: newline-delimited JSON requests over
 //       a Unix-domain or loopback-TCP socket, compiled-circuit and result
 //       caches, bounded priority queue with backpressure, per-session
 //       progress streaming, graceful drain on SIGTERM (see src/serve/).
+//       --http-port/--http-socket mount the observability plane (/metrics,
+//       /healthz, /readyz, /statusz); --request-log appends one NDJSON line
+//       per request (id, circuit hash, cache outcomes, phase latencies).
+//
+//   fsct stat     --socket PATH | --port N | http://127.0.0.1:N
+//       scrape a running daemon's /metrics + /statusz and render a
+//       one-screen status: uptime, queue, caches, latency quantiles,
+//       in-flight sessions.
 //
 // Long runs: every pipeline-running command accepts SIGUSR1 and prints a
 // live status dump (phase progress, worker stats, RSS, counters) without
 // disturbing the run; --progress adds a periodic heartbeat line with ETA.
+#include <array>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -72,6 +82,7 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <map>
 #include <random>
 #include <sstream>
 #include <string>
@@ -84,9 +95,12 @@
 #include "core/profile.h"
 #include "core/selfcheck.h"
 #include "core/test_export.h"
+#include "core/json.h"
 #include "netlist/bench_io.h"
 #include "netlist/stats.h"
 #include "scan/tpi.h"
+#include "serve/http.h"
+#include "serve/net.h"
 #include "serve/serve.h"
 #include "sim/soa_circuit.h"
 
@@ -137,12 +151,15 @@ struct Args {
   std::string oracles = "all";
   bool no_shrink = false;
   std::string corpus;
-  // serve
+  // serve / stat
   std::string serve_socket;  // --socket: Unix-domain socket path
   int serve_port = -1;       // --port: loopback TCP port (0 = ephemeral)
   int workers = 1;           // --workers: concurrent screening sessions
   int queue_limit = 16;      // --queue: queued requests beyond in-flight
   int cache_mb = 256;        // --cache-mb: compiled-model cache budget
+  std::string http_socket;   // --http-socket: observability HTTP unix socket
+  int http_port = -1;        // --http-port: observability HTTP TCP port
+  std::string request_log;   // --request-log: NDJSON request log file
 };
 
 /// Checked integer parse: the whole token must be a number and it must land
@@ -279,6 +296,12 @@ Args parse(int argc, char** argv) {
       a.queue_limit = static_cast<int>(int_operand(s, 1, 100000));
     } else if (s == "--cache-mb") {
       a.cache_mb = static_cast<int>(int_operand(s, 1, 1 << 20));
+    } else if (s == "--http-socket") {
+      a.http_socket = operand(s);
+    } else if (s == "--http-port") {
+      a.http_port = static_cast<int>(int_operand(s, 0, 65535));
+    } else if (s == "--request-log") {
+      a.request_log = operand(s);
     } else if (s == "--no-shrink") {
       a.no_shrink = true;
     } else if (s == "--no-dominance") {
@@ -734,16 +757,27 @@ int cmd_serve(const Args& a) {
   if (!a.serve_socket.empty() && a.serve_port >= 0) {
     throw UsageError("serve: --socket and --port are mutually exclusive");
   }
+  if (!a.http_socket.empty() && a.http_port >= 0) {
+    throw UsageError(
+        "serve: --http-socket and --http-port are mutually exclusive");
+  }
   ServeOptions sopt;
   sopt.unix_path = a.serve_socket;
   sopt.tcp_port = a.serve_port;
   sopt.workers = a.workers;
   sopt.queue_limit = static_cast<std::size_t>(a.queue_limit);
   sopt.cache_mb = static_cast<std::size_t>(a.cache_mb);
+  sopt.http_unix_path = a.http_socket;
+  sopt.http_port = a.http_port;
+  sopt.request_log_path = a.request_log;
   sopt.verbose = true;  // a daemon's lifecycle lines are ops, not chatter
   ServeServer server(sopt);
   if (a.serve_port >= 0) {
     std::printf("fsct serve: listening on 127.0.0.1:%d\n", server.port());
+    std::fflush(stdout);
+  }
+  if (a.http_port >= 0) {
+    std::printf("fsct serve: metrics on 127.0.0.1:%d\n", server.http_port());
     std::fflush(stdout);
   }
   // SIGUSR1 prints the status of whatever request is in flight (the global
@@ -751,6 +785,220 @@ int cmd_serve(const Args& a) {
   install_sigusr1_handler();
   const ObsMonitor monitor;
   server.run();  // returns after the SIGTERM/SIGINT drain completes
+  return 0;
+}
+
+/// One GET against the daemon's observability plane; target resolved from
+/// --socket (HTTP over the unix socket), --port, or a http://127.0.0.1:N
+/// positional URL.  A fresh connection per request (the server closes after
+/// each response).
+HttpResult stat_get(const Args& a, const std::string& target) {
+  int fd;
+  if (!a.serve_socket.empty()) {
+    fd = connect_unix(a.serve_socket);
+  } else if (a.serve_port >= 0) {
+    fd = connect_tcp(a.serve_port);
+  } else {
+    const std::string& url =
+        positional(a, 0, "<--socket PATH | --port N | URL>");
+    const std::string prefix = "http://";
+    if (url.compare(0, prefix.size(), prefix) != 0) {
+      throw UsageError("stat: expected --socket, --port or a http:// URL");
+    }
+    const std::size_t colon = url.rfind(':');
+    const std::string host = url.substr(prefix.size(),
+                                        colon - prefix.size());
+    if (colon == std::string::npos || colon < prefix.size() ||
+        (host != "127.0.0.1" && host != "localhost")) {
+      throw UsageError("stat: only http://127.0.0.1:PORT (or localhost) URLs "
+                       "are supported — the daemon listens on loopback only");
+    }
+    std::string port_str = url.substr(colon + 1);
+    if (const std::size_t slash = port_str.find('/');
+        slash != std::string::npos) {
+      port_str.erase(slash);
+    }
+    fd = connect_tcp(static_cast<int>(
+        parse_int("stat URL port", port_str.c_str(), 1, 65535)));
+  }
+  return http_get_fd(fd, target);
+}
+
+/// Parsed /metrics scrape: plain (label-free) samples by name, histogram
+/// families by their cumulative bucket sequence in exposition order.
+struct MetricsScrape {
+  std::map<std::string, double> flat;
+  std::map<std::string, std::vector<double>> bucket_cum;
+};
+
+MetricsScrape parse_metrics(const std::string& text) {
+  MetricsScrape m;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::string name = line;
+    std::size_t value_at;
+    const std::size_t brace = line.find('{');
+    if (brace != std::string::npos) {
+      name = line.substr(0, brace);
+      const std::size_t close = line.find('}', brace);
+      if (close == std::string::npos) continue;
+      value_at = close + 2;
+    } else {
+      const std::size_t sp = line.find(' ');
+      if (sp == std::string::npos) continue;
+      name = line.substr(0, sp);
+      value_at = sp + 1;
+    }
+    if (value_at >= line.size()) continue;
+    const double v = std::strtod(line.c_str() + value_at, nullptr);
+    const std::string bucket_suffix = "_bucket";
+    if (name.size() > bucket_suffix.size() &&
+        name.compare(name.size() - bucket_suffix.size(), bucket_suffix.size(),
+                     bucket_suffix) == 0) {
+      m.bucket_cum[name.substr(0, name.size() - bucket_suffix.size())]
+          .push_back(v);
+    } else {
+      m.flat[name] = v;
+    }
+  }
+  return m;
+}
+
+/// De-cumulates a scraped bucket sequence back into the log2 bucket array
+/// hist_quantile expects.  Sequences of the wrong length (not an fsct
+/// histogram) come back empty.
+std::array<std::uint64_t, kHistBuckets> decumulate(
+    const std::vector<double>& cum) {
+  std::array<std::uint64_t, kHistBuckets> b{};
+  if (cum.size() != kHistBuckets) return b;
+  double prev = 0;
+  for (std::size_t i = 0; i < kHistBuckets; ++i) {
+    b[i] = static_cast<std::uint64_t>(cum[i] - prev);
+    prev = cum[i];
+  }
+  return b;
+}
+
+int cmd_stat(const Args& a) {
+  const HttpResult metrics = stat_get(a, "/metrics");
+  if (metrics.status != 200) {
+    throw std::runtime_error("stat: /metrics returned HTTP " +
+                             std::to_string(metrics.status));
+  }
+  const HttpResult statusz = stat_get(a, "/statusz");
+  if (statusz.status != 200) {
+    throw std::runtime_error("stat: /statusz returned HTTP " +
+                             std::to_string(statusz.status));
+  }
+  const MetricsScrape m = parse_metrics(metrics.body);
+  const auto flat = [&m](const char* name) -> double {
+    const auto it = m.flat.find(name);
+    return it == m.flat.end() ? 0 : it->second;
+  };
+
+  std::printf("fsct daemon: up %.1fs%s\n",
+              flat("fsct_serve_uptime_seconds"),
+              flat("fsct_serve_draining") != 0 ? "  [DRAINING]" : "");
+  std::printf("  workers %lld | queue %lld (high-water %lld) | "
+              "active sessions %lld\n",
+              static_cast<long long>(flat("fsct_serve_workers")),
+              static_cast<long long>(flat("fsct_serve_queue_depth")),
+              static_cast<long long>(flat("fsct_serve_queue_highwater")),
+              static_cast<long long>(flat("fsct_serve_active_sessions")));
+  std::printf("  requests %lld: %lld ok, %lld error, %lld busy-rejected, "
+              "%lld drain-rejected\n",
+              static_cast<long long>(flat("fsct_serve_requests_total")),
+              static_cast<long long>(flat("fsct_serve_requests_ok_total")),
+              static_cast<long long>(flat("fsct_serve_requests_error_total")),
+              static_cast<long long>(flat("fsct_serve_rejected_busy_total")),
+              static_cast<long long>(
+                  flat("fsct_serve_rejected_draining_total")));
+  std::printf("  model cache: %lld hits / %lld misses / %lld evictions | "
+              "%lld entries, %.1f MB\n",
+              static_cast<long long>(flat("fsct_serve_model_cache_hits_total")),
+              static_cast<long long>(
+                  flat("fsct_serve_model_cache_misses_total")),
+              static_cast<long long>(
+                  flat("fsct_serve_model_cache_evictions_total")),
+              static_cast<long long>(flat("fsct_serve_model_cache_entries")),
+              flat("fsct_serve_model_cache_bytes") / (1024.0 * 1024.0));
+  std::printf("  result cache: %lld hits / %lld misses / %lld evictions | "
+              "%lld entries\n",
+              static_cast<long long>(
+                  flat("fsct_serve_result_cache_hits_total")),
+              static_cast<long long>(
+                  flat("fsct_serve_result_cache_misses_total")),
+              static_cast<long long>(
+                  flat("fsct_serve_result_cache_evictions_total")),
+              static_cast<long long>(flat("fsct_serve_result_cache_entries")));
+
+  std::printf("  latency p50/p90/p99 (ms):\n");
+  const struct { const char* label; const char* family; } kPhases[] = {
+      {"queue-wait", "fsct_serve_latency_queue_us"},
+      {"compile", "fsct_serve_latency_compile_us"},
+      {"pipeline", "fsct_serve_latency_pipeline_us"},
+      {"serialize", "fsct_serve_latency_serialize_us"},
+  };
+  for (const auto& ph : kPhases) {
+    const auto it = m.bucket_cum.find(ph.family);
+    if (it == m.bucket_cum.end()) continue;
+    const auto buckets = decumulate(it->second);
+    const double p50 = hist_quantile(buckets, 0.50);
+    const double p90 = hist_quantile(buckets, 0.90);
+    const double p99 = hist_quantile(buckets, 0.99);
+    if (p50 < 0) {
+      std::printf("    %-10s (no samples)\n", ph.label);
+    } else {
+      std::printf("    %-10s %8.2f / %8.2f / %8.2f\n", ph.label, p50 / 1e3,
+                  p90 / 1e3, p99 / 1e3);
+    }
+  }
+
+  // In-flight sessions from /statusz (phase/done/total come from each
+  // session's live registry).
+  JsonParser p(statusz.body, "/statusz");
+  const JVal v = p.parse();
+  if (const JVal* sessions = v.find("active_sessions");
+      sessions && sessions->kind == JVal::Arr && !sessions->arr.empty()) {
+    std::printf("  in-flight:\n");
+    for (const JVal& s : sessions->arr) {
+      const JVal* rid = s.find("request_id");
+      const JVal* id = s.find("id");
+      const JVal* circuit = s.find("circuit");
+      const JVal* phase = s.find("phase");
+      const JVal* done = s.find("done");
+      const JVal* total = s.find("total");
+      const JVal* elapsed = s.find("elapsed_seconds");
+      std::printf("    #%lld id=%s circuit=%s %.1fs",
+                  rid && rid->kind == JVal::Num
+                      ? static_cast<long long>(rid->num)
+                      : 0LL,
+                  id && id->kind == JVal::Str && !id->str.empty()
+                      ? id->str.c_str()
+                      : "-",
+                  circuit && circuit->kind == JVal::Str
+                      ? circuit->str.c_str()
+                      : "?",
+                  elapsed && elapsed->kind == JVal::Num ? elapsed->num : 0.0);
+      if (phase && phase->kind == JVal::Str) {
+        std::printf("  %s %lld/%lld", phase->str.c_str(),
+                    done && done->kind == JVal::Num
+                        ? static_cast<long long>(done->num)
+                        : 0LL,
+                    total && total->kind == JVal::Num
+                        ? static_cast<long long>(total->num)
+                        : 0LL);
+      }
+      std::printf("\n");
+    }
+  }
+  if (const JVal* recent = v.find("recent");
+      recent && recent->kind == JVal::Arr) {
+    std::printf("  recent requests in ring: %zu (full detail on /statusz)\n",
+                recent->arr.size());
+  }
   return 0;
 }
 
@@ -785,6 +1033,9 @@ void print_usage(std::FILE* f = stdout) {
       "                                          compiled-circuit cache;\n"
       "                                          NDJSON requests, graceful\n"
       "                                          SIGTERM drain\n"
+      "  stat     --socket PATH | --port N | URL scrape a running daemon's\n"
+      "                                          /metrics + /statusz into a\n"
+      "                                          one-screen status\n"
       "\n"
       "options:\n"
       "  --chains N        number of scan chains to insert (default 1)\n"
@@ -842,6 +1093,15 @@ void print_usage(std::FILE* f = stdout) {
       "                    rejected with code \"busy\" (default 16)\n"
       "  --cache-mb N      compiled-model cache budget, LRU-evicted\n"
       "                    (default 256)\n"
+      "  --http-port N     mount the observability HTTP plane on loopback\n"
+      "                    TCP port N (0 = ephemeral): GET /metrics\n"
+      "                    (OpenMetrics), /healthz, /readyz (503 while\n"
+      "                    draining), /statusz (in-flight sessions + recent\n"
+      "                    requests as JSON)\n"
+      "  --http-socket P   same observability plane on a Unix socket at P\n"
+      "  --request-log F   append one NDJSON line per request to F:\n"
+      "                    request_id, circuit hash, priority, cache\n"
+      "                    outcomes, per-phase latencies, status\n"
       "\n"
       "fuzz options:\n"
       "  --seed S          base seed; (seed, offset) fixes every iteration\n"
@@ -887,6 +1147,7 @@ int main(int argc, char** argv) {
     if (cmd == "profile") return cmd_profile(a);
     if (cmd == "bench") return cmd_bench(a);
     if (cmd == "serve") return cmd_serve(a);
+    if (cmd == "stat") return cmd_stat(a);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     print_usage(stderr);
     return 2;
