@@ -737,6 +737,19 @@ void ObsRegistry::merge_from(const ObsRegistry& other) {
   }
 }
 
+void ObsRegistry::import_hist(Hist h, std::span<const std::uint64_t> buckets,
+                              std::uint64_t sum) {
+  Shard& s = shard();
+  const std::size_t hi = static_cast<std::size_t>(h);
+  const std::size_t n = std::min(buckets.size(), kHistBuckets);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (buckets[i]) {
+      s.hists[hi][i].fetch_add(buckets[i], std::memory_order_relaxed);
+    }
+  }
+  if (sum) s.hist_sums[hi].fetch_add(sum, std::memory_order_relaxed);
+}
+
 void ObsRegistry::write_openmetrics(std::ostream& os) const {
   write_openmetrics_body(os);
   os << "# EOF\n";

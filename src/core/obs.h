@@ -33,6 +33,7 @@
 #include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <utility>
@@ -342,6 +343,13 @@ class ObsRegistry {
   /// so /metrics exposes cumulative pipeline counters across all requests.
   /// Gauges are set-once run facts and are deliberately not merged.
   void merge_from(const ObsRegistry& other);
+
+  /// Adds pre-aggregated histogram state (per-bucket counts + sample sum)
+  /// into the calling thread's shard — the import path for shard-worker
+  /// reply deltas and checkpoint restore, where only the serialized totals
+  /// of a foreign registry are available.
+  void import_hist(Hist h, std::span<const std::uint64_t> buckets,
+                   std::uint64_t sum);
 
  private:
   struct alignas(64) Shard {

@@ -217,7 +217,14 @@ void parallel_for(ThreadPool& pool, std::size_t n, std::size_t grain,
 
   std::unique_lock<std::mutex> lk(st->m);
   st->cv.wait(lk, [&] { return st->done_chunks == st->total_chunks; });
-  if (st->err) std::rethrow_exception(st->err);
+  // Take the exception out of the shared state before rethrowing: a helper
+  // closure may still be mid-teardown on a worker thread, and if it drops
+  // the last State reference the stored exception object would be destroyed
+  // there — racing the caller's catch block, which may share storage with
+  // it (COW strings in e.what()). Moving it makes this thread the owner.
+  std::exception_ptr err = std::move(st->err);
+  lk.unlock();
+  if (err) std::rethrow_exception(err);
 }
 
 }  // namespace fsct

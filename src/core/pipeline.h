@@ -29,6 +29,9 @@
 namespace fsct {
 
 class ObsRegistry;
+class PipelineExec;
+struct PipelineHooks;
+struct PipelineResume;
 
 /// Precomputed per-circuit dominance artifacts for run_fsct_pipeline.  All
 /// three are pure functions of (post-TPI netlist, collapsed fault list), so a
@@ -109,6 +112,19 @@ struct PipelineOptions {
   /// fault list.  The caller keeps the struct alive for the duration of the
   /// call.
   const PipelineCompiled* compiled = nullptr;
+
+  /// Execution strategy for the data-parallel phases (core/pipeline_exec.h).
+  /// nullptr = in-process LocalExec on this run's pool (the historical
+  /// behaviour); src/shard substitutes a multi-process coordinator.  Results
+  /// are bitwise identical either way.
+  PipelineExec* exec = nullptr;
+  /// Optional safe-point callback (checkpointing / cooperative stop); see
+  /// PipelineHooks.  nullptr = no safe points taken.
+  const PipelineHooks* hooks = nullptr;
+  /// Optional restored state from a checkpoint: completed phases are skipped
+  /// and the run continues bitwise-identically.  The caller keeps it alive
+  /// for the duration of the call.
+  const PipelineResume* resume = nullptr;
 };
 
 /// One scan-mode test vector of the step-2 set: free-PI values plus the

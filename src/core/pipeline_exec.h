@@ -1,0 +1,218 @@
+// Execution-strategy layer under run_fsct_pipeline.
+//
+// The pipeline keeps ONE serial skeleton (the control flow that defines the
+// bitwise contract: phase order, merge order, counter charging) and delegates
+// its data-parallel, per-fault/per-group phases to a PipelineExec:
+//
+//   LocalExec          — runs them on the in-process thread pool (the
+//                        historical behaviour; the default),
+//   src/shard          — a coordinator that partitions the same calls across
+//                        forked worker processes and merges the replies.
+//
+// Both strategies produce bitwise-identical PipelineResults because every
+// per-item computation the interface exposes is a pure function of
+// (model, options, item) and every merge the skeleton performs walks items
+// in canonical (fault / group / final-slot) order — the same argument that
+// already makes `--jobs N` deterministic (DESIGN.md §5c).
+//
+// The skeleton also exposes checkpoint/resume seams (PipelineHooks /
+// PipelineResume): safe points fire at phase boundaries, after every PODEM
+// target, and after every completed step-3 group/final item, carrying a
+// consistent read-only view of the partial state.  Resume restores that
+// state and skips the completed work.  Hooks are only honoured when the
+// active exec invokes its ItemDone callbacks on the skeleton thread (the
+// sharded coordinator does; LocalExec runs items on pool threads and never
+// calls them).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace fsct {
+
+class ObsRegistry;
+class ThreadPool;
+
+/// Outcome of one step-3 group model: faults its verified sequences detect
+/// (in in-group target order, aligned with `seqs`), faults credited by the
+/// group-local ride-along ledger, and in-model detections whose realised
+/// test failed end-to-end verification.
+struct GroupOutcome {
+  std::vector<std::size_t> detected;
+  std::vector<TestSequence> seqs;
+  std::vector<std::size_t> credited;
+  std::size_t unverified = 0;
+};
+
+/// Verdict of one final-pass individual model (verification included: a
+/// Detected here has already survived its pair replay when verify_seq is on).
+enum class FinalVerdict : std::uint8_t {
+  Detected,
+  Unverified,
+  Untestable,
+  Aborted,
+  NoSites,
+};
+
+struct FinalOutcome {
+  FinalVerdict verdict = FinalVerdict::NoSites;
+  TestSequence seq;  ///< realised sequence when Detected, else empty
+};
+
+/// Phases of the skeleton, in execution order.  A PipelineResume names the
+/// first phase that still has to run; everything before it is restored from
+/// the partial result.
+enum class PipelinePhase : std::uint8_t {
+  Classify = 0,
+  Step1,        ///< alternating-flush verification of f_easy
+  FlushCredit,  ///< dominance flush-credit pre-pass over f_hard
+  S2Podem,      ///< warm-up + combinational PODEM loop (vector generation)
+  S2Verify,     ///< sequential verification of the step-2 vector set
+  S3Groups,     ///< grouped sequential ATPG
+  S3Ledger,     ///< cross-group detection-ledger pass
+  S3Final,      ///< final individual models
+  Done,
+};
+
+/// Stable name for checkpoints and diagnostics ("classify", "s3.groups", ...).
+const char* pipeline_phase_name(PipelinePhase p);
+/// Reverse lookup; false on unknown names.
+bool pipeline_phase_from_name(const std::string& name, PipelinePhase* out);
+
+/// Read-only view of the skeleton's partial state at a safe point.  Pointers
+/// reference live skeleton storage and are only valid during the callback.
+/// `groups`/`finals` sections are non-null only while their phase runs.
+struct PipelineProgress {
+  PipelinePhase next = PipelinePhase::Classify;  ///< first incomplete phase
+  const PipelineResult* res = nullptr;
+  const std::vector<char>* comb_covered = nullptr;  ///< PPSFP-screened flags
+  std::size_t podem_next = 0;  ///< PODEM targets fully processed (S2Podem)
+  const std::vector<GroupOutcome>* groups = nullptr;  ///< aligned with masks
+  const std::vector<char>* groups_done = nullptr;
+  const std::vector<FinalOutcome>* finals = nullptr;
+  const std::vector<char>* finals_done = nullptr;
+  const std::vector<std::size_t>* final_ids = nullptr;  ///< fault id per slot
+};
+
+struct PipelineHooks {
+  /// Called at every safe point.  Return false to stop: the skeleton throws
+  /// PipelineStopped immediately after (partial state stays consistent with
+  /// the last callback view, so a checkpoint taken inside the callback can
+  /// be resumed).
+  std::function<bool(const PipelineProgress&)> safe_point;
+};
+
+/// Raised by the skeleton when a safe-point callback returns false.
+struct PipelineStopped : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// State restored at the start of a resumed run.  `partial` carries every
+/// PipelineResult field the completed phases produced (outcomes, info,
+/// vectors, curve, sequences, scalar tallies); the maps carry finished
+/// step-3 items of a partially completed phase.  All recomputable artifacts
+/// (dominance tables, groups, target order) are pure functions of the
+/// restored state and are rebuilt, so a resume at any shard/job count
+/// continues bitwise-identically.
+struct PipelineResume {
+  PipelinePhase phase = PipelinePhase::Classify;
+  PipelineResult partial;
+  std::vector<char> comb_covered;
+  std::size_t podem_next = 0;
+  std::map<std::size_t, GroupOutcome> groups_done;   ///< key: group index
+  std::map<std::size_t, FinalOutcome> finals_done;   ///< key: fault id
+};
+
+/// Strategy interface for the data-parallel phases.  `ids` are indices into
+/// the run's collapsed fault list; outputs align with the input order.
+class PipelineExec {
+ public:
+  /// Per-item completion callback for the step-3 phases, invoked (by execs
+  /// that support it) on the skeleton thread after `done[item]` is final.
+  /// Returning false asks the exec to stop dispatching further items and
+  /// return early with the work completed so far.
+  using ItemDone = std::function<bool(std::size_t)>;
+
+  virtual ~PipelineExec() = default;
+
+  /// Chain-fault classification of faults[ids]; aligned with `ids`.
+  virtual std::vector<ChainFaultInfo> classify(
+      std::span<const std::size_t> ids) = 0;
+
+  /// Simulates `seq` against faults[ids] from the all-X state; returns a
+  /// 0/1 detected flag per id.  Used for the step-1 verification, the
+  /// flush-credit pre-pass and the cross-group ledger pass.
+  virtual std::vector<char> seq_detect(const TestSequence& seq,
+                                       std::span<const std::size_t> ids) = 0;
+
+  /// Step-2 sequential verification: walks `vectors` in order against the
+  /// (shrinking) open set of faults[ids]; returns, per id, the index of the
+  /// first vector whose scan sequence detects it, or -1.  Equivalent to the
+  /// historical per-vector loop because detections are per-fault independent
+  /// and only ever remove faults from the open set.
+  virtual std::vector<int> s2_first_vec(std::span<const ScanVector> vectors,
+                                        std::span<const std::size_t> ids) = 0;
+
+  /// Runs the step-3 group models named by `todo` (indices into `groups`),
+  /// filling `done[gi]` for each.  Entries outside `todo` are left alone
+  /// (resume pre-fills them).
+  virtual void run_groups(const std::vector<AtpgGroup>& groups,
+                          std::span<const std::size_t> todo,
+                          std::vector<GroupOutcome>& done,
+                          const ItemDone& on_done) = 0;
+
+  /// Runs the final-pass individual models for slots `todo` (indices into
+  /// `final_ids`/`windows`/`fdone`), verification included.
+  virtual void run_finals(std::span<const std::size_t> final_ids,
+                          const std::vector<std::vector<ChainWindow>>& windows,
+                          std::span<const std::size_t> todo,
+                          std::vector<FinalOutcome>& fdone,
+                          const ItemDone& on_done) = 0;
+};
+
+/// The in-process executor: every call runs on `pool` with the exact engine
+/// constructions and obs charges the pre-exec pipeline performed inline, so
+/// refactoring the skeleton onto this interface changed no observable
+/// behaviour (pipeline_test / determinism_test / golden_test enforce that).
+class LocalExec : public PipelineExec {
+ public:
+  LocalExec(const ScanModeModel& model, std::span<const Fault> faults,
+            const PipelineOptions& opt, ThreadPool& pool);
+
+  std::vector<ChainFaultInfo> classify(
+      std::span<const std::size_t> ids) override;
+  std::vector<char> seq_detect(const TestSequence& seq,
+                               std::span<const std::size_t> ids) override;
+  std::vector<int> s2_first_vec(std::span<const ScanVector> vectors,
+                                std::span<const std::size_t> ids) override;
+  void run_groups(const std::vector<AtpgGroup>& groups,
+                  std::span<const std::size_t> todo,
+                  std::vector<GroupOutcome>& done,
+                  const ItemDone& on_done) override;
+  void run_finals(std::span<const std::size_t> final_ids,
+                  const std::vector<std::vector<ChainWindow>>& windows,
+                  std::span<const std::size_t> todo,
+                  std::vector<FinalOutcome>& fdone,
+                  const ItemDone& on_done) override;
+
+ private:
+  const ScanModeModel& model_;
+  std::span<const Fault> faults_;
+  const PipelineOptions& opt_;
+  ThreadPool& pool_;
+  ObsRegistry* obs_;
+  std::vector<NodeId> observe_;
+  std::size_t maxlen_;
+};
+
+/// The observation list every sequential simulation of the pipeline uses:
+/// primary outputs plus the scan-out ports (deduped, in that order).
+std::vector<NodeId> pipeline_observe_list(const ScanModeModel& model);
+
+}  // namespace fsct

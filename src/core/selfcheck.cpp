@@ -23,7 +23,9 @@ namespace {
 
 constexpr const char* kOracleNames[kNumOracles] = {
     "packed-sim", "ppsfp-seq", "cat3-scanout", "jobs-identity",
-    "export-replay", "dominance", "simd"};
+    "export-replay", "dominance", "simd", "shard"};
+
+ShardOracleHook g_shard_oracle_hook = nullptr;
 
 /// splitmix64: decorrelates per-iteration / per-oracle seeds so running a
 /// subset of oracles (e.g. during shrinking) draws the same random data as
@@ -274,6 +276,30 @@ std::string oracle_jobs_identity(const ScannedWorld& w,
   return "";
 }
 
+std::string oracle_shard(const ScannedWorld& w, const PipelineResult& serial,
+                         std::mt19937_64 rng) {
+  if (g_shard_oracle_hook == nullptr) {
+    return std::string(kOracleNames[7]) +
+           ": oracle requested but no sharded runner is registered "
+           "(call register_shard_oracle() at startup)";
+  }
+  const int shards = 2 + static_cast<int>(rng() % 3);
+  PipelineResult sharded;
+  try {
+    sharded =
+        g_shard_oracle_hook(*w.model, w.faults, fuzz_pipeline_options(1),
+                            shards);
+  } catch (const std::exception& e) {
+    return std::string(kOracleNames[7]) + ": shards=" +
+           std::to_string(shards) + " threw: " + e.what();
+  }
+  if (std::string d = diff_pipeline_results(serial, sharded); !d.empty()) {
+    return std::string(kOracleNames[7]) + ": 1 process vs shards=" +
+           std::to_string(shards) + ": " + d;
+  }
+  return "";
+}
+
 std::string oracle_export_replay(const ScannedWorld& w,
                                  const PipelineResult& serial,
                                  std::mt19937_64 rng) {
@@ -460,6 +486,10 @@ std::string oracle_simd(const ScannedWorld& w, std::mt19937_64 rng) {
 
 const char* oracle_name(std::size_t index) { return kOracleNames[index]; }
 
+void set_shard_oracle_hook(ShardOracleHook hook) {
+  g_shard_oracle_hook = hook;
+}
+
 unsigned parse_oracle_mask(const std::string& csv) {
   if (csv == "all" || csv.empty()) return kOracleAll;
   unsigned mask = 0;
@@ -593,7 +623,8 @@ std::string selfcheck_circuit(const Netlist& pre_scan,
     count(6);
     if (std::string d = oracle_simd(w, oracle_rng(6)); !d.empty()) return d;
   }
-  if (cfg.oracles & (kOracleJobs | kOracleExport | kOracleDominance)) {
+  if (cfg.oracles &
+      (kOracleJobs | kOracleExport | kOracleDominance | kOracleShard)) {
     const PipelineResult serial =
         run_fsct_pipeline(*w.model, w.faults, fuzz_pipeline_options(1));
     if (cfg.oracles & kOracleJobs) {
@@ -613,6 +644,13 @@ std::string selfcheck_circuit(const Netlist& pre_scan,
     if (cfg.oracles & kOracleDominance) {
       count(5);
       if (std::string d = oracle_dominance(w, serial, oracle_rng(5));
+          !d.empty()) {
+        return d;
+      }
+    }
+    if (cfg.oracles & kOracleShard) {
+      count(7);
+      if (std::string d = oracle_shard(w, serial, oracle_rng(7));
           !d.empty()) {
         return d;
       }

@@ -56,8 +56,10 @@ std::string fmt_num(double d) {
 bool normalized_drop(const std::string& key) {
   // The "serve" section is daemon metadata (request_id) stamped into the
   // report at response time: per-daemon state, not a screening result, so
-  // the served-vs-CLI bitwise identity contract must not see it.
-  return key == "serve" ||
+  // the served-vs-CLI bitwise identity contract must not see it.  "shard"
+  // (process topology + resume provenance) and "pool" (scheduler-dependent
+  // worker stats) are likewise execution-shape metadata, not results.
+  return key == "serve" || key == "shard" || key == "pool" ||
          key.find("seconds") != std::string::npos ||
          key.find("time") != std::string::npos ||
          key.find("passes") != std::string::npos ||
@@ -506,6 +508,14 @@ std::string ServeServer::run_request(
   rec.model_cache = model_hit ? "hit" : "miss";
 
   PipelineOptions popt;
+  // Deterministic work budgets only: the wall-clock ATPG limits are zeroed
+  // so a served report depends on the request alone, never on machine load
+  // (the §5j bitwise determinism contract — on a loaded or sanitized host a
+  // wall budget truncates PODEM at a load-dependent point). The backtrack
+  // limits still bound every call, deterministically.
+  popt.comb_time_limit_ms = 0;
+  popt.seq_time_limit_ms = 0;
+  popt.final_time_limit_ms = 0;
   popt.verify_easy = req.verify_easy;
   popt.jobs = req.jobs;
   popt.simd_width = req.simd_width;

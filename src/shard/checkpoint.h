@@ -1,0 +1,66 @@
+// The `fsct-ckpt-v1` checkpoint file: a resumable snapshot of a pipeline run
+// taken at a safe point (core/pipeline_exec.h).  The format is NDJSON — one
+// JSON object per line — so a truncated file is detected structurally (the
+// `end` sentinel carries the expected line count) and every parse error is
+// anchored "<path>: line N: ..." like the rest of the JSON surfaces.
+//
+// A checkpoint binds to the run that wrote it through `hash`, a digest of the
+// post-TPI netlist, the scan design, the collapsed fault list and every
+// result-affecting pipeline option (shard.h: shard_binding_hash).  Resuming
+// against a different circuit or config is refused up front instead of
+// producing a silently wrong report.
+//
+// Writes are atomic: serialize to `<path>.tmp`, fsync, rename over `<path>`.
+// A crash mid-write leaves either the previous complete checkpoint or a stray
+// temp file — never a half-written checkpoint under the real name.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/pipeline_exec.h"
+
+namespace fsct {
+
+/// Everything a checkpoint stores: the pipeline resume state plus the
+/// observability totals accumulated so far (merged counters, histogram
+/// buckets, per-fault attribution), so a resumed run's report carries the
+/// full-run tallies rather than only the post-resume slice.
+struct CheckpointData {
+  std::uint64_t hash = 0;  ///< shard_binding_hash of the writing run
+  PipelineResume resume;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  struct HistState {
+    std::string name;
+    std::uint64_t sum = 0;
+    std::vector<std::uint64_t> buckets;
+  };
+  std::vector<HistState> hists;
+  struct AttrCell {
+    std::size_t fault = 0;
+    std::string column;
+    std::uint64_t count = 0;
+  };
+  std::vector<AttrCell> attr;
+};
+
+/// Serializes to the NDJSON text (terminating newline included).
+std::string serialize_checkpoint(const CheckpointData& data);
+
+/// Parses checkpoint text.  `name` anchors error messages (usually the file
+/// path).  Throws JsonParseError on malformed lines, truncation (missing or
+/// wrong `end` sentinel), unknown schema, or internally inconsistent state.
+CheckpointData parse_checkpoint(const std::string& text,
+                                const std::string& name);
+
+/// Atomic write: <path>.tmp + fsync + rename.  Throws std::runtime_error on
+/// I/O failure (the temp file is removed best-effort).
+void write_checkpoint_atomic(const std::string& path,
+                             const CheckpointData& data);
+
+/// Reads and parses `path`; throws on I/O or parse failure.
+CheckpointData read_checkpoint(const std::string& path);
+
+}  // namespace fsct

@@ -1,0 +1,700 @@
+// Shard coordinator: forks the workers, partitions the pipeline's
+// data-parallel calls across them, merges replies in canonical order, and
+// owns checkpoint/resume and cooperative-stop signal handling.
+//
+// Determinism argument (DESIGN.md §5l): every request names its work items
+// explicitly (fault ids, a group's fault list in its in-group target order,
+// a final slot), the worker computes each item with the same LocalExec the
+// single-process run uses, and the coordinator merges by item index — never
+// by arrival order.  The streaming step-3 queue hands items to whichever
+// worker frees up first, which changes only *where* an item runs, not what
+// it computes or where its result lands.  Counter/histogram/attribution
+// deltas are commutative sums, so folding them in reply order leaves the
+// merged totals equal to the single-process run's.
+#include "shard/shard.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <functional>
+#include <sstream>
+
+#include "core/io_util.h"
+#include "core/obs.h"
+#include "core/selfcheck.h"
+#include "netlist/bench_io.h"
+#include "serve/net.h"
+#include "serve/serve.h"
+#include "shard/checkpoint.h"
+#include "shard/wire.h"
+
+namespace fsct {
+namespace {
+
+volatile std::sig_atomic_t g_shard_stop = 0;
+
+void shard_stop_handler(int) { g_shard_stop = 1; }
+
+// Installs the cooperative-stop handlers (no SA_RESTART: blocked reads wake
+// with EINTR and the stop flag is honoured at the next safe point) and
+// ignores SIGPIPE so a dead worker surfaces as a write error, not a fatal
+// signal.  Restores everything on scope exit.
+struct SignalGuard {
+  struct sigaction old_term {};
+  struct sigaction old_int {};
+  struct sigaction old_pipe {};
+  bool installed = false;
+
+  explicit SignalGuard(bool catch_signals) {
+    g_shard_stop = 0;
+    struct sigaction ign {};
+    ign.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &ign, &old_pipe);
+    if (catch_signals) {
+      struct sigaction sa {};
+      sa.sa_handler = shard_stop_handler;
+      sigemptyset(&sa.sa_mask);
+      sa.sa_flags = 0;
+      ::sigaction(SIGTERM, &sa, &old_term);
+      ::sigaction(SIGINT, &sa, &old_int);
+      installed = true;
+    }
+  }
+  ~SignalGuard() {
+    if (installed) {
+      ::sigaction(SIGTERM, &old_term, nullptr);
+      ::sigaction(SIGINT, &old_int, nullptr);
+    }
+    ::sigaction(SIGPIPE, &old_pipe, nullptr);
+  }
+};
+
+struct WorkerConn {
+  pid_t pid = -1;
+  int fd = -1;
+  std::unique_ptr<LineReader> reader;
+  bool busy = false;
+  std::size_t item = 0;
+  bool dead = false;
+};
+
+// Reaps a worker that stopped answering and describes what happened to it.
+ShardError dead_worker_error(WorkerConn& w, std::size_t idx) {
+  if (w.fd >= 0) {
+    ::close(w.fd);
+    w.fd = -1;
+  }
+  w.dead = true;
+  w.busy = false;
+  int st = 0;
+  ::waitpid(w.pid, &st, 0);
+  std::ostringstream os;
+  os << "shard worker " << idx << " (pid " << w.pid << ") ";
+  if (WIFSIGNALED(st)) {
+    os << "was killed by signal " << WTERMSIG(st);
+  } else if (WIFEXITED(st)) {
+    os << "exited with status " << WEXITSTATUS(st);
+  } else {
+    os << "died unexpectedly";
+  }
+  os << "; the run was aborted without writing a report (resume from the "
+        "last checkpoint to continue)";
+  return ShardError(os.str());
+}
+
+class ShardExec : public PipelineExec {
+ public:
+  ShardExec(std::vector<WorkerConn>& workers, ObsRegistry* obs)
+      : workers_(workers), obs_(obs) {}
+
+  std::vector<ChainFaultInfo> classify(
+      std::span<const std::size_t> ids) override {
+    std::vector<std::vector<std::size_t>> sub, pos;
+    partition(ids, sub, pos);
+    for (std::size_t s = 0; s < sub.size(); ++s) {
+      if (sub[s].empty()) continue;
+      std::ostringstream os;
+      os << "{\"cmd\":\"classify\",\"ids\":";
+      wire_u64_array(os, sub[s]);
+      os << '}';
+      send_to(s, os.str());
+    }
+    std::vector<ChainFaultInfo> out(ids.size());
+    for (std::size_t s = 0; s < sub.size(); ++s) {
+      if (sub[s].empty()) continue;
+      const JVal v = read_reply(s);
+      wire_import_deltas(v, obs_);
+      const JVal* info = v.find("info");
+      if (!info || info->kind != JVal::Arr ||
+          info->arr.size() != sub[s].size()) {
+        throw protocol_error(s, "classify reply misaligned");
+      }
+      try {
+        for (std::size_t k = 0; k < sub[s].size(); ++k) {
+          out[pos[s][k]] = wire_parse_info(info->arr[k]);
+        }
+      } catch (const std::exception& e) {
+        throw protocol_error(s, e.what());
+      }
+    }
+    return out;
+  }
+
+  std::vector<char> seq_detect(const TestSequence& seq,
+                               std::span<const std::size_t> ids) override {
+    std::vector<std::vector<std::size_t>> sub, pos;
+    partition(ids, sub, pos);
+    std::ostringstream seqjson;
+    wire_seq(seqjson, seq);
+    for (std::size_t s = 0; s < sub.size(); ++s) {
+      if (sub[s].empty()) continue;
+      std::ostringstream os;
+      os << "{\"cmd\":\"seqdet\",\"seq\":" << seqjson.str() << ",\"ids\":";
+      wire_u64_array(os, sub[s]);
+      os << '}';
+      send_to(s, os.str());
+    }
+    std::vector<char> out(ids.size(), 0);
+    for (std::size_t s = 0; s < sub.size(); ++s) {
+      if (sub[s].empty()) continue;
+      const JVal v = read_reply(s);
+      wire_import_deltas(v, obs_);
+      const JVal* det = v.find("det");
+      if (!det || det->kind != JVal::Str ||
+          det->str.size() != sub[s].size()) {
+        throw protocol_error(s, "seqdet reply misaligned");
+      }
+      for (std::size_t k = 0; k < sub[s].size(); ++k) {
+        out[pos[s][k]] = det->str[k] == '1';
+      }
+    }
+    return out;
+  }
+
+  std::vector<int> s2_first_vec(std::span<const ScanVector> vectors,
+                                std::span<const std::size_t> ids) override {
+    std::vector<std::vector<std::size_t>> sub, pos;
+    partition(ids, sub, pos);
+    std::ostringstream vecs;
+    vecs << '[';
+    for (std::size_t i = 0; i < vectors.size(); ++i) {
+      if (i) vecs << ',';
+      vecs << '[';
+      wire_val_string(vecs, vectors[i].pi_vals);
+      vecs << ',';
+      wire_val_string(vecs, vectors[i].ff_state);
+      vecs << ']';
+    }
+    vecs << ']';
+    for (std::size_t s = 0; s < sub.size(); ++s) {
+      if (sub[s].empty()) continue;
+      std::ostringstream os;
+      os << "{\"cmd\":\"s2v\",\"vecs\":" << vecs.str() << ",\"ids\":";
+      wire_u64_array(os, sub[s]);
+      os << '}';
+      send_to(s, os.str());
+    }
+    std::vector<int> out(ids.size(), -1);
+    for (std::size_t s = 0; s < sub.size(); ++s) {
+      if (sub[s].empty()) continue;
+      const JVal v = read_reply(s);
+      wire_import_deltas(v, obs_);
+      const JVal* first = v.find("first");
+      if (!first || first->kind != JVal::Arr ||
+          first->arr.size() != sub[s].size()) {
+        throw protocol_error(s, "s2v reply misaligned");
+      }
+      for (std::size_t k = 0; k < sub[s].size(); ++k) {
+        if (first->arr[k].kind != JVal::Num) {
+          throw protocol_error(s, "s2v reply misaligned");
+        }
+        out[pos[s][k]] = static_cast<int>(first->arr[k].num);
+      }
+    }
+    return out;
+  }
+
+  void run_groups(const std::vector<AtpgGroup>& groups,
+                  std::span<const std::size_t> todo,
+                  std::vector<GroupOutcome>& done,
+                  const ItemDone& on_done) override {
+    stream_items(
+        todo,
+        [&](std::size_t gi) {
+          const AtpgGroup& g = groups[gi];
+          std::ostringstream os;
+          os << "{\"cmd\":\"group\",\"gi\":" << gi << ",\"kind\":" << g.kind
+             << ",\"ids\":";
+          wire_u64_array(os, g.fault_indices);
+          os << ",\"win\":";
+          wire_windows(os, g.window);
+          os << '}';
+          return os.str();
+        },
+        [&](std::size_t gi, std::size_t s, const JVal& v) {
+          const JVal* echo = v.find("gi");
+          if (!echo || echo->kind != JVal::Num ||
+              static_cast<std::size_t>(echo->num) != gi) {
+            throw protocol_error(s, "group reply out of order");
+          }
+          GroupOutcome go;
+          try {
+            const JVal* det = v.find("detected");
+            const JVal* cred = v.find("credited");
+            const JVal* seqs = v.find("seqs");
+            if (!det || !cred || !seqs || seqs->kind != JVal::Arr) {
+              throw std::runtime_error("group reply incomplete");
+            }
+            go.detected = wire_parse_u64s(*det);
+            go.credited = wire_parse_u64s(*cred);
+            go.unverified = 0;
+            if (const JVal* u = v.find("unverified");
+                u && u->kind == JVal::Num) {
+              go.unverified = static_cast<std::size_t>(u->num);
+            }
+            for (const JVal& e : seqs->arr) {
+              go.seqs.push_back(wire_parse_seq(e));
+            }
+            if (go.seqs.size() != go.detected.size()) {
+              throw std::runtime_error("group sequences misaligned");
+            }
+          } catch (const std::exception& e) {
+            throw protocol_error(s, e.what());
+          }
+          done[gi] = std::move(go);
+        },
+        on_done);
+  }
+
+  void run_finals(std::span<const std::size_t> final_ids,
+                  const std::vector<std::vector<ChainWindow>>& windows,
+                  std::span<const std::size_t> todo,
+                  std::vector<FinalOutcome>& fdone,
+                  const ItemDone& on_done) override {
+    stream_items(
+        todo,
+        [&](std::size_t k) {
+          std::ostringstream os;
+          os << "{\"cmd\":\"final\",\"k\":" << k << ",\"id\":" << final_ids[k]
+             << ",\"win\":";
+          wire_windows(os, windows[k]);
+          os << '}';
+          return os.str();
+        },
+        [&](std::size_t k, std::size_t s, const JVal& v) {
+          const JVal* echo = v.find("k");
+          if (!echo || echo->kind != JVal::Num ||
+              static_cast<std::size_t>(echo->num) != k) {
+            throw protocol_error(s, "final reply out of order");
+          }
+          FinalOutcome fo;
+          const JVal* verdict = v.find("verdict");
+          const JVal* seq = v.find("seq");
+          if (!verdict || verdict->kind != JVal::Str || !seq ||
+              !final_verdict_from_name(verdict->str, &fo.verdict)) {
+            throw protocol_error(s, "final reply incomplete");
+          }
+          try {
+            fo.seq = wire_parse_seq(*seq);
+          } catch (const std::exception& e) {
+            throw protocol_error(s, e.what());
+          }
+          fdone[k] = std::move(fo);
+        },
+        on_done);
+  }
+
+ private:
+  // Positional round-robin split of `ids`: shard s gets ids[i] with
+  // i % K == s.  Pure function of (ids, K), so a resumed run repartitions
+  // identically.
+  void partition(std::span<const std::size_t> ids,
+                 std::vector<std::vector<std::size_t>>& sub,
+                 std::vector<std::vector<std::size_t>>& pos) const {
+    const std::size_t K = workers_.size();
+    sub.assign(K, {});
+    pos.assign(K, {});
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      sub[i % K].push_back(ids[i]);
+      pos[i % K].push_back(i);
+    }
+  }
+
+  void send_to(std::size_t s, const std::string& line) {
+    WorkerConn& w = workers_[s];
+    if (w.dead || !write_line(w.fd, line)) throw dead_worker_error(w, s);
+  }
+
+  JVal read_reply(std::size_t s) {
+    WorkerConn& w = workers_[s];
+    std::string line;
+    if (w.dead || !w.reader->next(line)) throw dead_worker_error(w, s);
+    JVal v;
+    try {
+      JsonParser p(line, "shard-reply");
+      v = p.parse();
+    } catch (const JsonParseError& e) {
+      throw protocol_error(s, e.what());
+    }
+    if (v.kind != JVal::Obj) throw protocol_error(s, "reply is not an object");
+    if (const JVal* err = v.find("err")) {
+      std::ostringstream os;
+      os << "shard worker " << s << " failed: "
+         << (err->kind == JVal::Str ? err->str : std::string("unknown error"));
+      throw ShardError(os.str());
+    }
+    return v;
+  }
+
+  ShardError protocol_error(std::size_t s, const std::string& what) const {
+    std::ostringstream os;
+    os << "shard protocol error (worker " << s << "): " << what;
+    return ShardError(os.str());
+  }
+
+  // Streaming one-item-at-a-time work queue for the step-3 phases: each
+  // worker holds at most one outstanding item, the next pending item goes to
+  // whichever worker replies first, and every completed item triggers
+  // on_done on this (skeleton) thread — the hook seam for per-item
+  // checkpoints.  After a stop verdict the in-flight replies are drained for
+  // protocol hygiene but fully discarded (outcome and deltas): importing
+  // them without marking the item done would double-count after a resume.
+  void stream_items(
+      std::span<const std::size_t> todo,
+      const std::function<std::string(std::size_t)>& make_req,
+      const std::function<void(std::size_t, std::size_t, const JVal&)>& merge,
+      const ItemDone& on_done) {
+    std::size_t next = 0;
+    std::size_t outstanding = 0;
+    bool stop = false;
+    auto dispatch = [&](std::size_t s) {
+      WorkerConn& w = workers_[s];
+      const std::size_t item = todo[next++];
+      send_to(s, make_req(item));
+      w.busy = true;
+      w.item = item;
+      ++outstanding;
+    };
+    for (std::size_t s = 0; s < workers_.size() && next < todo.size(); ++s) {
+      dispatch(s);
+    }
+    while (outstanding > 0) {
+      std::vector<pollfd> fds;
+      std::vector<std::size_t> widx;
+      for (std::size_t s = 0; s < workers_.size(); ++s) {
+        if (workers_[s].busy) {
+          fds.push_back({workers_[s].fd, POLLIN, 0});
+          widx.push_back(s);
+        }
+      }
+      const int rc = ::poll(fds.data(), fds.size(), 200);
+      if (rc < 0) {
+        if (errno == EINTR) continue;  // stop flag checked via on_done
+        throw ShardError(std::string("poll failed: ") + std::strerror(errno));
+      }
+      for (std::size_t k = 0; k < fds.size(); ++k) {
+        if (!(fds[k].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+        const std::size_t s = widx[k];
+        WorkerConn& w = workers_[s];
+        const JVal v = read_reply(s);
+        const std::size_t item = w.item;
+        w.busy = false;
+        --outstanding;
+        if (stop) continue;  // drain: discard outcome and deltas
+        wire_import_deltas(v, obs_);
+        merge(item, s, v);
+        if (obs_) obs_->phase_tick();
+        if (on_done && !on_done(item)) {
+          stop = true;
+          continue;
+        }
+        if (next < todo.size()) dispatch(s);
+      }
+    }
+  }
+
+  std::vector<WorkerConn>& workers_;
+  ObsRegistry* obs_;
+};
+
+}  // namespace
+
+std::uint64_t shard_binding_hash(const ScanModeModel& model,
+                                 std::span<const Fault> faults,
+                                 const PipelineOptions& opt) {
+  std::ostringstream os;
+  os << write_bench_string(model.levelizer().netlist());
+  const ScanDesign& d = model.design();
+  os << "|m" << d.scan_mode;
+  for (const auto& [pi, v] : d.pi_constraints) {
+    os << ";p" << pi << ':' << val_char(v);
+  }
+  for (const ScanChain& c : d.chains) {
+    os << ";c" << c.scan_in;
+    for (NodeId ff : c.ffs) os << ',' << ff;
+  }
+  os << '|';
+  for (const Fault& f : faults) {
+    os << 'f' << f.node << '/' << f.pin << '/' << (f.stuck_one ? 1 : 0) << ';';
+  }
+  os << "|o" << opt.auto_dist << ',' << opt.dist.large_dist << ','
+     << opt.dist.med_dist << ',' << opt.dist.dist << ','
+     << opt.comb_backtrack_limit << ',' << opt.seq_backtrack_limit << ','
+     << opt.final_backtrack_limit << ',' << opt.comb_time_limit_ms << ','
+     << opt.seq_time_limit_ms << ',' << opt.final_time_limit_ms << ','
+     << opt.random_patterns << ',' << opt.frame_slack << ',' << opt.frame_cap
+     << ',' << opt.final_extra_frames << ',' << opt.observe_pos << ','
+     << opt.verify_easy << ',' << opt.verify_seq << ',' << opt.dominance
+     << ',' << opt.alternating_cycles << ',' << opt.observe_cycles;
+  return fnv1a64(os.str());
+}
+
+struct ShardRunner::Impl {
+  const ScanModeModel& model;
+  std::span<const Fault> faults;
+  PipelineOptions opt;  // shallow copy; obs/compiled must outlive the runner
+  ShardOptions sopt;
+  std::uint64_t hash = 0;
+  std::vector<WorkerConn> workers;
+  std::unique_ptr<ShardExec> exec;
+
+  Impl(const ScanModeModel& m, std::span<const Fault> f,
+       const PipelineOptions& o, const ShardOptions& s)
+      : model(m), faults(f), opt(o), sopt(s) {}
+
+  ~Impl() {
+    for (WorkerConn& w : workers) {
+      if (w.dead) continue;
+      if (w.fd >= 0) ::close(w.fd);
+      // Workers hold no state to flush; SIGKILL cannot hang on a stuck
+      // child the way a graceful shutdown handshake could.
+      ::kill(w.pid, SIGKILL);
+      int st = 0;
+      ::waitpid(w.pid, &st, 0);
+    }
+  }
+
+  void write_ckpt(const PipelineProgress& pg) const {
+    CheckpointData ck;
+    ck.hash = hash;
+    ck.resume.phase = pg.next;
+    ck.resume.partial = *pg.res;
+    ck.resume.podem_next = pg.podem_next;
+    if (pg.next == PipelinePhase::S2Podem && pg.comb_covered) {
+      ck.resume.comb_covered = *pg.comb_covered;
+    }
+    if (pg.groups && pg.groups_done) {
+      for (std::size_t gi = 0; gi < pg.groups_done->size(); ++gi) {
+        if ((*pg.groups_done)[gi]) {
+          ck.resume.groups_done[gi] = (*pg.groups)[gi];
+        }
+      }
+    }
+    if (pg.finals && pg.finals_done && pg.final_ids) {
+      for (std::size_t k = 0; k < pg.finals_done->size(); ++k) {
+        if ((*pg.finals_done)[k]) {
+          ck.resume.finals_done[(*pg.final_ids)[k]] = (*pg.finals)[k];
+        }
+      }
+    }
+    if (const ObsRegistry* obs = opt.obs) {
+      for (std::size_t i = 0; i < kNumCounters; ++i) {
+        const Ctr c = static_cast<Ctr>(i);
+        if (const std::uint64_t n = obs->total(c)) {
+          ck.counters.emplace_back(counter_name(c), n);
+        }
+      }
+      for (std::size_t i = 0; i < kNumHists; ++i) {
+        const Hist h = static_cast<Hist>(i);
+        const auto buckets = obs->hist_total(h);
+        const std::uint64_t sum = obs->hist_sum(h);
+        bool any = sum != 0;
+        for (std::uint64_t b : buckets) any |= b != 0;
+        if (!any) continue;
+        CheckpointData::HistState hs;
+        hs.name = hist_name(h);
+        hs.sum = sum;
+        hs.buckets.assign(buckets.begin(), buckets.end());
+        ck.hists.push_back(std::move(hs));
+      }
+      if (obs->attribution_enabled()) {
+        for (std::size_t f = 0; f < obs->attribution_faults(); ++f) {
+          for (std::size_t a = 0; a < kNumAttrs; ++a) {
+            const Attr col = static_cast<Attr>(a);
+            if (const std::uint64_t n = obs->attr_total(col, f)) {
+              ck.attr.push_back({f, attr_name(col), n});
+            }
+          }
+        }
+      }
+    }
+    write_checkpoint_atomic(sopt.checkpoint_path, ck);
+  }
+};
+
+ShardRunner::ShardRunner(const ScanModeModel& model,
+                         std::span<const Fault> faults,
+                         const PipelineOptions& opt, const ShardOptions& sopt)
+    : impl_(std::make_unique<Impl>(model, faults, opt, sopt)) {
+  if (sopt.shards < 1 || sopt.shards > 64) {
+    throw ShardError("shard count must be between 1 and 64");
+  }
+  impl_->hash = shard_binding_hash(model, faults, opt);
+  const bool want_obs = opt.obs != nullptr;
+  const bool want_attr = want_obs && opt.obs->attribution_requested();
+  for (int s = 0; s < sopt.shards; ++s) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      throw ShardError(std::string("socketpair failed: ") +
+                       std::strerror(errno));
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      const int e = errno;
+      ::close(sv[0]);
+      ::close(sv[1]);
+      throw ShardError(std::string("fork failed: ") + std::strerror(e));
+    }
+    if (pid == 0) {
+      // Worker: drop the parent-side fds (this and earlier workers'), put
+      // signal dispositions back to the defaults the parent may have
+      // overridden, and serve until the coordinator goes away.
+      ::close(sv[0]);
+      for (const WorkerConn& w : impl_->workers) ::close(w.fd);
+      std::signal(SIGTERM, SIG_DFL);
+      std::signal(SIGINT, SIG_DFL);
+      std::signal(SIGUSR1, SIG_DFL);
+      std::signal(SIGPIPE, SIG_IGN);
+      int rc = 1;
+      try {
+        rc = shard_worker_main(sv[1], model, faults, impl_->opt, want_obs,
+                               want_attr);
+      } catch (...) {
+      }
+      std::_Exit(rc);
+    }
+    ::close(sv[1]);
+    WorkerConn w;
+    w.pid = pid;
+    w.fd = sv[0];
+    w.reader = std::make_unique<LineReader>(sv[0]);
+    impl_->workers.push_back(std::move(w));
+  }
+  impl_->exec = std::make_unique<ShardExec>(impl_->workers, opt.obs);
+}
+
+ShardRunner::~ShardRunner() = default;
+
+std::vector<pid_t> ShardRunner::worker_pids() const {
+  std::vector<pid_t> pids;
+  for (const WorkerConn& w : impl_->workers) {
+    if (!w.dead) pids.push_back(w.pid);
+  }
+  return pids;
+}
+
+PipelineResult ShardRunner::run() {
+  Impl& im = *impl_;
+
+  PipelineResume resume;
+  const PipelineResume* rz = nullptr;
+  if (!im.sopt.resume_path.empty()) {
+    CheckpointData ck = read_checkpoint(im.sopt.resume_path);
+    if (ck.hash != im.hash) {
+      throw ShardError("checkpoint " + im.sopt.resume_path +
+                       " was written by a different circuit or "
+                       "configuration (binding hash mismatch)");
+    }
+    resume = std::move(ck.resume);
+    if (ObsRegistry* obs = im.opt.obs) {
+      // Import the interrupted run's observability totals so the resumed
+      // run's report carries full-run tallies.  Attribution must be sized
+      // before cells can be charged; the pipeline's own init is idempotent.
+      if (obs->attribution_requested()) {
+        obs->init_attribution(im.faults.size());
+      }
+      for (const auto& [name, n] : ck.counters) {
+        Ctr c;
+        if (!counter_from_name(name, &c)) {
+          throw ShardError("checkpoint has unknown counter: " + name);
+        }
+        obs->add(c, n);
+      }
+      for (const CheckpointData::HistState& h : ck.hists) {
+        Hist hh;
+        if (!hist_from_name(h.name, &hh)) {
+          throw ShardError("checkpoint has unknown histogram: " + h.name);
+        }
+        obs->import_hist(hh, h.buckets, h.sum);
+      }
+      for (const CheckpointData::AttrCell& cell : ck.attr) {
+        Attr a;
+        if (!attr_from_name(cell.column, &a)) {
+          throw ShardError("checkpoint has unknown attribution column: " +
+                           cell.column);
+        }
+        obs->charge(a, cell.fault, cell.count);
+      }
+    }
+    rz = &resume;
+  }
+
+  SignalGuard guard(im.sopt.catch_sigterm);
+
+  std::size_t safepoints = 0;
+  bool wrote_any = false;
+  auto last = std::chrono::steady_clock::now();
+  PipelineHooks hooks;
+  hooks.safe_point = [&](const PipelineProgress& pg) -> bool {
+    ++safepoints;
+    const bool stop =
+        g_shard_stop != 0 ||
+        (im.sopt.stop_after_safepoints > 0 &&
+         safepoints >= static_cast<std::size_t>(im.sopt.stop_after_safepoints));
+    if (!im.sopt.checkpoint_path.empty()) {
+      const auto now = std::chrono::steady_clock::now();
+      const bool due =
+          stop || !wrote_any || im.sopt.checkpoint_interval_ms <= 0 ||
+          now - last >=
+              std::chrono::milliseconds(im.sopt.checkpoint_interval_ms);
+      if (due) {
+        im.write_ckpt(pg);
+        last = now;
+        wrote_any = true;
+      }
+    }
+    return !stop;
+  };
+
+  PipelineOptions run_opt = im.opt;
+  run_opt.exec = im.exec.get();
+  run_opt.hooks = &hooks;
+  run_opt.resume = rz;
+  return run_fsct_pipeline(im.model, im.faults, run_opt);
+}
+
+PipelineResult run_sharded_pipeline(const ScanModeModel& model,
+                                    std::span<const Fault> faults,
+                                    const PipelineOptions& opt,
+                                    const ShardOptions& sopt) {
+  ShardRunner runner(model, faults, opt, sopt);
+  return runner.run();
+}
+
+void register_shard_oracle() {
+  set_shard_oracle_hook([](const ScanModeModel& model,
+                           std::span<const Fault> faults,
+                           const PipelineOptions& opt, int shards) {
+    ShardOptions sopt;
+    sopt.shards = shards;
+    return run_sharded_pipeline(model, faults, opt, sopt);
+  });
+}
+
+}  // namespace fsct

@@ -1,0 +1,127 @@
+// Sharded multi-process fault screening (DESIGN.md §5l).
+//
+// A ShardRunner forks K worker processes (plain fork(2): each child inherits
+// the parent's netlist, scan design and fault list read-only — nothing is
+// serialized to start a worker) and runs the normal pipeline skeleton in the
+// parent with a PipelineExec that partitions every data-parallel call across
+// the workers over a socketpair NDJSON protocol (one request line, one reply
+// line, serve-style LineReader framing).  Per-fault partitioning is
+// positional round-robin and the merge walks items in canonical order, so
+// the PipelineResult — and the normalized run report — is bitwise identical
+// to a single-process run at any shard count.
+//
+// The runner also owns checkpoint/resume: at every pipeline safe point it can
+// write an `fsct-ckpt-v1` snapshot (shard/checkpoint.h) guarded by a binding
+// hash of circuit + fault list + result-affecting options, and on resume it
+// restores the partial result and observability totals so the continued run
+// finishes with the full-run report, bitwise identical to an uninterrupted
+// one.
+//
+// Fork safety: construct the ShardRunner BEFORE starting any threads
+// (ObsMonitor, thread pools).  The children never return from the
+// constructor — they run the worker loop and _exit.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/pipeline_exec.h"
+
+namespace fsct {
+
+struct ShardOptions {
+  /// Worker process count (1..64).  1 still forks a single worker, so the
+  /// checkpoint cadence (per group / per final item) is identical at every
+  /// shard count.
+  int shards = 1;
+  /// Checkpoint file; empty = no checkpointing.  Written atomically
+  /// (temp + rename) at safe points.
+  std::string checkpoint_path;
+  /// Minimum milliseconds between periodic checkpoint writes; 0 = write at
+  /// every safe point.  A stop (signal / test hook) always writes one last
+  /// checkpoint regardless of the interval.
+  int checkpoint_interval_ms = 0;
+  /// Resume from this checkpoint; empty = fresh run.  The file's binding
+  /// hash must match this run's circuit + config or the run is refused.
+  std::string resume_path;
+  /// Install SIGTERM/SIGINT handlers for the duration of run(): the signal
+  /// requests a cooperative stop at the next safe point (final checkpoint
+  /// written, PipelineStopped thrown).  Off for library/test use.
+  bool catch_sigterm = false;
+  /// Test hook: stop cooperatively at the Nth safe point (0 = never), as if
+  /// a signal had arrived there.  Drives the resume-from-every-interval
+  /// sweep deterministically.
+  int stop_after_safepoints = 0;
+};
+
+/// Coordinator-side failures: a worker died (the message names the worker,
+/// pid and cause), the wire protocol desynchronized, or a resume was refused.
+struct ShardError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Digest binding a checkpoint to the run that wrote it: post-TPI netlist,
+/// scan design (mode pin, PI constraints, chains), collapsed fault list and
+/// every result-affecting pipeline option.  Deliberately excludes execution
+/// knobs that cannot change the result (jobs, simd_width, shard count,
+/// observability).
+std::uint64_t shard_binding_hash(const ScanModeModel& model,
+                                 std::span<const Fault> faults,
+                                 const PipelineOptions& opt);
+
+class ShardRunner {
+ public:
+  /// Forks the workers.  `model`, `faults` and `opt` must outlive the
+  /// runner; `opt.exec/hooks/resume` are ignored (the runner supplies its
+  /// own).  Throws ShardError on bad shard counts or fork failure.
+  ShardRunner(const ScanModeModel& model, std::span<const Fault> faults,
+              const PipelineOptions& opt, const ShardOptions& sopt);
+  ~ShardRunner();
+
+  ShardRunner(const ShardRunner&) = delete;
+  ShardRunner& operator=(const ShardRunner&) = delete;
+
+  /// Runs the pipeline across the workers (resume handling, checkpoint
+  /// hooks, signal handling included).  Throws PipelineStopped after a
+  /// cooperative stop (the checkpoint is on disk), ShardError on worker
+  /// death or protocol failure.
+  PipelineResult run();
+
+  /// Live worker pids, for crash-injection tests.
+  std::vector<pid_t> worker_pids() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Convenience one-shot: fork, run, reap.
+PipelineResult run_sharded_pipeline(const ScanModeModel& model,
+                                    std::span<const Fault> faults,
+                                    const PipelineOptions& opt,
+                                    const ShardOptions& sopt);
+
+/// Registers the sharded runner as the selfcheck fuzzer's `shard` oracle
+/// (single-process vs --shards N equivalence).  Call once at startup from
+/// binaries that link this library; the fuzzer reports a loud error if the
+/// oracle is requested but never registered.
+void register_shard_oracle();
+
+/// Worker-process entry point (shard.cpp forks, worker.cpp serves).  Speaks
+/// the NDJSON command protocol on `fd` until EOF or an `exit` command.
+/// `want_obs`/`want_attr` mirror the parent's observability configuration:
+/// when set, every reply carries counter/histogram/attribution deltas from a
+/// per-command registry.  Returns the process exit status.
+int shard_worker_main(int fd, const ScanModeModel& model,
+                      std::span<const Fault> faults,
+                      const PipelineOptions& opt, bool want_obs,
+                      bool want_attr);
+
+}  // namespace fsct

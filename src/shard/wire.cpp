@@ -1,0 +1,268 @@
+#include "shard/wire.h"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fsct {
+
+void wire_val_string(std::ostream& os, const std::vector<Val>& vals) {
+  os << '"';
+  for (Val v : vals) os << val_char(v);
+  os << '"';
+}
+
+void wire_seq(std::ostream& os, const TestSequence& seq) {
+  os << '[';
+  for (std::size_t c = 0; c < seq.size(); ++c) {
+    if (c) os << ',';
+    wire_val_string(os, seq[c]);
+  }
+  os << ']';
+}
+
+void wire_u64_array(std::ostream& os, const std::vector<std::size_t>& v) {
+  os << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) os << (i ? "," : "") << v[i];
+  os << ']';
+}
+
+void wire_windows(std::ostream& os, const std::vector<ChainWindow>& win) {
+  os << '[';
+  for (std::size_t i = 0; i < win.size(); ++i) {
+    os << (i ? "," : "") << '[' << win[i].chain << ',' << win[i].min_seg << ','
+       << win[i].max_seg << ']';
+  }
+  os << ']';
+}
+
+void wire_info(std::ostream& os, const ChainFaultInfo& ci) {
+  os << '[' << static_cast<int>(ci.category) << ','
+     << (ci.multi_chain ? 1 : 0) << ",[";
+  for (std::size_t k = 0; k < ci.locations.size(); ++k) {
+    os << (k ? "," : "") << ci.locations[k].chain << ','
+       << ci.locations[k].segment;
+  }
+  os << "]]";
+}
+
+void wire_append_deltas(std::ostream& os, const ObsRegistry& reg) {
+  os << ",\"c\":{";
+  bool first = true;
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    const Ctr c = static_cast<Ctr>(i);
+    if (const std::uint64_t n = reg.total(c)) {
+      os << (first ? "" : ",") << '"' << counter_name(c) << "\":" << n;
+      first = false;
+    }
+  }
+  os << "},\"h\":{";
+  first = true;
+  for (std::size_t i = 0; i < kNumHists; ++i) {
+    const Hist h = static_cast<Hist>(i);
+    const auto buckets = reg.hist_total(h);
+    const std::uint64_t sum = reg.hist_sum(h);
+    bool any = sum != 0;
+    for (std::uint64_t b : buckets) any |= b != 0;
+    if (!any) continue;
+    os << (first ? "" : ",") << '"' << hist_name(h) << "\":{\"sum\":" << sum
+       << ",\"buckets\":[";
+    for (std::size_t k = 0; k < buckets.size(); ++k) {
+      os << (k ? "," : "") << buckets[k];
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "},\"a\":[";
+  first = true;
+  if (reg.attribution_enabled()) {
+    for (std::size_t f = 0; f < reg.attribution_faults(); ++f) {
+      for (std::size_t a = 0; a < kNumAttrs; ++a) {
+        const Attr col = static_cast<Attr>(a);
+        if (const std::uint64_t n = reg.attr_total(col, f)) {
+          os << (first ? "" : ",") << '[' << f << ",\"" << attr_name(col)
+             << "\"," << n << ']';
+          first = false;
+        }
+      }
+    }
+  }
+  os << ']';
+}
+
+std::vector<Val> wire_vals(const std::string& s) {
+  std::vector<Val> out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '0') out.push_back(Val::Zero);
+    else if (c == '1') out.push_back(Val::One);
+    else if (c == 'x' || c == 'X') out.push_back(Val::X);
+    else throw std::runtime_error("bad value character on wire");
+  }
+  return out;
+}
+
+TestSequence wire_parse_seq(const JVal& v) {
+  if (v.kind != JVal::Arr) throw std::runtime_error("sequence is not an array");
+  TestSequence seq;
+  seq.reserve(v.arr.size());
+  for (const JVal& cyc : v.arr) {
+    if (cyc.kind != JVal::Str) throw std::runtime_error("cycle is not a string");
+    seq.push_back(wire_vals(cyc.str));
+  }
+  return seq;
+}
+
+std::vector<std::size_t> wire_parse_u64s(const JVal& v) {
+  if (v.kind != JVal::Arr) throw std::runtime_error("expected number array");
+  std::vector<std::size_t> out;
+  out.reserve(v.arr.size());
+  for (const JVal& e : v.arr) {
+    if (e.kind != JVal::Num || e.num < 0) {
+      throw std::runtime_error("expected non-negative number");
+    }
+    out.push_back(static_cast<std::size_t>(e.num));
+  }
+  return out;
+}
+
+std::vector<ChainWindow> wire_parse_windows(const JVal& v) {
+  if (v.kind != JVal::Arr) throw std::runtime_error("windows is not an array");
+  std::vector<ChainWindow> out;
+  out.reserve(v.arr.size());
+  for (const JVal& e : v.arr) {
+    if (e.kind != JVal::Arr || e.arr.size() != 3 ||
+        e.arr[0].kind != JVal::Num || e.arr[1].kind != JVal::Num ||
+        e.arr[2].kind != JVal::Num) {
+      throw std::runtime_error("malformed chain window");
+    }
+    ChainWindow w;
+    w.chain = static_cast<int>(e.arr[0].num);
+    w.min_seg = static_cast<int>(e.arr[1].num);
+    w.max_seg = static_cast<int>(e.arr[2].num);
+    out.push_back(w);
+  }
+  return out;
+}
+
+ChainFaultInfo wire_parse_info(const JVal& v) {
+  if (v.kind != JVal::Arr || v.arr.size() != 3 || v.arr[0].kind != JVal::Num ||
+      v.arr[1].kind != JVal::Num || v.arr[2].kind != JVal::Arr) {
+    throw std::runtime_error("malformed fault info");
+  }
+  ChainFaultInfo ci;
+  const double cat = v.arr[0].num;
+  if (cat < 0 || cat > 2) throw std::runtime_error("bad fault category");
+  ci.category = static_cast<ChainFaultCategory>(static_cast<int>(cat));
+  ci.multi_chain = v.arr[1].num != 0;
+  const std::vector<std::size_t> flat = wire_parse_u64s(v.arr[2]);
+  if (flat.size() % 2) throw std::runtime_error("odd location list");
+  for (std::size_t k = 0; k + 1 < flat.size(); k += 2) {
+    ci.locations.push_back(ChainLocation{static_cast<int>(flat[k]),
+                                         static_cast<int>(flat[k + 1])});
+  }
+  return ci;
+}
+
+void wire_import_deltas(const JVal& reply, ObsRegistry* obs) {
+  if (!obs) return;
+  if (const JVal* c = reply.find("c")) {
+    if (c->kind != JVal::Obj) throw std::runtime_error("malformed counter deltas");
+    for (const auto& [key, v] : c->obj) {
+      Ctr ctr;
+      if (!counter_from_name(key, &ctr)) {
+        throw std::runtime_error("unknown counter in worker reply: " + key);
+      }
+      if (v.kind != JVal::Num || v.num < 0) {
+        throw std::runtime_error("malformed counter delta: " + key);
+      }
+      obs->add(ctr, static_cast<std::uint64_t>(v.num));
+    }
+  }
+  if (const JVal* h = reply.find("h")) {
+    if (h->kind != JVal::Obj) throw std::runtime_error("malformed hist deltas");
+    for (const auto& [key, v] : h->obj) {
+      Hist hist;
+      if (!hist_from_name(key, &hist)) {
+        throw std::runtime_error("unknown histogram in worker reply: " + key);
+      }
+      const JVal* sum = v.find("sum");
+      const JVal* buckets = v.find("buckets");
+      if (v.kind != JVal::Obj || !sum || sum->kind != JVal::Num || !buckets) {
+        throw std::runtime_error("malformed histogram delta: " + key);
+      }
+      std::vector<std::uint64_t> b;
+      for (std::size_t n : wire_parse_u64s(*buckets)) b.push_back(n);
+      obs->import_hist(hist, b, static_cast<std::uint64_t>(sum->num));
+    }
+  }
+  if (const JVal* a = reply.find("a")) {
+    if (a->kind != JVal::Arr) throw std::runtime_error("malformed attr deltas");
+    for (const JVal& cell : a->arr) {
+      if (cell.kind != JVal::Arr || cell.arr.size() != 3 ||
+          cell.arr[0].kind != JVal::Num || cell.arr[1].kind != JVal::Str ||
+          cell.arr[2].kind != JVal::Num) {
+        throw std::runtime_error("malformed attribution cell");
+      }
+      Attr col;
+      if (!attr_from_name(cell.arr[1].str, &col)) {
+        throw std::runtime_error("unknown attribution column: " +
+                                 cell.arr[1].str);
+      }
+      obs->charge(col, static_cast<std::size_t>(cell.arr[0].num),
+                  static_cast<std::uint64_t>(cell.arr[2].num));
+    }
+  }
+}
+
+namespace {
+constexpr const char* kVerdictNames[] = {
+    "detected", "unverified", "untestable", "aborted", "nosites",
+};
+}  // namespace
+
+const char* final_verdict_name(FinalVerdict v) {
+  return kVerdictNames[static_cast<std::size_t>(v)];
+}
+
+bool final_verdict_from_name(const std::string& name, FinalVerdict* out) {
+  for (std::size_t k = 0; k < std::size(kVerdictNames); ++k) {
+    if (name == kVerdictNames[k]) {
+      *out = static_cast<FinalVerdict>(k);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool counter_from_name(const std::string& name, Ctr* out) {
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    if (name == counter_name(static_cast<Ctr>(i))) {
+      *out = static_cast<Ctr>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool hist_from_name(const std::string& name, Hist* out) {
+  for (std::size_t i = 0; i < kNumHists; ++i) {
+    if (name == hist_name(static_cast<Hist>(i))) {
+      *out = static_cast<Hist>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool attr_from_name(const std::string& name, Attr* out) {
+  for (std::size_t i = 0; i < kNumAttrs; ++i) {
+    if (name == attr_name(static_cast<Attr>(i))) {
+      *out = static_cast<Attr>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace fsct

@@ -1,0 +1,58 @@
+// Wire helpers for the shard NDJSON protocol (internal to src/shard).
+//
+// One request line, one reply line, both single JSON objects.  Test
+// sequences travel as arrays of per-cycle value strings ('0'/'1'/'X'),
+// fault-id lists as number arrays, chain windows as [chain, min_seg,
+// max_seg] triples.  Every worker reply additionally carries the command's
+// observability deltas — counters ("c"), histograms ("h") and per-fault
+// attribution cells ("a") — collected in a fresh per-command registry, so
+// the coordinator can fold them into the parent registry in reply order and
+// the merged totals match the single-process run exactly (all three are
+// commutative sums).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/grouping.h"
+#include "core/json.h"
+#include "core/obs.h"
+#include "core/pipeline_exec.h"
+#include "fault/seq_fault_sim.h"
+#include "sim/value.h"
+
+namespace fsct {
+
+// Writers (append to an in-progress JSON object body).
+void wire_val_string(std::ostream& os, const std::vector<Val>& vals);
+void wire_seq(std::ostream& os, const TestSequence& seq);
+void wire_u64_array(std::ostream& os, const std::vector<std::size_t>& v);
+void wire_windows(std::ostream& os, const std::vector<ChainWindow>& win);
+/// One classification result as `[category, multi_chain, [chain, seg, ...]]`.
+void wire_info(std::ostream& os, const ChainFaultInfo& ci);
+/// Appends `,"c":{...},"h":{...},"a":[...]` (nonzero entries only).
+void wire_append_deltas(std::ostream& os, const ObsRegistry& reg);
+
+// Readers.  All throw std::runtime_error on malformed values; the caller
+// wraps with protocol context.
+std::vector<Val> wire_vals(const std::string& s);
+TestSequence wire_parse_seq(const JVal& v);
+std::vector<std::size_t> wire_parse_u64s(const JVal& v);
+std::vector<ChainWindow> wire_parse_windows(const JVal& v);
+ChainFaultInfo wire_parse_info(const JVal& v);
+/// Folds a reply's "c"/"h"/"a" members into `obs` (no-op when null).
+void wire_import_deltas(const JVal& reply, ObsRegistry* obs);
+
+// Final-pass verdict names ("detected", "unverified", ...).
+const char* final_verdict_name(FinalVerdict v);
+bool final_verdict_from_name(const std::string& name, FinalVerdict* out);
+
+// Observability name -> enum lookups (names as in core/obs.h kCounterNames
+// et al.); false on unknown names.
+bool counter_from_name(const std::string& name, Ctr* out);
+bool hist_from_name(const std::string& name, Hist* out);
+bool attr_from_name(const std::string& name, Attr* out);
+
+}  // namespace fsct

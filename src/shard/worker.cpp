@@ -1,0 +1,171 @@
+// Shard worker process: serves the coordinator's NDJSON commands over one
+// socketpair until EOF (coordinator gone) or an `exit` command.
+//
+// Every command runs through the same LocalExec the single-process pipeline
+// uses — same engine constructions, same per-item order — over the subset of
+// work named by the request, so each reply is the exact slice of the
+// single-process computation for those items.  A fresh ObsRegistry per
+// command collects the counter/histogram/attribution deltas that slice
+// charged; the reply carries them and the coordinator folds them into the
+// parent registry (all commutative sums), keeping the merged observability
+// totals identical to a single-process run.
+#include <sstream>
+#include <string>
+
+#include "core/io_util.h"
+#include "core/json.h"
+#include "core/obs.h"
+#include "core/parallel.h"
+#include "core/pipeline_exec.h"
+#include "serve/net.h"
+#include "shard/shard.h"
+#include "shard/wire.h"
+
+namespace fsct {
+namespace {
+
+const JVal& need(const JVal& req, const char* key) {
+  const JVal* v = req.find(key);
+  if (!v) throw std::runtime_error(std::string("request missing \"") + key +
+                                   "\"");
+  return *v;
+}
+
+std::size_t need_u64(const JVal& req, const char* key) {
+  const JVal& v = need(req, key);
+  if (v.kind != JVal::Num || v.num < 0) {
+    throw std::runtime_error(std::string("bad \"") + key + "\"");
+  }
+  return static_cast<std::size_t>(v.num);
+}
+
+}  // namespace
+
+int shard_worker_main(int fd, const ScanModeModel& model,
+                      std::span<const Fault> faults,
+                      const PipelineOptions& opt, bool want_obs,
+                      bool want_attr) {
+  ThreadPool pool(opt.jobs);
+  LineReader reader(fd);
+  std::string line;
+  while (reader.next(line)) {
+    std::ostringstream reply;
+    try {
+      JsonParser parser(line, "shard-request");
+      const JVal req = parser.parse();
+      if (req.kind != JVal::Obj) {
+        throw std::runtime_error("request is not an object");
+      }
+      const JVal* cmdv = req.find("cmd");
+      if (!cmdv || cmdv->kind != JVal::Str) {
+        throw std::runtime_error("request has no command");
+      }
+      const std::string cmd = cmdv->str;
+      if (cmd == "exit") {
+        write_line(fd, "{\"bye\":true}");
+        return 0;
+      }
+
+      // Fresh registry per command: the reply's deltas are exactly this
+      // command's charges, nothing carries over between commands.
+      ObsRegistry reg;
+      if (want_obs && want_attr) {
+        reg.request_attribution();
+        reg.init_attribution(faults.size());
+      }
+      PipelineOptions wopt = opt;
+      wopt.obs = want_obs ? &reg : nullptr;
+      wopt.exec = nullptr;
+      wopt.hooks = nullptr;
+      wopt.resume = nullptr;
+      LocalExec exec(model, faults, wopt, pool);
+
+      if (cmd == "classify") {
+        const std::vector<std::size_t> ids = wire_parse_u64s(need(req, "ids"));
+        const std::vector<ChainFaultInfo> info = exec.classify(ids);
+        reply << "{\"info\":[";
+        for (std::size_t i = 0; i < info.size(); ++i) {
+          if (i) reply << ',';
+          wire_info(reply, info[i]);
+        }
+        reply << ']';
+      } else if (cmd == "seqdet") {
+        const TestSequence seq = wire_parse_seq(need(req, "seq"));
+        const std::vector<std::size_t> ids = wire_parse_u64s(need(req, "ids"));
+        const std::vector<char> det = exec.seq_detect(seq, ids);
+        reply << "{\"det\":\"";
+        for (char d : det) reply << (d ? '1' : '0');
+        reply << '"';
+      } else if (cmd == "s2v") {
+        const JVal& vv = need(req, "vecs");
+        if (vv.kind != JVal::Arr) throw std::runtime_error("bad \"vecs\"");
+        std::vector<ScanVector> vectors;
+        vectors.reserve(vv.arr.size());
+        for (const JVal& e : vv.arr) {
+          if (e.kind != JVal::Arr || e.arr.size() != 2 ||
+              e.arr[0].kind != JVal::Str || e.arr[1].kind != JVal::Str) {
+            throw std::runtime_error("malformed scan vector");
+          }
+          ScanVector sv;
+          sv.pi_vals = wire_vals(e.arr[0].str);
+          sv.ff_state = wire_vals(e.arr[1].str);
+          vectors.push_back(std::move(sv));
+        }
+        const std::vector<std::size_t> ids = wire_parse_u64s(need(req, "ids"));
+        const std::vector<int> first = exec.s2_first_vec(vectors, ids);
+        reply << "{\"first\":[";
+        for (std::size_t i = 0; i < first.size(); ++i) {
+          reply << (i ? "," : "") << first[i];
+        }
+        reply << ']';
+      } else if (cmd == "group") {
+        test_phase_sleep("shard.group");
+        const std::size_t gi = need_u64(req, "gi");
+        AtpgGroup g;
+        g.kind = static_cast<int>(need_u64(req, "kind"));
+        g.fault_indices = wire_parse_u64s(need(req, "ids"));
+        g.window = wire_parse_windows(need(req, "win"));
+        const std::vector<AtpgGroup> groups{g};
+        std::vector<GroupOutcome> done(1);
+        const std::size_t todo[1] = {0};
+        exec.run_groups(groups, todo, done, {});
+        reply << "{\"gi\":" << gi << ",\"detected\":";
+        wire_u64_array(reply, done[0].detected);
+        reply << ",\"credited\":";
+        wire_u64_array(reply, done[0].credited);
+        reply << ",\"unverified\":" << done[0].unverified << ",\"seqs\":[";
+        for (std::size_t i = 0; i < done[0].seqs.size(); ++i) {
+          if (i) reply << ',';
+          wire_seq(reply, done[0].seqs[i]);
+        }
+        reply << ']';
+      } else if (cmd == "final") {
+        test_phase_sleep("shard.final");
+        const std::size_t k = need_u64(req, "k");
+        const std::size_t id = need_u64(req, "id");
+        const std::size_t fid[1] = {id};
+        const std::vector<std::vector<ChainWindow>> windows{
+            wire_parse_windows(need(req, "win"))};
+        std::vector<FinalOutcome> fdone(1);
+        const std::size_t todo[1] = {0};
+        exec.run_finals(fid, windows, todo, fdone, {});
+        reply << "{\"k\":" << k << ",\"verdict\":\""
+              << final_verdict_name(fdone[0].verdict) << "\",\"seq\":";
+        wire_seq(reply, fdone[0].seq);
+      } else {
+        throw std::runtime_error("unknown command: " + cmd);
+      }
+
+      if (want_obs) wire_append_deltas(reply, reg);
+      reply << '}';
+      if (!write_line(fd, reply.str())) return 0;  // coordinator hung up
+    } catch (const std::exception& e) {
+      std::ostringstream err;
+      err << "{\"err\":\"" << json_escape(e.what()) << "\"}";
+      if (!write_line(fd, err.str())) return 0;
+    }
+  }
+  return 0;
+}
+
+}  // namespace fsct

@@ -36,7 +36,11 @@ TEST(Selfcheck, S27CleanBothScanStyles) {
     cfg.jobs = 3;
     std::uint64_t ran[kNumOracles] = {};
     EXPECT_EQ(selfcheck_circuit(s27, cfg, &ran), "");
-    for (std::size_t i = 0; i < kNumOracles; ++i) EXPECT_EQ(ran[i], 1u);
+    // Every default (in-process) oracle runs; the fork-based shard oracle
+    // is opt-in by name and must NOT run under `all`.
+    for (std::size_t i = 0; i < kNumOracles; ++i) {
+      EXPECT_EQ(ran[i], (kOracleAll >> i) & 1u) << oracle_name(i);
+    }
   }
 }
 
@@ -134,7 +138,8 @@ TEST(Selfcheck, FuzzSmokeAndDeterminism) {
   EXPECT_TRUE(a.ok()) << (a.failures.empty() ? "" : a.failures[0].diagnostic);
   EXPECT_EQ(a.iterations, 6);
   for (std::size_t i = 0; i < kNumOracles; ++i) {
-    EXPECT_EQ(a.oracle_runs[i], 6u) << oracle_name(i);
+    EXPECT_EQ(a.oracle_runs[i], ((kOracleAll >> i) & 1u) ? 6u : 0u)
+        << oracle_name(i);
   }
   EXPECT_EQ(a.parser_probes, 6u);
 

@@ -77,6 +77,11 @@ std::string cli_reference_report(const std::string& bench, int chains) {
   EXPECT_EQ(model.check(), "");
   const std::vector<Fault> faults = collapsed_fault_list(nl);
   PipelineOptions opt;
+  // Mirror of the daemon's pipeline config: wall budgets off (deterministic
+  // backtrack caps only), so the comparison cannot depend on machine load.
+  opt.comb_time_limit_ms = 0;
+  opt.seq_time_limit_ms = 0;
+  opt.final_time_limit_ms = 0;
   opt.verify_easy = true;
   opt.jobs = 1;
   ObsRegistry reg;

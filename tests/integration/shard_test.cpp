@@ -1,0 +1,509 @@
+// The sharded multi-process screening layer (src/shard, DESIGN.md §5l), held
+// to its three contracts:
+//
+//   determinism   — the normalized run report is byte-identical to a
+//                   single-process run at every shard count × job count, on
+//                   three suite circuits (the matrix tests),
+//   crash safety  — SIGKILLing a worker mid-run is detected promptly and
+//                   reported as a clean ShardError (never a hang, never a
+//                   partial report), and a --resume from the last checkpoint
+//                   completes byte-identically,
+//   checkpoint    — the fsct-ckpt-v1 format round-trips, rejects truncated /
+//                   corrupt / foreign files with line-anchored errors, and a
+//                   run stopped at ANY safe point resumes to the bitwise
+//                   single-process result (the every-interval sweep).
+//
+// The fuzz oracle O8 (`shard`) rides on the same runner; its registration
+// error path is checked first, before any test registers the hook.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/types.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_circuits/generator.h"
+#include "bench_circuits/suite.h"
+#include "core/obs.h"
+#include "core/pipeline.h"
+#include "core/pipeline_exec.h"
+#include "core/selfcheck.h"
+#include "scan/tpi.h"
+#include "serve/serve.h"
+#include "shard/checkpoint.h"
+#include "shard/shard.h"
+
+namespace fsct {
+namespace {
+
+// A compiled circuit whose members never move: the Levelizer and the model
+// hold references into the netlist, so the world lives on the heap.
+struct World {
+  Netlist nl;
+  ScanDesign design;
+  std::unique_ptr<Levelizer> lv;
+  std::unique_ptr<ScanModeModel> model;
+  std::vector<Fault> faults;
+};
+
+std::unique_ptr<World> compile_world(Netlist nl, int chains) {
+  auto w = std::make_unique<World>();
+  w->nl = std::move(nl);
+  TpiOptions topt;
+  topt.num_chains = chains;
+  w->design = run_tpi(w->nl, topt);
+  w->lv = std::make_unique<Levelizer>(w->nl);
+  w->model = std::make_unique<ScanModeModel>(*w->lv, w->design);
+  w->faults = collapsed_fault_list(w->nl);
+  return w;
+}
+
+std::unique_ptr<World> suite_world(const std::string& name) {
+  const SuiteEntry& e = suite_entry(name);
+  return compile_world(build_suite_circuit(e), e.chains);
+}
+
+std::unique_ptr<World> small_world(std::uint64_t seed) {
+  RandomCircuitSpec spec;
+  spec.num_gates = 50;
+  spec.num_ffs = 4;
+  spec.num_pis = 6;
+  spec.num_pos = 4;
+  spec.seed = seed;
+  return compile_world(make_random_sequential(spec), 1);
+}
+
+// Wall-clock ATPG budgets are the one nondeterministic input; every
+// determinism assertion in this file runs with them disabled.
+PipelineOptions base_opt(int jobs) {
+  PipelineOptions opt;
+  opt.comb_time_limit_ms = 0;
+  opt.seq_time_limit_ms = 0;
+  opt.final_time_limit_ms = 0;
+  opt.verify_easy = true;
+  opt.jobs = jobs;
+  return opt;
+}
+
+std::string report_of(const ObsRegistry& reg, const PipelineResult& r) {
+  std::ostringstream os;
+  reg.write_run_report(os, r);
+  return normalized_report(os.str());
+}
+
+std::string ckpt_path(const char* leaf) {
+  return (std::filesystem::path(::testing::TempDir()) / leaf).string();
+}
+
+// ---- fuzz oracle O8 --------------------------------------------------------
+// Declared first: gtest runs same-suite tests in definition order, and this
+// one must observe the process BEFORE any other test registers the hook.
+
+TEST(Shard, OracleIsLoudWhenUnregistered) {
+  RandomCircuitSpec spec;
+  spec.num_gates = 25;
+  spec.num_ffs = 3;
+  spec.seed = 11;
+  SelfcheckConfig cfg;
+  cfg.oracles = kOracleShard;
+  cfg.jobs = 1;
+  const std::string d = selfcheck_circuit(make_random_sequential(spec), cfg);
+  EXPECT_NE(d.find("no sharded runner is registered"), std::string::npos) << d;
+}
+
+TEST(Shard, OracleShardIsOptInByName) {
+  // `all` stays the in-process set: a default fuzz run must never fork.
+  EXPECT_EQ(kOracleAll & kOracleShard, 0u);
+  EXPECT_EQ(parse_oracle_mask("all") & kOracleShard, 0u);
+  EXPECT_EQ(parse_oracle_mask("shard"), kOracleShard);
+  EXPECT_STREQ(oracle_name(7), "shard");
+}
+
+TEST(Shard, OracleFuzzFindsNoDisagreements) {
+  register_shard_oracle();
+  FuzzOptions fo;
+  fo.seed = 20260808;
+  fo.iterations = 6;
+  fo.oracles = kOracleShard;
+  fo.jobs = 2;
+  fo.max_gates = 40;
+  fo.max_ffs = 5;
+  fo.parser_stress = false;
+  fo.shrink = false;  // a failure here is reported, not minimized
+  const FuzzReport rep = run_fuzz(fo);
+  EXPECT_GT(rep.oracle_runs[7], 0u);
+  for (const FuzzFailure& f : rep.failures) {
+    ADD_FAILURE() << "iteration " << f.iteration << ": " << f.diagnostic
+                  << "\nrepro: " << f.repro;
+  }
+}
+
+// ---- determinism matrix ----------------------------------------------------
+// shards {1,2,3,7} × jobs {1,4}: every cell's PipelineResult diffs empty
+// against the same-jobs single-process run, and the normalized run report is
+// byte-identical (counters included — worker deltas must merge to the exact
+// single-process totals).
+
+void run_matrix(const std::string& circuit) {
+  const std::unique_ptr<World> w = suite_world(circuit);
+  for (int jobs : {1, 4}) {
+    ObsRegistry reg;
+    PipelineOptions opt = base_opt(jobs);
+    opt.obs = &reg;
+    const PipelineResult single = run_fsct_pipeline(*w->model, w->faults, opt);
+    const std::string want = report_of(reg, single);
+    for (int shards : {1, 2, 3, 7}) {
+      ObsRegistry sreg;
+      PipelineOptions sopt = base_opt(jobs);
+      sopt.obs = &sreg;
+      ShardOptions so;
+      so.shards = shards;
+      const PipelineResult sharded =
+          run_sharded_pipeline(*w->model, w->faults, sopt, so);
+      EXPECT_EQ(diff_pipeline_results(single, sharded), "")
+          << circuit << " shards=" << shards << " jobs=" << jobs;
+      EXPECT_EQ(report_of(sreg, sharded), want)
+          << circuit << " shards=" << shards << " jobs=" << jobs
+          << ": normalized report differs from single-process";
+    }
+  }
+}
+
+TEST(Shard, MatrixIdenticalS1423) { run_matrix("s1423"); }
+TEST(Shard, MatrixIdenticalS1488) { run_matrix("s1488"); }
+TEST(Shard, MatrixIdenticalS1494) { run_matrix("s1494"); }
+
+// ---- crash injection -------------------------------------------------------
+
+TEST(Shard, KilledWorkerIsDetectedAndRunResumes) {
+  const std::unique_ptr<World> w = suite_world("s1423");
+  const std::string ck = ckpt_path("kill.ckpt");
+  std::filesystem::remove(ck);
+
+  ObsRegistry breg;
+  PipelineOptions bopt = base_opt(2);
+  bopt.obs = &breg;
+  const PipelineResult single = run_fsct_pipeline(*w->model, w->faults, bopt);
+  const std::string want = report_of(breg, single);
+
+  // Each worker dwells 400ms in every step-3 group command: a wide window to
+  // SIGKILL one mid-item.  The env var is captured by the children at fork,
+  // so clearing it right after construction keeps the parent (and the later
+  // resume run) full speed.
+  ::setenv("FSCT_TEST_PHASE_SLEEP", "shard.group:400", 1);
+  ObsRegistry kreg;
+  PipelineOptions kopt = base_opt(2);
+  kopt.obs = &kreg;
+  ShardOptions so;
+  so.shards = 3;
+  so.checkpoint_path = ck;
+  so.checkpoint_interval_ms = 0;  // every safe point
+  ShardRunner runner(*w->model, w->faults, kopt, so);
+  ::unsetenv("FSCT_TEST_PHASE_SLEEP");
+
+  const std::vector<pid_t> pids = runner.worker_pids();
+  ASSERT_EQ(pids.size(), 3u);
+  // Kill a worker once the checkpoint shows the group phase running (i.e.
+  // the victim is asleep inside a group command); after 30s give up waiting
+  // and kill anyway — detection must be clean from any phase.
+  std::thread killer([&] {
+    for (int i = 0; i < 600; ++i) {
+      std::ifstream in(ck);
+      std::string head;
+      std::getline(in, head);
+      if (head.find("\"phase\":\"s3.groups\"") != std::string::npos) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    ::kill(pids[0], SIGKILL);
+  });
+  try {
+    runner.run();
+    ADD_FAILURE() << "run() completed although a worker was SIGKILLed";
+  } catch (const ShardError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("killed by signal"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("resume"), std::string::npos) << msg;
+  }
+  killer.join();
+  ASSERT_TRUE(std::filesystem::exists(ck));
+
+  // Resume from the last checkpoint: the continued run must finish with the
+  // byte-identical single-process report.
+  ObsRegistry rreg;
+  PipelineOptions ropt = base_opt(2);
+  ropt.obs = &rreg;
+  ShardOptions ro;
+  ro.shards = 3;
+  ro.resume_path = ck;
+  const PipelineResult resumed =
+      run_sharded_pipeline(*w->model, w->faults, ropt, ro);
+  EXPECT_EQ(diff_pipeline_results(single, resumed), "");
+  EXPECT_EQ(report_of(rreg, resumed), want);
+}
+
+// ---- checkpoint format -----------------------------------------------------
+
+CheckpointData sample_checkpoint() {
+  CheckpointData d;
+  d.hash = 0xdeadbeefcafef00dull;
+  d.resume.phase = PipelinePhase::S3Groups;
+  d.resume.podem_next = 2;
+  PipelineResult& r = d.resume.partial;
+  r.total_faults = 3;
+  r.easy = 1;
+  r.hard = 2;
+  r.outcome = {FaultOutcome::EasyAlternating, FaultOutcome::NotAffecting,
+               FaultOutcome::DetectedComb};
+  r.info.resize(3);
+  r.info[0].category = ChainFaultCategory::Easy;
+  r.info[0].locations.push_back(ChainLocation{0, 1});
+  r.info[2].category = ChainFaultCategory::Hard;
+  r.info[2].multi_chain = true;
+  r.info[2].locations.push_back(ChainLocation{0, 2});
+  r.info[2].locations.push_back(ChainLocation{1, 0});
+  r.vectors.push_back(ScanVector{{Val::One, Val::Zero}, {Val::X, Val::One}});
+  r.detection_curve = {1};
+  r.s3_sequences.push_back(TestSequence{{Val::One, Val::X}});
+  r.s3_sequence_fault = {2};
+  GroupOutcome go;
+  go.detected = {2};
+  go.seqs.push_back(TestSequence{{Val::Zero, Val::One}});
+  go.unverified = 1;
+  d.resume.groups_done.emplace(0, std::move(go));
+  FinalOutcome fo;
+  fo.verdict = FinalVerdict::Detected;
+  fo.seq = TestSequence{{Val::One, Val::One}};
+  d.resume.finals_done.emplace(2, std::move(fo));
+  d.counters.emplace_back("fsct_classify_faults_total", 3);
+  CheckpointData::HistState hs;
+  hs.name = "fsct_podem_backtracks";
+  hs.sum = 12;
+  hs.buckets = {1, 0, 2};
+  d.hists.push_back(std::move(hs));
+  d.attr.push_back(CheckpointData::AttrCell{2, "podem_backtracks", 7});
+  return d;
+}
+
+TEST(Shard, CheckpointRoundTrips) {
+  const CheckpointData a = sample_checkpoint();
+  const std::string text = serialize_checkpoint(a);
+  const CheckpointData b = parse_checkpoint(text, "mem");
+  EXPECT_EQ(serialize_checkpoint(b), text);
+  EXPECT_EQ(b.hash, a.hash);
+  EXPECT_EQ(b.resume.phase, PipelinePhase::S3Groups);
+  EXPECT_EQ(b.resume.podem_next, 2u);
+  EXPECT_EQ(b.resume.partial.outcome, a.resume.partial.outcome);
+  EXPECT_EQ(b.resume.partial.vectors, a.resume.partial.vectors);
+  EXPECT_EQ(b.resume.partial.s3_sequences, a.resume.partial.s3_sequences);
+  ASSERT_EQ(b.resume.groups_done.size(), 1u);
+  EXPECT_EQ(b.resume.groups_done.at(0).detected, std::vector<std::size_t>{2});
+  ASSERT_EQ(b.resume.finals_done.size(), 1u);
+  EXPECT_EQ(b.resume.finals_done.at(2).verdict, FinalVerdict::Detected);
+  EXPECT_EQ(b.counters, a.counters);
+
+  // And the on-disk writer is atomic + re-readable.
+  const std::string path = ckpt_path("roundtrip.ckpt");
+  write_checkpoint_atomic(path, a);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_EQ(serialize_checkpoint(read_checkpoint(path)), text);
+}
+
+std::string parse_error(const std::string& text) {
+  try {
+    parse_checkpoint(text, "ckpt");
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(Shard, CheckpointRejectsTamperedFiles) {
+  const std::string good = serialize_checkpoint(sample_checkpoint());
+  ASSERT_EQ(parse_error(good), "");
+  std::vector<std::string> lines;
+  for (std::size_t pos = 0; pos < good.size();) {
+    const std::size_t nl = good.find('\n', pos);
+    lines.push_back(good.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  const auto join = [&](std::size_t skip_from, std::size_t skip_to) {
+    std::string out;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (i >= skip_from && i < skip_to) continue;
+      out += lines[i];
+      out += '\n';
+    }
+    return out;
+  };
+
+  // Truncated: sentinel gone.
+  EXPECT_NE(parse_error(join(lines.size() - 1, lines.size()))
+                .find("truncated: missing end sentinel"),
+            std::string::npos);
+  // Truncated: a whole section line missing — the sentinel count catches it,
+  // naming the file and the sentinel's line.
+  {
+    const std::string e = parse_error(join(4, 5));
+    EXPECT_NE(e.find("end sentinel expects"), std::string::npos) << e;
+    EXPECT_NE(e.find("ckpt: line"), std::string::npos) << e;
+  }
+  // Corrupt JSON mid-file: the error is anchored to that line.
+  {
+    std::vector<std::string> bad = lines;
+    bad[2] = "{\"section\":\"info\",\"data\":[[";
+    std::string text;
+    for (const std::string& l : bad) text += l + "\n";
+    const std::string e = parse_error(text);
+    EXPECT_NE(e.find("ckpt: line 3:"), std::string::npos) << e;
+  }
+  // Bad outcome digit, anchored to the outcome line.
+  {
+    std::vector<std::string> bad = lines;
+    const std::size_t at = bad[1].find("\"data\":\"");
+    bad[1][at + 8] = '9';
+    std::string text;
+    for (const std::string& l : bad) text += l + "\n";
+    const std::string e = parse_error(text);
+    EXPECT_NE(e.find("ckpt: line 2: bad outcome digit"), std::string::npos)
+        << e;
+  }
+  // Wrong schema.
+  {
+    std::string text = good;
+    const std::size_t at = text.find("fsct-ckpt-v1");
+    text.replace(at, 12, "fsct-ckpt-v9");
+    EXPECT_NE(parse_error(text).find("unsupported checkpoint schema"),
+              std::string::npos);
+  }
+  // Content after the sentinel.
+  EXPECT_NE(parse_error(good + lines[1] + "\n")
+                .find("content after end sentinel"),
+            std::string::npos);
+  // Empty file.
+  EXPECT_NE(parse_error("").find("empty checkpoint"), std::string::npos);
+}
+
+TEST(Shard, ResumeRefusesForeignCheckpoints) {
+  const std::unique_ptr<World> w1 = small_world(101);
+  const std::unique_ptr<World> w2 = small_world(202);
+  const std::string ck = ckpt_path("foreign.ckpt");
+  const PipelineOptions opt = base_opt(1);
+
+  ShardOptions so;
+  so.shards = 2;
+  so.checkpoint_path = ck;
+  so.stop_after_safepoints = 2;
+  {
+    ShardRunner runner(*w1->model, w1->faults, opt, so);
+    EXPECT_THROW(runner.run(), PipelineStopped);
+  }
+
+  // A different circuit refuses the checkpoint...
+  ShardOptions ro;
+  ro.shards = 2;
+  ro.resume_path = ck;
+  try {
+    run_sharded_pipeline(*w2->model, w2->faults, opt, ro);
+    ADD_FAILURE() << "resume accepted a foreign checkpoint";
+  } catch (const ShardError& e) {
+    EXPECT_NE(std::string(e.what()).find("binding hash mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+  // ...and so does the same circuit under a result-affecting option change.
+  PipelineOptions changed = base_opt(1);
+  changed.random_patterns += 1;
+  EXPECT_THROW(run_sharded_pipeline(*w1->model, w1->faults, changed, ro),
+               ShardError);
+  // Execution knobs are NOT binding: a resume at different jobs/shards runs.
+  PipelineOptions rejob = base_opt(4);
+  ShardOptions ro3;
+  ro3.shards = 3;
+  ro3.resume_path = ck;
+  const PipelineResult resumed =
+      run_sharded_pipeline(*w1->model, w1->faults, rejob, ro3);
+  const PipelineResult fresh =
+      run_fsct_pipeline(*w1->model, w1->faults, base_opt(1));
+  EXPECT_EQ(diff_pipeline_results(fresh, resumed), "");
+}
+
+TEST(Shard, BindingHashCoversResultAffectingOptionsOnly) {
+  const std::unique_ptr<World> w = small_world(7);
+  const PipelineOptions a = base_opt(1);
+  PipelineOptions b = base_opt(4);
+  b.simd_width = 256;
+  EXPECT_EQ(shard_binding_hash(*w->model, w->faults, a),
+            shard_binding_hash(*w->model, w->faults, b));
+  PipelineOptions c = base_opt(1);
+  c.random_patterns = 7;
+  EXPECT_NE(shard_binding_hash(*w->model, w->faults, a),
+            shard_binding_hash(*w->model, w->faults, c));
+  PipelineOptions d = base_opt(1);
+  d.dominance = false;
+  EXPECT_NE(shard_binding_hash(*w->model, w->faults, a),
+            shard_binding_hash(*w->model, w->faults, d));
+  PipelineOptions e = base_opt(1);
+  e.verify_easy = false;
+  EXPECT_NE(shard_binding_hash(*w->model, w->faults, a),
+            shard_binding_hash(*w->model, w->faults, e));
+}
+
+// ---- resume-from-every-interval sweep --------------------------------------
+// Stop cooperatively at safe point k for every k until the run completes
+// uninterrupted; each stop's checkpoint must round-trip the text format and
+// resume to the bitwise single-process result.
+
+TEST(Shard, ResumeFromEverySafePointSweep) {
+  const std::unique_ptr<World> w = small_world(33);
+  const PipelineOptions opt = base_opt(1);
+  const PipelineResult baseline = run_fsct_pipeline(*w->model, w->faults, opt);
+  const std::string ck = ckpt_path("sweep.ckpt");
+
+  int completed_at = -1;
+  for (int k = 1; k < 10000; ++k) {
+    ShardOptions so;
+    so.shards = 2;
+    so.checkpoint_path = ck;
+    so.stop_after_safepoints = k;
+    bool stopped = false;
+    PipelineResult r;
+    {
+      ShardRunner runner(*w->model, w->faults, opt, so);
+      try {
+        r = runner.run();
+      } catch (const PipelineStopped&) {
+        stopped = true;
+      }
+    }
+    if (!stopped) {
+      EXPECT_EQ(diff_pipeline_results(baseline, r), "")
+          << "uninterrupted sharded run differs (k=" << k << ")";
+      completed_at = k;
+      break;
+    }
+    const CheckpointData cd = read_checkpoint(ck);
+    const std::string text = serialize_checkpoint(cd);
+    EXPECT_EQ(serialize_checkpoint(parse_checkpoint(text, "mem")), text)
+        << "checkpoint at safe point " << k << " does not round-trip";
+    ShardOptions ro;
+    ro.shards = 2;
+    ro.resume_path = ck;
+    const PipelineResult resumed =
+        run_sharded_pipeline(*w->model, w->faults, opt, ro);
+    EXPECT_EQ(diff_pipeline_results(baseline, resumed), "")
+        << "resume from safe point " << k << " diverges";
+  }
+  // The loop must terminate by running out of safe points, and the sweep
+  // must have actually exercised a meaningful number of them.
+  ASSERT_GT(completed_at, 4) << "circuit too small to exercise the sweep";
+}
+
+}  // namespace
+}  // namespace fsct
